@@ -1,0 +1,71 @@
+// Command bench regenerates the repository's experiment tables — one per
+// figure-level claim of "Primitives for Distributed Computing" (see
+// DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	bench                      # run every experiment at full scale
+//	bench -experiment fig1     # run one experiment
+//	bench -scale 0.25          # shrink the workloads
+//	bench -list                # list experiments
+//	bench -csv                 # also emit tables as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "run only this experiment id (see -list)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csv        = flag.Bool("csv", false, "also print tables as CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Experiments (DESIGN.md §3):")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-14s %-22s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	run := exp.All()
+	if *experiment != "" {
+		e, err := exp.ByID(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run = []exp.Experiment{e}
+	}
+
+	for _, e := range run {
+		fmt.Printf("\n### %s — %s\n### %s\n\n", e.ID, e.Paper, e.Description)
+		start := time.Now()
+		res, err := e.Run(exp.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tab := range res.Tables {
+			tab.Render(os.Stdout)
+			fmt.Println()
+			if *csv {
+				tab.CSV(os.Stdout)
+				fmt.Println()
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("  %s\n", note)
+		}
+		fmt.Printf("  (ran in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,147 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// Example shows the complete shape of a program built on the paper's
+// primitives: a guardian definition in the library, an instance created at
+// a node, and a driver exchanging typed messages with it.
+func Example() {
+	w := repro.NewWorld(repro.Config{})
+
+	greeter := repro.NewPortType("greeter_port").
+		Msg("greet", repro.KindString).
+		Replies("greet", "greeting")
+
+	w.MustRegister(&repro.GuardianDef{
+		TypeName: "greeter",
+		Provides: []*repro.PortType{greeter},
+		Init: func(ctx *repro.Ctx) {
+			repro.NewReceiver(ctx.Ports[0]).
+				When("greet", func(pr *repro.Process, m *repro.Message) {
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "greeting", "hello, "+m.Str(0))
+					}
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	})
+
+	alpha := w.MustAddNode("alpha")
+	created, err := alpha.Bootstrap("greeter")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	beta := w.MustAddNode("beta")
+	g, client, err := beta.NewDriver("client")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reply := g.MustNewPort(repro.NewPortType("r").Msg("greeting", repro.KindString), 8)
+	_ = client.SendReplyTo(created.Ports[0], reply.Name(), "greet", "world")
+	if m, st := client.Receive(5*time.Second, reply); st == repro.RecvOK {
+		fmt.Println(m.Str(0))
+	}
+	// Output: hello, world
+}
+
+// ExampleGuardian_Seal shows tokens: sealed capabilities only the issuing
+// guardian can interpret.
+func ExampleGuardian_Seal() {
+	w := repro.NewWorld(repro.Config{})
+	n := w.MustAddNode("n")
+	issuer, _, err := n.NewDriver("issuer")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	other, _, err := n.NewDriver("other")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	token := issuer.Seal([]byte("row 4, seat 2"))
+	if _, err := other.Unseal(token); err != nil {
+		fmt.Println("other guardian: cannot unseal")
+	}
+	body, _ := issuer.Unseal(token)
+	fmt.Printf("issuer: %s\n", body)
+	// Output:
+	// other guardian: cannot unseal
+	// issuer: row 4, seat 2
+}
+
+// ExampleNode_Crash shows the crash/recovery lifecycle: a guardian with a
+// Recover process keeps its durable state and its port names.
+func ExampleNode_Crash() {
+	w := repro.NewWorld(repro.Config{})
+	pt := repro.NewPortType("kv").
+		Msg("put", repro.KindString).
+		Msg("get").Replies("get", "value")
+
+	main := func(ctx *repro.Ctx) {
+		log := ctx.G.Log()
+		last := ""
+		if ctx.Recovering {
+			_, recs, _ := log.Recover()
+			for _, r := range recs {
+				last = string(r.Data)
+			}
+		}
+		repro.NewReceiver(ctx.Ports[0]).
+			When("put", func(pr *repro.Process, m *repro.Message) {
+				log.AppendSync([]byte(m.Str(0))) // log-then-done: permanence
+				last = m.Str(0)
+			}).
+			When("get", func(pr *repro.Process, m *repro.Message) {
+				if !m.ReplyTo.IsZero() {
+					_ = pr.Send(m.ReplyTo, "value", last)
+				}
+			}).
+			Loop(ctx.Proc, nil)
+	}
+	w.MustRegister(&repro.GuardianDef{
+		TypeName: "kv", Provides: []*repro.PortType{pt},
+		Init: main, Recover: main,
+	})
+	srv := w.MustAddNode("srv")
+	created, err := srv.Bootstrap("kv")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cli := w.MustAddNode("cli")
+	g, drv, err := cli.NewDriver("d")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reply := g.MustNewPort(repro.NewPortType("r").Msg("value", repro.KindString), 4)
+
+	_ = drv.Send(created.Ports[0], "put", "durable!")
+	// Wait for the put to land before crashing.
+	for {
+		_ = drv.SendReplyTo(created.Ports[0], reply.Name(), "get")
+		if m, st := drv.Receive(time.Second, reply); st == repro.RecvOK && m.Str(0) == "durable!" {
+			break
+		}
+	}
+	srv.Crash()
+	if err := srv.Restart(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = drv.SendReplyTo(created.Ports[0], reply.Name(), "get")
+	if m, st := drv.Receive(5*time.Second, reply); st == repro.RecvOK {
+		fmt.Println("after recovery:", m.Str(0))
+	}
+	// Output: after recovery: durable!
+}

@@ -1,0 +1,87 @@
+// Bank example: branch guardians with durable, idempotent accounts and a
+// cross-branch transfer whose response comes from a different guardian
+// than the one that received the request — the second §3 exchange pattern.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bank"
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+	"repro/internal/xrep"
+)
+
+const timeout = 10 * time.Second
+
+func main() {
+	w := guardian.NewWorld(guardian.Config{
+		Net: netsim.Config{Seed: 2, BaseLatency: time.Millisecond},
+	})
+	if err := w.Register(bank.BranchDef()); err != nil {
+		log.Fatal(err)
+	}
+	boston := w.MustAddNode("boston")
+	chicago := w.MustAddNode("chicago")
+	desk := w.MustAddNode("desk")
+
+	cb, err := boston.Bootstrap(bank.BranchDefName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := chicago.Bootstrap(bank.BranchDefName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	branchBoston, branchChicago := cb.Ports[0], cc.Ports[0]
+
+	g, teller, err := desk.NewDriver("teller")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply := g.MustNewPort(bank.ClientReplyType, 16)
+	call := func(port xrep.PortName, cmd string, args ...any) *guardian.Message {
+		if err := teller.SendReplyTo(port, reply.Name(), cmd, args...); err != nil {
+			log.Fatal(err)
+		}
+		m, st := teller.Receive(timeout, reply)
+		if st != guardian.RecvOK {
+			log.Fatalf("%s: %v", cmd, st)
+		}
+		return m
+	}
+
+	fmt.Println("opening accounts and depositing:")
+	fmt.Printf("  open alice@boston        -> %s\n", call(branchBoston, "open", "alice").Command)
+	fmt.Printf("  open bob@chicago         -> %s\n", call(branchChicago, "open", "bob").Command)
+	fmt.Printf("  deposit 500 to alice     -> %s\n",
+		call(branchBoston, "deposit", "alice", int64(500), "op-d1").Command)
+
+	// The same deposit retried with the same op id applies once.
+	fmt.Printf("  retry same deposit       -> %s (idempotent: applied once)\n",
+		call(branchBoston, "deposit", "alice", int64(500), "op-d1").Command)
+	fmt.Printf("  alice balance            -> %d\n", call(branchBoston, "balance", "alice").Int(0))
+
+	fmt.Println("\ncross-branch transfer (reply comes from chicago, not boston):")
+	m := call(branchBoston, "transfer_out", "alice", int64(200), "op-t1", branchChicago, "bob")
+	fmt.Printf("  transfer 200 alice->bob  -> %s (reply SrcNode=%s)\n", m.Command, m.SrcNode)
+	fmt.Printf("  alice balance            -> %d\n", call(branchBoston, "balance", "alice").Int(0))
+	fmt.Printf("  bob balance              -> %d\n", call(branchChicago, "balance", "bob").Int(0))
+
+	fmt.Println("\ncrash boston and recover (per-guardian log replay):")
+	boston.Crash()
+	if err := boston.Restart(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  alice balance            -> %d (permanence of effect)\n",
+		call(branchBoston, "balance", "alice").Int(0))
+
+	ma := call(branchBoston, "audit")
+	mb := call(branchChicago, "audit")
+	fmt.Printf("\naudit: boston %d accounts / %d total; chicago %d accounts / %d total; system total %d\n",
+		ma.Int(0), ma.Int(1), mb.Int(0), mb.Int(1), ma.Int(1)+mb.Int(1))
+}

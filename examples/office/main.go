@@ -1,0 +1,96 @@
+// Office example: division guardians guarding documents, with sealed
+// tokens (§2.1) as the only external names for stored objects and the
+// document value crossing divisions via its external rep (§3.3).
+//
+// Run with: go run ./examples/office
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/office"
+	"repro/internal/xrep"
+)
+
+const timeout = 10 * time.Second
+
+func main() {
+	w := guardian.NewWorld(guardian.Config{})
+	if err := w.Register(office.DivisionDef()); err != nil {
+		log.Fatal(err)
+	}
+	sales := w.MustAddNode("sales")
+	legal := w.MustAddNode("legal")
+	desk := w.MustAddNode("desk")
+	cs, err := sales.Bootstrap(office.DivisionDefName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := legal.Bootstrap(office.DivisionDefName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	salesPort, legalPort := cs.Ports[0], cl.Ports[0]
+
+	g, user, err := desk.NewDriver("author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply := g.MustNewPort(office.ClientReplyType, 16)
+	call := func(port xrep.PortName, cmd string, args ...any) *guardian.Message {
+		if err := user.SendReplyTo(port, reply.Name(), cmd, args...); err != nil {
+			log.Fatal(err)
+		}
+		m, st := user.Receive(timeout, reply)
+		if st != guardian.RecvOK {
+			log.Fatalf("%s: %v", cmd, st)
+		}
+		return m
+	}
+
+	fmt.Println("create a contract at the sales division:")
+	m := call(salesPort, "create_doc", "acme contract", "v1: we sell, they pay")
+	tok := m.Token(0)
+	fmt.Printf("  create_doc -> %s (token sealed by guardian %d)\n", m.Command, tok.Issuer)
+
+	m = call(salesPort, "edit_doc", tok, "v2: we sell more, they pay more")
+	fmt.Printf("  edit_doc   -> %s (revision %d)\n", m.Command, m.Int(0))
+
+	fmt.Println("\nthe token means nothing to another division:")
+	m = call(legalPort, "read_doc", tok)
+	fmt.Printf("  legal read_doc(sales token) -> %s\n", m.Command)
+
+	fmt.Println("\nforward the document to legal (value crosses via external rep):")
+	if err := user.SendReplyTo(salesPort, reply.Name(), "send_doc", tok, legalPort); err != nil {
+		log.Fatal(err)
+	}
+	var legalTok xrep.Token
+	for i := 0; i < 2; i++ {
+		m, st := user.Receive(timeout, reply)
+		if st != guardian.RecvOK {
+			log.Fatal(st)
+		}
+		switch m.Command {
+		case "doc_token":
+			legalTok = m.Token(0)
+			fmt.Printf("  legal issued its own token (from %s)\n", m.SrcNode)
+		case "forwarded":
+			fmt.Println("  sales confirmed forwarding")
+		}
+	}
+
+	call(legalPort, "edit_doc", legalTok, "v2 + redlines")
+	salesDoc, _ := office.DecodeDocument(call(salesPort, "read_doc", tok).Args[0])
+	legalDoc, _ := office.DecodeDocument(call(legalPort, "read_doc", legalTok).Args[0])
+	fmt.Printf("\nindependent copies after legal's edit:\n  sales: %q rev %d\n  legal: %q rev %d\n",
+		salesDoc.(office.Document).Body, salesDoc.(office.Document).Revision,
+		legalDoc.(office.Document).Body, legalDoc.(office.Document).Revision)
+
+	fmt.Println("\narchive at sales; the old token now dangles:")
+	fmt.Printf("  archive_doc -> %s\n", call(salesPort, "archive_doc", tok).Command)
+	fmt.Printf("  read_doc    -> %s (the system never promised the object survives)\n",
+		call(salesPort, "read_doc", tok).Command)
+}

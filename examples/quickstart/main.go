@@ -1,0 +1,89 @@
+// Quickstart: two guardians on two nodes exchange typed messages through
+// ports — the smallest complete program against the public API.
+//
+// It builds a world, registers a greeter guardian definition, creates an
+// instance on node "alpha", and drives it from node "beta" with the
+// no-wait send and a receive with timeout.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+// The greeter's port type: greet(name) replies (greeting(text)).
+var greeterPort = repro.NewPortType("greeter_port").
+	Msg("greet", repro.KindString).
+	Replies("greet", "greeting")
+
+// The client's reply port type.
+var replyPort = repro.NewPortType("greeting_reply_port").
+	Msg("greeting", repro.KindString)
+
+func main() {
+	// A world is a whole distributed program; the zero config gives a
+	// perfectly reliable, instant network (turn on faults via
+	// repro.Config{Net: repro.NetConfig{...}}).
+	w := repro.NewWorld(repro.Config{})
+
+	// Guardian definitions live in a world-wide library, like CLU's
+	// compilation library of guardian headers.
+	w.MustRegister(&repro.GuardianDef{
+		TypeName: "greeter",
+		Provides: []*repro.PortType{greeterPort},
+		Init: func(ctx *repro.Ctx) {
+			// The guardian's initial process: a receive loop. The arms are
+			// checked against the port type at construction time — an
+			// undeclared command is a panic, the library's stand-in for
+			// the paper's compile-time checking.
+			repro.NewReceiver(ctx.Ports[0]).
+				When("greet", func(pr *repro.Process, m *repro.Message) {
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "greeting", "hello, "+m.Str(0)+"!")
+					}
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	})
+
+	// Two autonomous nodes joined by the network.
+	alpha := w.MustAddNode("alpha")
+	beta := w.MustAddNode("beta")
+
+	// Create a greeter at alpha. Bootstrap acts as the node owner (the
+	// primordial guardian); guardians can also be created remotely with a
+	// create message to repro.PrimordialPort("alpha").
+	created, err := alpha.Bootstrap("greeter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	greeter := created.Ports[0] // a global port name — sendable in messages
+
+	// Drive from beta: a driver guardian stands in for a human user.
+	g, client, err := beta.NewDriver("client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply := g.MustNewPort(replyPort, 8)
+
+	// The no-wait send: returns as soon as the message is constructed.
+	if err := client.SendReplyTo(greeter, reply.Name(), "greet", "world"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The receive statement: wait for the response or time out.
+	m, st := client.Receive(2*time.Second, reply)
+	switch st {
+	case repro.RecvOK:
+		fmt.Println("received:", m.Str(0))
+	case repro.RecvTimeout:
+		fmt.Println("timed out — with a reliable network this should not happen")
+	default:
+		fmt.Println("guardian killed")
+	}
+}

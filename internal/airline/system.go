@@ -1,0 +1,144 @@
+package airline
+
+import (
+	"fmt"
+
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// RegionConfig places one geographical region at one node, mirroring
+// Figure 2: "each node belonging to the airline has one guardian P_j for
+// the region in which it resides".
+type RegionConfig struct {
+	// Node is the region's node address (created if absent).
+	Node string
+	// Flights lists the region's flight numbers. A flight guardian is
+	// "assigned to the region containing the flight's destination".
+	Flights []int64
+}
+
+// SystemConfig describes a whole airline deployment.
+type SystemConfig struct {
+	// Regions of the distributed data base. One region at one node gives
+	// the centralized baseline of §2.3; several give Figure 2.
+	Regions []RegionConfig
+	// UINodes host user-interface guardians (U_j). Often the same nodes
+	// as the regions; any node works.
+	UINodes []string
+	// Capacity is seats per flight per date.
+	Capacity int64
+	// Org selects the flight guardian organization (Org* constant).
+	Org string
+	// WorkCostUS is the simulated per-request work in microseconds.
+	WorkCostUS int64
+	// RelayReplies, when true, routes replies back through the regional
+	// manager instead of directly from flight guardian to requester (the
+	// E2 ablation).
+	RelayReplies bool
+	// DeadlineMS is the transaction processes' reply deadline (Figure 5's
+	// expression e), in milliseconds. Zero means 1000.
+	DeadlineMS int64
+}
+
+// System is a deployed airline: the port names a client needs.
+type System struct {
+	World *guardian.World
+	// RegionPorts maps node → regional manager port.
+	RegionPorts map[string]xrep.PortName
+	// Directory maps flight number → owning region's port.
+	Directory map[int64]xrep.PortName
+	// UIPorts maps node → interface guardian port.
+	UIPorts map[string]xrep.PortName
+	// RegionGuardians maps node → regional manager guardian id.
+	RegionGuardians map[string]uint64
+}
+
+// RegisterDefs adds the airline guardian definitions to the world library.
+// Safe to call once per world.
+func RegisterDefs(w *guardian.World) error {
+	for _, def := range []*guardian.GuardianDef{FlightDef(), RegionalDef(), UIDef()} {
+		if err := w.Register(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deploy builds the system of Figure 2 in the given world: one regional
+// manager guardian per region (each creating its flight guardians
+// locally), and one interface guardian per UI node holding the full
+// directory.
+func Deploy(w *guardian.World, cfg SystemConfig) (*System, error) {
+	if cfg.DeadlineMS == 0 {
+		cfg.DeadlineMS = 1000
+	}
+	sys := &System{
+		World:           w,
+		RegionPorts:     make(map[string]xrep.PortName),
+		Directory:       make(map[int64]xrep.PortName),
+		UIPorts:         make(map[string]xrep.PortName),
+		RegionGuardians: make(map[string]uint64),
+	}
+	ensureNode := func(name string) (*guardian.Node, error) {
+		if n, err := w.Node(name); err == nil {
+			return n, nil
+		}
+		return w.AddNode(name)
+	}
+	for _, rc := range cfg.Regions {
+		n, err := ensureNode(rc.Node)
+		if err != nil {
+			return nil, err
+		}
+		flights := make(xrep.Seq, len(rc.Flights))
+		for i, f := range rc.Flights {
+			flights[i] = xrep.Int(f)
+		}
+		created, err := n.Bootstrap(RegionalDefName,
+			flights, cfg.Capacity, cfg.Org, cfg.WorkCostUS, cfg.RelayReplies)
+		if err != nil {
+			return nil, fmt.Errorf("airline: deploying region %s: %w", rc.Node, err)
+		}
+		sys.RegionPorts[rc.Node] = created.Ports[0]
+		sys.RegionGuardians[rc.Node] = created.GuardianID
+		for _, f := range rc.Flights {
+			if _, dup := sys.Directory[f]; dup {
+				return nil, fmt.Errorf("airline: flight %d in two regions", f)
+			}
+			sys.Directory[f] = created.Ports[0]
+		}
+	}
+	for _, un := range cfg.UINodes {
+		n, err := ensureNode(un)
+		if err != nil {
+			return nil, err
+		}
+		created, err := n.Bootstrap(UIDefName, DirectoryArg(sys.Directory), cfg.DeadlineMS)
+		if err != nil {
+			return nil, fmt.Errorf("airline: deploying UI at %s: %w", un, err)
+		}
+		sys.UIPorts[un] = created.Ports[0]
+	}
+	return sys, nil
+}
+
+// RedeployUI re-creates the interface guardian at a node after a crash and
+// restart — the owner's recovery action for a guardian that is
+// deliberately not recovered automatically (§3.5: transactions are
+// forgotten). It returns the fresh UI port.
+func (s *System) RedeployUI(nodeName string, deadlineMS int64) (xrep.PortName, error) {
+	n, err := s.World.Node(nodeName)
+	if err != nil {
+		return xrep.PortName{}, err
+	}
+	if deadlineMS == 0 {
+		deadlineMS = 1000
+	}
+	created, err := n.Bootstrap(UIDefName, DirectoryArg(s.Directory), deadlineMS)
+	if err != nil {
+		return xrep.PortName{}, err
+	}
+	s.UIPorts[nodeName] = created.Ports[0]
+	return created.Ports[0], nil
+}

@@ -1,0 +1,337 @@
+package airline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+)
+
+// deployTwoRegion builds the Figure-2 shape: two regional nodes (east,
+// west) with flights 1-2 and 3-4, a UI guardian on a separate office node,
+// and a clerk at the office.
+func deployTwoRegion(t *testing.T, netCfg netsim.Config, deadlineMS int64) (*System, *Clerk) {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{Net: netCfg})
+	if err := RegisterDefs(w); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(w, SystemConfig{
+		Regions: []RegionConfig{
+			{Node: "east", Flights: []int64{1, 2}},
+			{Node: "west", Flights: []int64{3, 4}},
+		},
+		UINodes:    []string{"office"},
+		Capacity:   2,
+		Org:        OrgMonitor,
+		DeadlineMS: deadlineMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	office, err := w.Node("office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clerk, err := NewClerk(office, "clerk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, clerk
+}
+
+func TestTransactionReserveAndDone(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-1", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	out, err := clerk.Reserve(1, "dec-10", testTimeout)
+	if err != nil || out != OutcomeOK {
+		t.Fatalf("reserve: %v %v", out, err)
+	}
+	// Cross-region reservation in the same transaction.
+	out, err = clerk.Reserve(3, "dec-11", testTimeout)
+	if err != nil || out != OutcomeOK {
+		t.Fatalf("reserve west: %v %v", out, err)
+	}
+	reserves, cancels, err := clerk.Done(testTimeout)
+	if err != nil || reserves != 2 || cancels != 0 {
+		t.Fatalf("done: %d/%d %v", reserves, cancels, err)
+	}
+}
+
+func TestTransactionCancelsDeferred(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	// Seed a prior reservation in its own transaction.
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-2", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := clerk.Reserve(1, "dec-10", testTimeout); out != OutcomeOK {
+		t.Fatal("seed reserve")
+	}
+	if _, _, err := clerk.Done(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// New transaction: the cancel is deferred, so until done the seat is
+	// still held.
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-2", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	out, err := clerk.Cancel(1, "dec-10", testTimeout)
+	if err != nil || out != OutcomeDeferred {
+		t.Fatalf("cancel: %v %v", out, err)
+	}
+	// While deferred, another customer cannot take the seat count beyond
+	// capacity: seat is still reserved. Verify directly.
+	office, _ := sys.World.Node("office")
+	a, _ := NewAgent(office, "checker")
+	if out, _ := a.Request(sys.Directory[1], "reserve", 1, "cust-2", "dec-10", testTimeout); out != OutcomePreReserved {
+		t.Fatalf("seat released before done: %v", out)
+	}
+	if _, cancels, err := clerk.Done(testTimeout); err != nil || cancels != 1 {
+		t.Fatalf("done: cancels=%d err=%v", cancels, err)
+	}
+	// Now the cancel has been performed.
+	if out, _ := a.Request(sys.Directory[1], "cancel", 1, "cust-2", "dec-10", testTimeout); out != OutcomeNotReserved {
+		t.Fatalf("seat still held after done: %v", out)
+	}
+}
+
+func TestTransactionUndoReserve(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-3", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := clerk.Reserve(2, "dec-15", testTimeout); out != OutcomeOK {
+		t.Fatal("reserve")
+	}
+	undone, err := clerk.UndoLast(testTimeout)
+	if err != nil || undone != "reserve" {
+		t.Fatalf("undo: %q %v", undone, err)
+	}
+	// "An unwanted reservation can be undone by a cancel" — the seat is
+	// free again immediately.
+	office, _ := sys.World.Node("office")
+	a, _ := NewAgent(office, "checker")
+	if out, _ := a.Request(sys.Directory[2], "cancel", 2, "cust-3", "dec-15", testTimeout); out != OutcomeNotReserved {
+		t.Fatalf("undo did not release the seat: %v", out)
+	}
+	if reserves, _, err := clerk.Done(testTimeout); err != nil || reserves != 0 {
+		t.Fatalf("done after undo: reserves=%d err=%v", reserves, err)
+	}
+}
+
+func TestTransactionUndoPendingCancel(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-4", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := clerk.Reserve(1, "dec-10", testTimeout); out != OutcomeOK {
+		t.Fatal("reserve")
+	}
+	if out, _ := clerk.Cancel(1, "dec-10", testTimeout); out != OutcomeDeferred {
+		t.Fatal("cancel")
+	}
+	// Undoing the pending cancel drops it from the history, so done
+	// performs no cancels and the seat survives.
+	if undone, err := clerk.UndoLast(testTimeout); err != nil || undone != "cancel" {
+		t.Fatalf("undo: %q %v", undone, err)
+	}
+	reserves, cancels, err := clerk.Done(testTimeout)
+	if err != nil || reserves != 1 || cancels != 0 {
+		t.Fatalf("done: %d/%d %v", reserves, cancels, err)
+	}
+	office, _ := sys.World.Node("office")
+	a, _ := NewAgent(office, "checker")
+	if out, _ := a.Request(sys.Directory[1], "reserve", 1, "cust-4", "dec-10", testTimeout); out != OutcomePreReserved {
+		t.Fatalf("seat lost after undone cancel: %v", out)
+	}
+}
+
+func TestUndoEmptyHistory(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-5", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	undone, err := clerk.UndoLast(testTimeout)
+	if err != nil || undone != "" {
+		t.Fatalf("undo on empty history: %q %v", undone, err)
+	}
+}
+
+func TestTransactionIllegalFlight(t *testing.T) {
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 1000)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-6", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5: a flight not in the directory sends "illegal" to the clerk
+	// and waits for the next request.
+	out, err := clerk.Reserve(42, "dec-10", testTimeout)
+	if err != nil || out != OutcomeIllegal {
+		t.Fatalf("illegal reserve: %v %v", out, err)
+	}
+	// The transaction continues normally afterwards.
+	if out, _ := clerk.Reserve(1, "dec-10", testTimeout); out != OutcomeOK {
+		t.Fatal("transaction dead after illegal request")
+	}
+	if _, _, err := clerk.Done(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionalCrashYieldsCannotCommunicate(t *testing.T) {
+	// "A failure of the regional node will cause the timeout arm of the
+	// receive statement to be selected ... the information is conveyed to
+	// the clerk."
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 150)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-7", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	east, _ := sys.World.Node("east")
+	east.Crash()
+	out, err := clerk.Reserve(1, "dec-10", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "can't communicate" {
+		t.Fatalf("outcome %q, want can't communicate", out)
+	}
+	// The west region still works.
+	if out, _ := clerk.Reserve(3, "dec-10", testTimeout); out != OutcomeOK {
+		t.Fatalf("west reserve after east crash: %v", out)
+	}
+}
+
+func TestRetryAfterTimeoutIsIdempotent(t *testing.T) {
+	// The clerk retries after a timeout; because reserve is idempotent,
+	// "no problems result" even if the first attempt actually succeeded.
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 200)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-8", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Sever replies from east to office so the request is performed but
+	// the outcome never returns.
+	sys.World.Net().SetLink("east", "office", &netsim.Config{LossRate: 1.0})
+	out, err := clerk.Reserve(1, "dec-10", testTimeout)
+	if err != nil || out != "can't communicate" {
+		t.Fatalf("first attempt: %v %v", out, err)
+	}
+	// Heal and retry: the seat was already taken by cust-8, so the
+	// idempotent retry reports pre_reserved — not an error, not a double
+	// booking.
+	sys.World.Net().SetLink("east", "office", nil)
+	out, err = clerk.Reserve(1, "dec-10", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != OutcomePreReserved {
+		t.Fatalf("retry outcome %q, want pre_reserved", out)
+	}
+	// Exactly one seat is held.
+	east, _ := sys.World.Node("east")
+	fgID := uint64(0)
+	for _, id := range east.Guardians() {
+		if g, ok := east.GuardianByID(id); ok {
+			if _, isFlight := g.State().(*flightState); isFlight && g.DefName() == FlightDefName {
+				if snap, _ := SnapshotFlight(g, "dec-10"); snap.Reserved > 0 {
+					fgID = id
+					if snap.Reserved != 1 {
+						t.Fatalf("reserved = %d, want 1", snap.Reserved)
+					}
+				}
+			}
+		}
+	}
+	if fgID == 0 {
+		t.Fatal("no flight guardian holds the seat")
+	}
+}
+
+func TestUINodeCrashForgetsTransactions(t *testing.T) {
+	// "We have chosen to forget transactions rather than to try and
+	// finish them after a crash." After the office node restarts, the old
+	// transaction port is gone; the clerk starts a new transaction and
+	// redoes the last request safely.
+	sys, clerk := deployTwoRegion(t, netsim.Config{}, 500)
+	if err := clerk.Begin(sys.UIPorts["office"], "cust-9", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := clerk.Reserve(1, "dec-10", testTimeout); out != OutcomeOK {
+		t.Fatal("reserve")
+	}
+	office, _ := sys.World.Node("office")
+	oldTrans := clerk.TransPort()
+	office.Crash()
+	if err := office.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	// The owner re-deploys the interface guardian (fresh, no transactions).
+	newUI, err := sys.RedeployUI("office", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new clerk at the restarted node (the old driver guardian was
+	// volatile too, like a logged-out terminal).
+	clerk2, err := NewClerk(office, "clerk2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Talking to the old transaction port draws a failure.
+	if err := clerk2.proc.SendReplyTo(oldTrans, clerk2.term.Name(), "reserve", int64(1), "dec-10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clerk2.expect("result", 2*time.Second); err == nil ||
+		!strings.Contains(err.Error(), "doesn't exist") {
+		t.Fatalf("old transaction reachable after crash: %v", err)
+	}
+	// "To finish the transaction, the clerk starts a new transaction ...
+	// beginning with the request being worked on when the node failed."
+	if err := clerk2.Begin(newUI, "cust-9", testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	out, err := clerk2.Reserve(1, "dec-10", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != OutcomePreReserved {
+		t.Fatalf("redo outcome %q, want pre_reserved (no double booking)", out)
+	}
+	if _, _, err := clerk2.Done(testTimeout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyConcurrentTransactions(t *testing.T) {
+	sys, _ := deployTwoRegion(t, netsim.Config{}, 1000)
+	office, _ := sys.World.Node("office")
+	const clerks = 6
+	errs := make(chan error, clerks)
+	for i := 0; i < clerks; i++ {
+		go func(i int) {
+			clerk, err := NewClerk(office, "c")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := clerk.Begin(sys.UIPorts["office"], "cust", testTimeout); err != nil {
+				errs <- err
+				return
+			}
+			// Each clerk reserves a distinct date so all succeed.
+			date := "dec-" + string(rune('a'+i))
+			if out, err := clerk.Reserve(1, date, testTimeout); err != nil || out != OutcomeOK {
+				errs <- err
+				return
+			}
+			_, _, err = clerk.Done(testTimeout)
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < clerks; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package airline implements the paper's running example: the Airline
+// Reservation System of §2.3 and §3.5 (Figures 1, 2, 4 and 5).
+//
+// The system is a group of guardians, each guarding a discernible
+// resource:
+//
+//   - a flight guardian guards the data for a single flight, organized in
+//     any of the three ways of Figure 1 (one-at-a-time, serializer,
+//     monitor);
+//   - a regional manager guardian (P_j, Figure 4) guards the data for a
+//     geographical region: it owns the region's flight guardians and
+//     dispatches requests to them, with replies flowing directly from the
+//     flight guardian to the original requester;
+//   - a user-interface guardian (U_j) guards access for one node's users:
+//     it forks a transaction process per clerk conversation (Figure 5),
+//     keeping the conversation state — history, deferred cancellations —
+//     in the process.
+//
+// Reserve and cancel are atomic, idempotent, and logged for permanence of
+// effect; transactions are deliberately forgotten at a crash (§3.5).
+package airline
+
+import (
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// Request outcomes, used as reply command identifiers exactly as the paper
+// writes them.
+const (
+	OutcomeOK           = "ok"
+	OutcomeFull         = "full"
+	OutcomeWaitList     = "wait_list"
+	OutcomePreReserved  = "pre_reserved"
+	OutcomeNoSuchFlight = "no_such_flight"
+	OutcomeCanceled     = "canceled"
+	OutcomeNotReserved  = "not_reserved"
+	OutcomeNotPermitted = "not_permitted"
+	OutcomeIllegal      = "illegal"
+	OutcomeDeferred     = "deferred"
+)
+
+// Flight guardian organizations (Figure 1).
+const (
+	// OrgSequential (Fig 1a): a single process handles requests one at a
+	// time.
+	OrgSequential = "sequential"
+	// OrgSerializer (Fig 1b): a single process synchronizes requests and
+	// hands them to forked worker processes when the flight data of
+	// interest are available.
+	OrgSerializer = "serializer"
+	// OrgMonitor (Fig 1c): a process is forked per request; the forked
+	// processes synchronize with each other using a monitor providing
+	// start_request(date) and end_request(date).
+	OrgMonitor = "monitor"
+)
+
+// FlightPortType describes the port of a flight guardian (and the
+// request half of the paper's regional_port): reserve, cancel and
+// list_passengers, each paired with its expected replies.
+var FlightPortType = guardian.NewPortType("flight_port").
+	Msg("reserve", xrep.KindInt, xrep.KindString, xrep.KindString).
+	Replies("reserve", OutcomeOK, OutcomeFull, OutcomeWaitList, OutcomePreReserved, OutcomeNoSuchFlight).
+	Msg("cancel", xrep.KindInt, xrep.KindString, xrep.KindString).
+	Replies("cancel", OutcomeCanceled, OutcomeNotReserved, OutcomeNoSuchFlight).
+	Msg("list_passengers", xrep.KindInt, xrep.KindString).
+	Replies("list_passengers", "info", OutcomeNoSuchFlight)
+
+// RegionalPortType describes the port of a regional manager guardian
+// (P_j): the flight requests plus the administrative functions §2.3
+// sketches — adding and deleting flights, usage statistics, and managing
+// who may list passengers.
+var RegionalPortType = guardian.NewPortType("regional_port").
+	Msg("reserve", xrep.KindInt, xrep.KindString, xrep.KindString).
+	Replies("reserve", OutcomeOK, OutcomeFull, OutcomeWaitList, OutcomePreReserved, OutcomeNoSuchFlight).
+	Msg("cancel", xrep.KindInt, xrep.KindString, xrep.KindString).
+	Replies("cancel", OutcomeCanceled, OutcomeNotReserved, OutcomeNoSuchFlight).
+	Msg("list_passengers", xrep.KindInt, xrep.KindString).
+	Replies("list_passengers", "info", OutcomeNoSuchFlight, OutcomeNotPermitted).
+	Msg("add_flight", xrep.KindInt, xrep.KindInt).
+	Replies("add_flight", "flight_added", "flight_exists").
+	Msg("delete_flight", xrep.KindInt).
+	Replies("delete_flight", "flight_deleted", OutcomeNoSuchFlight).
+	Msg("usage").
+	Replies("usage", "usage_info").
+	Msg("grant_list_access", xrep.KindString, xrep.KindInt).
+	Replies("grant_list_access", "granted", OutcomeNotPermitted)
+
+// ClientReplyType describes a port able to receive every reply the flight
+// and regional guardians produce; requesters (and the UI guardian's
+// transaction processes) make ports of this type.
+var ClientReplyType = guardian.NewPortType("client_reply_port").
+	Msg(OutcomeOK).
+	Msg(OutcomeFull).
+	Msg(OutcomeWaitList).
+	Msg(OutcomePreReserved).
+	Msg(OutcomeNoSuchFlight).
+	Msg(OutcomeCanceled).
+	Msg(OutcomeNotReserved).
+	Msg(OutcomeNotPermitted).
+	Msg("info", xrep.KindSeq).
+	Msg("flight_added").
+	Msg("flight_exists").
+	Msg("flight_deleted").
+	Msg("usage_info", xrep.KindSeq).
+	Msg("granted")
+
+// UIPortType describes the user-interface guardian's public port: clerks
+// open a transaction for one customer and receive the name of the
+// transaction process's private port.
+var UIPortType = guardian.NewPortType("ui_port").
+	Msg("begin_transaction", xrep.KindString).
+	Replies("begin_transaction", "trans")
+
+// TransPortType is the private port of one transaction process (the
+// paper's transport): the requests a clerk may issue during a
+// conversation.
+var TransPortType = guardian.NewPortType("trans_port").
+	Msg("reserve", xrep.KindInt, xrep.KindString).
+	Msg("cancel", xrep.KindInt, xrep.KindString).
+	Msg("undo_last").
+	Msg("done")
+
+// TermPortType is the clerk's terminal port (the paper's termport): every
+// message the transaction process sends back to the display.
+var TermPortType = guardian.NewPortType("term_port").
+	Msg("trans", xrep.KindPortName).
+	Msg("result", xrep.KindString, xrep.KindInt, xrep.KindString, xrep.KindString).
+	Msg("undone", xrep.KindString, xrep.KindInt, xrep.KindString).
+	Msg("nothing_to_undo").
+	Msg("trans_done", xrep.KindInt, xrep.KindInt)

@@ -1,0 +1,243 @@
+// Package bank implements the second application domain the paper's
+// object-oriented view targets ("banking systems", §1.2): branch guardians
+// that guard account data, with durable, idempotent operations and a
+// cross-branch transfer protocol.
+//
+// The transfer protocol exercises the paper's second message-exchange
+// pattern (§3): "the response comes from a different process than the
+// original recipient of the request message". A client asks branch A to
+// transfer_out; A debits durably and forwards a transfer_in to branch B,
+// passing along the client's reply port; B credits and answers the client
+// directly. Operation identifiers make every step idempotent, so retries
+// after timeouts are safe — exactly the §3.5 discipline.
+package bank
+
+import (
+	"fmt"
+
+	"repro/internal/guardian"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// BranchDefName is the library name of the branch guardian definition.
+const BranchDefName = "bank_branch"
+
+// Outcome command identifiers.
+const (
+	OutcomeOK           = "ok"
+	OutcomeInsufficient = "insufficient"
+	OutcomeNoAccount    = "no_account"
+	OutcomeExists       = "account_exists"
+)
+
+// BranchPortType describes a branch guardian's port. Every mutating
+// message carries a client-chosen operation id (op_id) making it
+// idempotent: re-performing a completed operation is a no-op that reports
+// the original outcome.
+var BranchPortType = guardian.NewPortType("bank_branch_port").
+	Msg("open", xrep.KindString).
+	Replies("open", OutcomeOK, OutcomeExists).
+	Msg("deposit", xrep.KindString, xrep.KindInt, xrep.KindString).
+	Replies("deposit", OutcomeOK, OutcomeNoAccount).
+	Msg("withdraw", xrep.KindString, xrep.KindInt, xrep.KindString).
+	Replies("withdraw", OutcomeOK, OutcomeInsufficient, OutcomeNoAccount).
+	Msg("balance", xrep.KindString).
+	Replies("balance", "balance_is", OutcomeNoAccount).
+	Msg("transfer_out", xrep.KindString, xrep.KindInt, xrep.KindString, xrep.KindPortName, xrep.KindString).
+	Replies("transfer_out", OutcomeOK, OutcomeInsufficient, OutcomeNoAccount).
+	Msg("transfer_in", xrep.KindString, xrep.KindInt, xrep.KindString).
+	Replies("transfer_in", OutcomeOK, OutcomeNoAccount).
+	Msg("audit").
+	Replies("audit", "audit_info")
+
+// ClientReplyType receives every branch reply.
+var ClientReplyType = guardian.NewPortType("bank_client_port").
+	Msg(OutcomeOK).
+	Msg(OutcomeExists).
+	Msg(OutcomeInsufficient).
+	Msg(OutcomeNoAccount).
+	Msg("balance_is", xrep.KindInt).
+	Msg("audit_info", xrep.KindInt, xrep.KindInt)
+
+// branchState is the guardian's objects: accounts and the set of applied
+// operation ids.
+type branchState struct {
+	accounts map[string]int64
+	// applied maps op_id → outcome command, for idempotent replay and
+	// duplicate suppression.
+	applied map[string]string
+}
+
+// BranchDef returns the branch guardian definition. No creation arguments.
+func BranchDef() *guardian.GuardianDef {
+	return &guardian.GuardianDef{
+		TypeName: BranchDefName,
+		Provides: []*guardian.PortType{BranchPortType},
+		Init:     branchMain,
+		Recover:  branchMain,
+	}
+}
+
+// opRecord encodes one durable operation.
+func opRecord(kind, acct string, amount int64, opID string) []byte {
+	b, err := wire.MarshalValue(xrep.Seq{xrep.Str(kind), xrep.Str(acct), xrep.Int(amount), xrep.Str(opID)})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// apply performs one operation against the state; deterministic, so
+// recovery replays the log through it. It returns the outcome command.
+func (st *branchState) apply(kind, acct string, amount int64, opID string) string {
+	if opID != "" {
+		if prev, dup := st.applied[opID]; dup {
+			return prev
+		}
+	}
+	outcome := func() string {
+		switch kind {
+		case "open":
+			if _, dup := st.accounts[acct]; dup {
+				return OutcomeExists
+			}
+			st.accounts[acct] = 0
+			return OutcomeOK
+		case "deposit", "transfer_in":
+			if _, ok := st.accounts[acct]; !ok {
+				return OutcomeNoAccount
+			}
+			st.accounts[acct] += amount
+			return OutcomeOK
+		case "withdraw", "transfer_out":
+			bal, ok := st.accounts[acct]
+			if !ok {
+				return OutcomeNoAccount
+			}
+			if bal < amount {
+				return OutcomeInsufficient
+			}
+			st.accounts[acct] = bal - amount
+			return OutcomeOK
+		default:
+			return OutcomeNoAccount
+		}
+	}()
+	if opID != "" {
+		st.applied[opID] = outcome
+	}
+	return outcome
+}
+
+func branchMain(ctx *guardian.Ctx) {
+	st := &branchState{
+		accounts: make(map[string]int64),
+		applied:  make(map[string]string),
+	}
+	ctx.G.SetState(st)
+	log := ctx.G.Log()
+	if ctx.Recovering {
+		_, recs, _ := log.Recover()
+		for _, r := range recs {
+			v, err := wire.UnmarshalValue(r.Data)
+			if err != nil {
+				continue
+			}
+			seq, ok := v.(xrep.Seq)
+			if !ok || len(seq) != 4 {
+				continue
+			}
+			kind, _ := seq[0].(xrep.Str)
+			acct, _ := seq[1].(xrep.Str)
+			amount, _ := seq[2].(xrep.Int)
+			opID, _ := seq[3].(xrep.Str)
+			st.apply(string(kind), string(acct), int64(amount), string(opID))
+		}
+	}
+
+	// mutate logs then applies (log-then-ack) and reports the outcome.
+	mutate := func(pr *guardian.Process, m *guardian.Message, kind, acct string, amount int64, opID string, replyTo xrep.PortName) string {
+		// Duplicate of an applied op: answer from memory without relogging.
+		if opID != "" {
+			if prev, dup := st.applied[opID]; dup {
+				if !replyTo.IsZero() {
+					_ = pr.Send(replyTo, prev)
+				}
+				return prev
+			}
+		}
+		log.AppendSync(opRecord(kind, acct, amount, opID))
+		outcome := st.apply(kind, acct, amount, opID)
+		if !replyTo.IsZero() {
+			_ = pr.Send(replyTo, outcome)
+		}
+		return outcome
+	}
+
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("open", func(pr *guardian.Process, m *guardian.Message) {
+			mutate(pr, m, "open", m.Str(0), 0, "", m.ReplyTo)
+		}).
+		When("deposit", func(pr *guardian.Process, m *guardian.Message) {
+			mutate(pr, m, "deposit", m.Str(0), m.Int(1), m.Str(2), m.ReplyTo)
+		}).
+		When("withdraw", func(pr *guardian.Process, m *guardian.Message) {
+			mutate(pr, m, "withdraw", m.Str(0), m.Int(1), m.Str(2), m.ReplyTo)
+		}).
+		When("balance", func(pr *guardian.Process, m *guardian.Message) {
+			if m.ReplyTo.IsZero() {
+				return
+			}
+			bal, ok := st.accounts[m.Str(0)]
+			if !ok {
+				_ = pr.Send(m.ReplyTo, OutcomeNoAccount)
+				return
+			}
+			_ = pr.Send(m.ReplyTo, "balance_is", bal)
+		}).
+		When("transfer_out", func(pr *guardian.Process, m *guardian.Message) {
+			acct, amount, opID := m.Str(0), m.Int(1), m.Str(2)
+			destPort, destAcct := m.Port(3), m.Str(4)
+			// Debit durably. On failure the client is answered directly;
+			// on success the credit request is forwarded carrying the
+			// client's reply port, so the response to the client comes
+			// from the destination branch — the different-guardian
+			// response pattern.
+			outcome := mutate(pr, m, "transfer_out", acct, amount, opID+"/out", xrep.PortName{})
+			if outcome != OutcomeOK {
+				if !m.ReplyTo.IsZero() {
+					_ = pr.Send(m.ReplyTo, outcome)
+				}
+				return
+			}
+			_ = pr.SendReplyTo(destPort, m.ReplyTo, "transfer_in", destAcct, amount, opID+"/in")
+		}).
+		When("transfer_in", func(pr *guardian.Process, m *guardian.Message) {
+			mutate(pr, m, "transfer_in", m.Str(0), m.Int(1), m.Str(2), m.ReplyTo)
+		}).
+		When("audit", func(pr *guardian.Process, m *guardian.Message) {
+			if m.ReplyTo.IsZero() {
+				return
+			}
+			var total int64
+			for _, b := range st.accounts {
+				total += b
+			}
+			_ = pr.Send(m.ReplyTo, "audit_info", int64(len(st.accounts)), total)
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// Snapshot reads a branch's account table. Owner-side test facility.
+func Snapshot(g *guardian.Guardian) (map[string]int64, error) {
+	st, ok := g.State().(*branchState)
+	if !ok {
+		return nil, fmt.Errorf("bank: guardian %d is not a branch", g.ID())
+	}
+	out := make(map[string]int64, len(st.accounts))
+	for k, v := range st.accounts {
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package bank
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+	"repro/internal/xrep"
+)
+
+const testTimeout = 5 * time.Second
+
+// client drives a bank from a node.
+type client struct {
+	proc  *guardian.Process
+	reply *guardian.Port
+}
+
+func newClient(t *testing.T, n *guardian.Node) *client {
+	t.Helper()
+	g, proc, err := n.NewDriver("teller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := g.NewPort(ClientReplyType, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{proc: proc, reply: reply}
+}
+
+func (c *client) call(t *testing.T, port xrep.PortName, cmd string, args ...any) *guardian.Message {
+	t.Helper()
+	if err := c.proc.SendReplyTo(port, c.reply.Name(), cmd, args...); err != nil {
+		t.Fatal(err)
+	}
+	m, st := c.proc.Receive(testTimeout, c.reply)
+	if st != guardian.RecvOK {
+		t.Fatalf("%s: receive status %v", cmd, st)
+	}
+	return m
+}
+
+func deployBank(t *testing.T, netCfg netsim.Config) (*guardian.World, xrep.PortName, xrep.PortName, *client) {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{Net: netCfg})
+	if err := w.Register(BranchDef()); err != nil {
+		t.Fatal(err)
+	}
+	na := w.MustAddNode("branch-a")
+	nb := w.MustAddNode("branch-b")
+	nc := w.MustAddNode("teller-node")
+	ca, err := na.Bootstrap(BranchDefName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := nb.Bootstrap(BranchDefName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, ca.Ports[0], cb.Ports[0], newClient(t, nc)
+}
+
+func TestOpenDepositWithdrawBalance(t *testing.T) {
+	_, a, _, c := deployBank(t, netsim.Config{})
+	if m := c.call(t, a, "open", "alice"); m.Command != OutcomeOK {
+		t.Fatalf("open: %v", m.Command)
+	}
+	if m := c.call(t, a, "open", "alice"); m.Command != OutcomeExists {
+		t.Fatalf("re-open: %v", m.Command)
+	}
+	if m := c.call(t, a, "deposit", "alice", int64(100), "op1"); m.Command != OutcomeOK {
+		t.Fatalf("deposit: %v", m.Command)
+	}
+	if m := c.call(t, a, "withdraw", "alice", int64(30), "op2"); m.Command != OutcomeOK {
+		t.Fatalf("withdraw: %v", m.Command)
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Command != "balance_is" || m.Int(0) != 70 {
+		t.Fatalf("balance: %v %v", m.Command, m.Args)
+	}
+	if m := c.call(t, a, "withdraw", "alice", int64(1000), "op3"); m.Command != OutcomeInsufficient {
+		t.Fatalf("overdraw: %v", m.Command)
+	}
+	if m := c.call(t, a, "balance", "bob"); m.Command != OutcomeNoAccount {
+		t.Fatalf("unknown account: %v", m.Command)
+	}
+}
+
+func TestOperationsIdempotentByOpID(t *testing.T) {
+	_, a, _, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	for i := 0; i < 3; i++ {
+		if m := c.call(t, a, "deposit", "alice", int64(50), "dup-op"); m.Command != OutcomeOK {
+			t.Fatalf("deposit %d: %v", i, m.Command)
+		}
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Int(0) != 50 {
+		t.Fatalf("balance = %d after duplicate deposits, want 50", m.Int(0))
+	}
+	// A failed op replays its failure, not a retry-success.
+	if m := c.call(t, a, "withdraw", "alice", int64(500), "w1"); m.Command != OutcomeInsufficient {
+		t.Fatal("withdraw should fail")
+	}
+	c.call(t, a, "deposit", "alice", int64(500), "d2")
+	if m := c.call(t, a, "withdraw", "alice", int64(500), "w1"); m.Command != OutcomeInsufficient {
+		t.Fatalf("replayed op changed outcome: %v", m.Command)
+	}
+}
+
+func TestCrossBranchTransfer(t *testing.T) {
+	_, a, b, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	c.call(t, b, "open", "bob")
+	c.call(t, a, "deposit", "alice", int64(100), "seed")
+
+	// The reply to transfer_out comes from branch B, not branch A.
+	m := c.call(t, a, "transfer_out", "alice", int64(60), "t1", b, "bob")
+	if m.Command != OutcomeOK {
+		t.Fatalf("transfer: %v", m.Command)
+	}
+	if m.SrcNode != "branch-b" {
+		t.Fatalf("transfer reply from %s, want branch-b (different-guardian response pattern)", m.SrcNode)
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Int(0) != 40 {
+		t.Fatalf("alice = %d", m.Int(0))
+	}
+	if m := c.call(t, b, "balance", "bob"); m.Int(0) != 60 {
+		t.Fatalf("bob = %d", m.Int(0))
+	}
+}
+
+func TestTransferInsufficientAnsweredByA(t *testing.T) {
+	_, a, b, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	c.call(t, b, "open", "bob")
+	m := c.call(t, a, "transfer_out", "alice", int64(10), "t2", b, "bob")
+	if m.Command != OutcomeInsufficient {
+		t.Fatalf("transfer: %v", m.Command)
+	}
+	if m.SrcNode != "branch-a" {
+		t.Fatalf("failure reply from %s, want branch-a", m.SrcNode)
+	}
+}
+
+func TestTransferRetryDoesNotDoubleApply(t *testing.T) {
+	// Lose the first transfer_in reply; retrying the whole transfer_out
+	// must neither double-debit nor double-credit.
+	w, a, b, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	c.call(t, b, "open", "bob")
+	c.call(t, a, "deposit", "alice", int64(100), "seed")
+	// Sever B → teller so the credit happens but the reply is lost.
+	w.Net().SetLink("branch-b", "teller-node", &netsim.Config{LossRate: 1.0})
+	if err := c.proc.SendReplyTo(a, c.reply.Name(), "transfer_out", "alice", int64(60), "t3", b, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.proc.Receive(300*time.Millisecond, c.reply); st != guardian.RecvTimeout {
+		t.Fatalf("expected lost reply, got %v", st)
+	}
+	w.Net().SetLink("branch-b", "teller-node", nil)
+	// Retry with the same op id.
+	m := c.call(t, a, "transfer_out", "alice", int64(60), "t3", b, "bob")
+	if m.Command != OutcomeOK {
+		t.Fatalf("retry: %v", m.Command)
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Int(0) != 40 {
+		t.Fatalf("alice = %d (double debit?)", m.Int(0))
+	}
+	if m := c.call(t, b, "balance", "bob"); m.Int(0) != 60 {
+		t.Fatalf("bob = %d (double credit?)", m.Int(0))
+	}
+}
+
+func TestBranchRecoversAfterCrash(t *testing.T) {
+	w, a, _, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	c.call(t, a, "deposit", "alice", int64(75), "d1")
+	c.call(t, a, "withdraw", "alice", int64(25), "w1")
+	na, _ := w.Node("branch-a")
+	na.Crash()
+	if err := na.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Command != "balance_is" || m.Int(0) != 50 {
+		t.Fatalf("recovered balance: %v %v", m.Command, m.Args)
+	}
+	// Idempotency memory also recovers: replaying w1 does not re-debit.
+	if m := c.call(t, a, "withdraw", "alice", int64(25), "w1"); m.Command != OutcomeOK {
+		t.Fatalf("replay w1: %v", m.Command)
+	}
+	if m := c.call(t, a, "balance", "alice"); m.Int(0) != 50 {
+		t.Fatalf("balance after replayed op = %d, want 50", m.Int(0))
+	}
+}
+
+func TestAuditConservationUnderTransfers(t *testing.T) {
+	// Money is conserved across any interleaving of transfers between two
+	// branches.
+	w, a, b, c := deployBank(t, netsim.Config{})
+	_ = w
+	for i := 0; i < 4; i++ {
+		acct := fmt.Sprintf("acct%d", i)
+		c.call(t, a, "open", acct)
+		c.call(t, b, "open", acct)
+		c.call(t, a, "deposit", acct, int64(100), fmt.Sprintf("seed-a-%d", i))
+		c.call(t, b, "deposit", acct, int64(100), fmt.Sprintf("seed-b-%d", i))
+	}
+	for i := 0; i < 20; i++ {
+		src, dst := a, b
+		if i%2 == 1 {
+			src, dst = b, a
+		}
+		acct := fmt.Sprintf("acct%d", i%4)
+		m := c.call(t, src, "transfer_out", acct, int64(10), fmt.Sprintf("t%d", i), dst, acct)
+		if m.Command != OutcomeOK {
+			t.Fatalf("transfer %d: %v", i, m.Command)
+		}
+	}
+	ma := c.call(t, a, "audit")
+	mb := c.call(t, b, "audit")
+	total := ma.Int(1) + mb.Int(1)
+	if total != 800 {
+		t.Fatalf("total money = %d, want 800 (conservation violated)", total)
+	}
+}
+
+func TestSnapshotOwnerSide(t *testing.T) {
+	w, a, _, c := deployBank(t, netsim.Config{})
+	c.call(t, a, "open", "alice")
+	c.call(t, a, "deposit", "alice", int64(10), "d1")
+	na, _ := w.Node("branch-a")
+	var branch *guardian.Guardian
+	for _, id := range na.Guardians() {
+		if g, ok := na.GuardianByID(id); ok && g.DefName() == BranchDefName {
+			branch = g
+		}
+	}
+	if branch == nil {
+		t.Fatal("branch guardian not found")
+	}
+	snap, err := Snapshot(branch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["alice"] != 10 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot of a non-branch guardian fails cleanly.
+	drv, _, err := na.NewDriver("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Snapshot(drv); err == nil {
+		t.Fatal("Snapshot accepted a non-branch guardian")
+	}
+}

@@ -1,0 +1,38 @@
+// Package core documents how this repository maps onto the paper's
+// primary contribution. The contribution — guardians and the no-wait
+// send/receive primitives — is implemented by the packages below; this
+// package holds the map so that a reader starting from the conventional
+// internal/core location finds the right doors.
+//
+// # The paper's contribution
+//
+//   - repro/internal/guardian — guardians (§2): worlds, nodes, guardians,
+//     processes, ports, typed messages, tokens, the primordial guardian,
+//     crash/recovery lifecycle; and communication (§3): the no-wait send,
+//     receive with when-arms/replyto/timeout, system failure messages,
+//     port-type checking.
+//   - repro/internal/sendprim — the two §3 comparison primitives
+//     (synchronization send, remote transaction send) built on top of the
+//     no-wait send.
+//   - repro/internal/xrep — the external representation system (§3.3):
+//     the value model, Transmittable encode/decode, system-wide type
+//     invariants, and the paper's two worked examples (complex numbers,
+//     associative memory).
+//
+// # Substrates
+//
+//   - repro/internal/netsim — the network of §1.1: best-effort datagrams
+//     with loss, duplication, corruption, reordering, partitions.
+//   - repro/internal/wire — message construction (§3.4): framing,
+//     checksums, fragmentation and reassembly.
+//   - repro/internal/stable — per-node crash-surviving storage (§2.2).
+//   - repro/internal/csync — monitors and serializers (Figure 1).
+//   - repro/internal/vtime — real and simulated clocks.
+//
+// # Applications and harness
+//
+//   - repro/internal/airline — the running example (Figures 1–5).
+//   - repro/internal/bank, repro/internal/office — the other §1.2 domains.
+//   - repro/internal/exp — experiments E1–E9 (DESIGN.md §3).
+//   - package repro (repository root) — the public facade.
+package core

@@ -1,0 +1,346 @@
+package csync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	m := NewMonitor()
+	var counter, max int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Do(func() {
+					c := atomic.AddInt64(&counter, 1)
+					if c > atomic.LoadInt64(&max) {
+						atomic.StoreInt64(&max, c)
+					}
+					atomic.AddInt64(&counter, -1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("observed %d processes inside the monitor at once", max)
+	}
+}
+
+func TestMonitorWaitSignal(t *testing.T) {
+	m := NewMonitor()
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		m.Enter()
+		m.WaitUntil("ready", func() bool { return ready })
+		m.Exit()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("waiter proceeded before signal")
+	default:
+	}
+	m.Do(func() {
+		ready = true
+		m.Signal("ready")
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestMonitorBroadcastWakesAll(t *testing.T) {
+	m := NewMonitor()
+	open := false
+	var woke atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			m.WaitUntil("gate", func() bool { return open })
+			m.Exit()
+			woke.Add(1)
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Do(func() {
+		open = true
+		m.Broadcast("gate")
+	})
+	wg.Wait()
+	if woke.Load() != 5 {
+		t.Fatalf("woke %d of 5", woke.Load())
+	}
+}
+
+func TestMonitorDistinctConditionsIndependent(t *testing.T) {
+	m := NewMonitor()
+	aReady, bReady := false, false
+	gotA := make(chan struct{})
+	go func() {
+		m.Enter()
+		m.WaitUntil("a", func() bool { return aReady })
+		m.Exit()
+		close(gotA)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	// Signalling b must not wake the a-waiter.
+	m.Do(func() {
+		bReady = true
+		m.Signal("b")
+	})
+	select {
+	case <-gotA:
+		t.Fatal("signal on condition b woke waiter on a")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.Do(func() {
+		aReady = true
+		m.Signal("a")
+	})
+	<-gotA
+	_ = bReady
+}
+
+func TestKeyLockExclusivePerKey(t *testing.T) {
+	l := NewKeyLock[string]()
+	var inside atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.StartRequest("dec-10")
+				if inside.Add(1) > 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				l.EndRequest("dec-10")
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+}
+
+func TestKeyLockDistinctKeysParallel(t *testing.T) {
+	l := NewKeyLock[int]()
+	l.StartRequest(1)
+	acquired := make(chan struct{})
+	go func() {
+		l.StartRequest(2) // must not block behind key 1
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("distinct key blocked behind a held key")
+	}
+	l.EndRequest(1)
+	l.EndRequest(2)
+}
+
+func TestKeyLockFIFO(t *testing.T) {
+	l := NewKeyLock[string]()
+	l.StartRequest("k")
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.StartRequest("k")
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.EndRequest("k")
+		}(i)
+		// Ensure each waiter queues before the next starts.
+		for l.Waiters("k") != i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	l.EndRequest("k")
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wakeup order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestKeyLockTryStartRequest(t *testing.T) {
+	l := NewKeyLock[string]()
+	if !l.TryStartRequest("x") {
+		t.Fatal("TryStartRequest on free key failed")
+	}
+	if l.TryStartRequest("x") {
+		t.Fatal("TryStartRequest on held key succeeded")
+	}
+	l.EndRequest("x")
+	if !l.TryStartRequest("x") {
+		t.Fatal("TryStartRequest after release failed")
+	}
+	l.EndRequest("x")
+}
+
+func TestKeyLockEndUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndRequest of unheld key did not panic")
+		}
+	}()
+	NewKeyLock[string]().EndRequest("nope")
+}
+
+func TestKeyLockStateCleanup(t *testing.T) {
+	l := NewKeyLock[int]()
+	for i := 0; i < 100; i++ {
+		l.StartRequest(i)
+		l.EndRequest(i)
+	}
+	if n := l.HeldKeys(); n != 0 {
+		t.Fatalf("HeldKeys = %d after all released", n)
+	}
+	if len(l.state) != 0 {
+		t.Fatalf("state map holds %d dead keys", len(l.state))
+	}
+}
+
+func TestSerializerRunsImmediatelyWhenFree(t *testing.T) {
+	s := NewSerializer[string]()
+	ran := false
+	s.Submit("d", func() { ran = true })
+	if !ran {
+		t.Fatal("ready callback not fired synchronously on free key")
+	}
+	s.Done("d")
+}
+
+func TestSerializerQueuesSameKey(t *testing.T) {
+	s := NewSerializer[string]()
+	var order []int
+	var mu sync.Mutex
+	record := func(i int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	s.Submit("d", record(0))
+	s.Submit("d", record(1))
+	s.Submit("d", record(2))
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("QueueDepth = %d, want 2", got)
+	}
+	s.Done("d")
+	s.Done("d")
+	s.Done("d")
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order = %v", order)
+		}
+	}
+	if len(order) != 3 {
+		t.Fatalf("ran %d of 3", len(order))
+	}
+}
+
+func TestSerializerDistinctKeysConcurrent(t *testing.T) {
+	s := NewSerializer[int]()
+	ran := 0
+	for i := 0; i < 5; i++ {
+		s.Submit(i, func() { ran++ })
+	}
+	if ran != 5 {
+		t.Fatalf("only %d of 5 distinct-key requests started", ran)
+	}
+	if s.ActiveKeys() != 5 {
+		t.Fatalf("ActiveKeys = %d, want 5", s.ActiveKeys())
+	}
+	for i := 0; i < 5; i++ {
+		s.Done(i)
+	}
+	if s.ActiveKeys() != 0 {
+		t.Fatalf("ActiveKeys = %d after Done, want 0", s.ActiveKeys())
+	}
+}
+
+func TestSerializerDoneIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Done on idle key did not panic")
+		}
+	}()
+	NewSerializer[string]().Done("idle")
+}
+
+func TestSerializerStress(t *testing.T) {
+	s := NewSerializer[int]()
+	var running [8]atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	var submitMu sync.Mutex
+	for i := 0; i < 400; i++ {
+		key := i % 8
+		wg.Add(1)
+		submitMu.Lock()
+		s.Submit(key, func() {
+			go func() {
+				defer wg.Done()
+				if running[key].Add(1) > 1 {
+					violations.Add(1)
+				}
+				time.Sleep(time.Duration(key) * 10 * time.Microsecond)
+				running[key].Add(-1)
+				s.Done(key)
+			}()
+		})
+		submitMu.Unlock()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d per-key concurrency violations", violations.Load())
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("QueueDepth = %d at end", s.QueueDepth())
+	}
+}
+
+func TestMonitorRawWait(t *testing.T) {
+	m := NewMonitor()
+	woke := make(chan struct{})
+	go func() {
+		m.Enter()
+		m.Wait("c") // raw wait: exactly one Signal wakes it
+		m.Exit()
+		close(woke)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Do(func() { m.Signal("c") })
+	select {
+	case <-woke:
+	case <-time.After(time.Second):
+		t.Fatal("raw Wait never woke on Signal")
+	}
+}

@@ -1,0 +1,74 @@
+// Package csync provides the intra-guardian synchronization mechanisms the
+// paper's Figure 1 organizations rely on: a monitor with named condition
+// variables (organization 1c, after Hoare) and a serializer that grants
+// resources in arrival order (organization 1b, after the serializer of
+// Atkinson and Hewitt). Both coordinate processes of one guardian through
+// shared objects; neither is ever shared across guardians.
+package csync
+
+import (
+	"sync"
+)
+
+// Monitor is a Hoare-style monitor: a mutual-exclusion region plus named
+// condition variables. Processes enter, may wait on or signal conditions
+// while inside, and exit.
+//
+// Signal follows the "signal and continue" discipline (as in Mesa and Go's
+// sync.Cond): a signalled waiter re-acquires the monitor after the
+// signaller leaves, so waiters must re-check their predicate — the WaitUntil
+// helper does this for them.
+type Monitor struct {
+	mu    sync.Mutex
+	conds map[string]*sync.Cond
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{conds: make(map[string]*sync.Cond)}
+}
+
+// Enter acquires the monitor.
+func (m *Monitor) Enter() { m.mu.Lock() }
+
+// Exit releases the monitor.
+func (m *Monitor) Exit() { m.mu.Unlock() }
+
+// Do runs body with the monitor held.
+func (m *Monitor) Do(body func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	body()
+}
+
+// cond returns the named condition, creating it on first use. Caller must
+// hold the monitor.
+func (m *Monitor) cond(name string) *sync.Cond {
+	c, ok := m.conds[name]
+	if !ok {
+		c = sync.NewCond(&m.mu)
+		m.conds[name] = c
+	}
+	return c
+}
+
+// Wait atomically releases the monitor and blocks on the named condition;
+// on wakeup the monitor is re-held. Must be called with the monitor held.
+func (m *Monitor) Wait(name string) { m.cond(name).Wait() }
+
+// WaitUntil blocks on the named condition until pred (evaluated with the
+// monitor held) is true. Must be called with the monitor held.
+func (m *Monitor) WaitUntil(name string, pred func() bool) {
+	c := m.cond(name)
+	for !pred() {
+		c.Wait()
+	}
+}
+
+// Signal wakes one waiter on the named condition. Must be called with the
+// monitor held.
+func (m *Monitor) Signal(name string) { m.cond(name).Signal() }
+
+// Broadcast wakes all waiters on the named condition. Must be called with
+// the monitor held.
+func (m *Monitor) Broadcast(name string) { m.cond(name).Broadcast() }

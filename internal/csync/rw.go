@@ -1,0 +1,82 @@
+package csync
+
+// RWMonitor is a readers-writer discipline built on Monitor: any number of
+// concurrent readers, writers exclusive, writers preferred (a waiting
+// writer blocks new readers, so writers cannot starve). It is the classic
+// monitor exercise, provided for guardians whose state is read-mostly —
+// e.g. a directory consulted by many forked processes and updated by an
+// administrative one.
+type RWMonitor struct {
+	m              *Monitor
+	readers        int
+	writerActive   bool
+	writersWaiting int
+}
+
+// NewRWMonitor returns an unlocked readers-writer monitor.
+func NewRWMonitor() *RWMonitor {
+	return &RWMonitor{m: NewMonitor()}
+}
+
+// RLock acquires shared possession.
+func (rw *RWMonitor) RLock() {
+	rw.m.Enter()
+	rw.m.WaitUntil("canRead", func() bool {
+		return !rw.writerActive && rw.writersWaiting == 0
+	})
+	rw.readers++
+	rw.m.Exit()
+}
+
+// RUnlock releases shared possession.
+func (rw *RWMonitor) RUnlock() {
+	rw.m.Enter()
+	if rw.readers == 0 {
+		rw.m.Exit()
+		panic("csync: RUnlock without RLock")
+	}
+	rw.readers--
+	if rw.readers == 0 {
+		rw.m.Broadcast("canWrite")
+	}
+	rw.m.Exit()
+}
+
+// Lock acquires exclusive possession.
+func (rw *RWMonitor) Lock() {
+	rw.m.Enter()
+	rw.writersWaiting++
+	rw.m.WaitUntil("canWrite", func() bool {
+		return !rw.writerActive && rw.readers == 0
+	})
+	rw.writersWaiting--
+	rw.writerActive = true
+	rw.m.Exit()
+}
+
+// Unlock releases exclusive possession.
+func (rw *RWMonitor) Unlock() {
+	rw.m.Enter()
+	if !rw.writerActive {
+		rw.m.Exit()
+		panic("csync: Unlock without Lock")
+	}
+	rw.writerActive = false
+	rw.m.Broadcast("canWrite")
+	rw.m.Broadcast("canRead")
+	rw.m.Exit()
+}
+
+// RDo runs body under shared possession.
+func (rw *RWMonitor) RDo(body func()) {
+	rw.RLock()
+	defer rw.RUnlock()
+	body()
+}
+
+// Do runs body under exclusive possession.
+func (rw *RWMonitor) Do(body func()) {
+	rw.Lock()
+	defer rw.Unlock()
+	body()
+}

@@ -1,0 +1,131 @@
+package csync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWMonitorConcurrentReaders(t *testing.T) {
+	rw := NewRWMonitor()
+	var inside atomic.Int64
+	var maxInside atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rw.RDo(func() {
+				n := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if n <= m || maxInside.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				inside.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() < 2 {
+		t.Fatalf("readers never overlapped (max %d)", maxInside.Load())
+	}
+}
+
+func TestRWMonitorWriterExclusive(t *testing.T) {
+	rw := NewRWMonitor()
+	var active atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rw.Do(func() {
+					if active.Add(1) != 1 {
+						violations.Add(1)
+					}
+					active.Add(-1)
+				})
+			}
+		}()
+	}
+	// Readers interleave; they must never see a writer active.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rw.RDo(func() {
+					if active.Load() != 0 {
+						violations.Add(1)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d exclusion violations", violations.Load())
+	}
+}
+
+func TestRWMonitorWriterPreference(t *testing.T) {
+	rw := NewRWMonitor()
+	rw.RLock() // a reader holds the monitor
+	writerIn := make(chan struct{})
+	go func() {
+		rw.Lock()
+		close(writerIn)
+		rw.Unlock()
+	}()
+	// Give the writer time to start waiting.
+	time.Sleep(10 * time.Millisecond)
+	// A new reader must block behind the waiting writer.
+	readerIn := make(chan struct{})
+	go func() {
+		rw.RLock()
+		close(readerIn)
+		rw.RUnlock()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-readerIn:
+		t.Fatal("reader jumped the waiting writer")
+	default:
+	}
+	rw.RUnlock() // release the original reader; writer goes first
+	select {
+	case <-writerIn:
+	case <-time.After(time.Second):
+		t.Fatal("writer never acquired")
+	}
+	select {
+	case <-readerIn:
+	case <-time.After(time.Second):
+		t.Fatal("reader never acquired after writer finished")
+	}
+}
+
+func TestRWMonitorMisusePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RUnlock without RLock did not panic")
+			}
+		}()
+		NewRWMonitor().RUnlock()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock without Lock did not panic")
+			}
+		}()
+		NewRWMonitor().Unlock()
+	}()
+}

@@ -1,0 +1,95 @@
+package csync
+
+import "sync"
+
+// Serializer is the synchronization object of Figure 1b: a single
+// coordinating process uses it "to determine when requests should be
+// performed", handing each request to a worker process once the data of
+// interest is available.
+//
+// Unlike KeyLock, the serializer is asynchronous: Submit never blocks the
+// coordinator. Each request joins a per-key queue; when its turn arrives
+// the serializer invokes the ready callback (on the goroutine that
+// released the predecessor, or immediately on Submit when the key is
+// free), which the coordinator uses to fork the worker. The worker calls
+// Done when finished.
+type Serializer[K comparable] struct {
+	mu    sync.Mutex
+	queue map[K]*serialQueue
+	// depth tracks total queued-but-unstarted requests for observability.
+	depth int
+}
+
+type serialQueue struct {
+	running bool
+	waiting []func()
+}
+
+// NewSerializer returns an empty serializer.
+func NewSerializer[K comparable]() *Serializer[K] {
+	return &Serializer[K]{queue: make(map[K]*serialQueue)}
+}
+
+// Submit schedules ready to run when key becomes available. If key is free
+// the callback fires synchronously before Submit returns; otherwise it
+// fires on the Done call of the predecessor. The callback should fork a
+// worker and return quickly.
+func (s *Serializer[K]) Submit(key K, ready func()) {
+	s.mu.Lock()
+	q, ok := s.queue[key]
+	if !ok {
+		q = &serialQueue{}
+		s.queue[key] = q
+	}
+	if !q.running {
+		q.running = true
+		s.mu.Unlock()
+		ready()
+		return
+	}
+	q.waiting = append(q.waiting, ready)
+	s.depth++
+	s.mu.Unlock()
+}
+
+// Done releases key; the oldest queued request for it, if any, becomes
+// ready. Calling Done for an idle key panics — it indicates a lost
+// possession bug in the guardian.
+func (s *Serializer[K]) Done(key K) {
+	s.mu.Lock()
+	q, ok := s.queue[key]
+	if !ok || !q.running {
+		panic("csync: Done on key not running")
+	}
+	if len(q.waiting) == 0 {
+		delete(s.queue, key)
+		s.mu.Unlock()
+		return
+	}
+	next := q.waiting[0]
+	q.waiting = q.waiting[1:]
+	s.depth--
+	s.mu.Unlock()
+	next()
+}
+
+// QueueDepth reports the total number of submitted requests still waiting
+// for their key.
+func (s *Serializer[K]) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// ActiveKeys reports how many keys currently have a running request.
+func (s *Serializer[K]) ActiveKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queue {
+		if q.running {
+			n++
+		}
+	}
+	return n
+}

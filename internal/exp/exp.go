@@ -1,0 +1,45 @@
+// Package exp implements the repository's experiment harness: one
+// function per experiment in DESIGN.md's index (E1–E9), each regenerating
+// the table for one figure or design claim of the paper. cmd/bench and the
+// root benchmarks drive the same code at different scales.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+)
+
+// Scale shrinks or grows an experiment's workload. 1.0 is the full size
+// used by cmd/bench; benchmarks use smaller values for quick iterations.
+type Scale float64
+
+// N scales a count, with a floor of min.
+func (s Scale) N(full, min int) int {
+	n := int(float64(full) * float64(s))
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// Result is one experiment's output: a set of tables plus free-form notes
+// on whether the paper's qualitative claim held.
+type Result struct {
+	ID     string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// waitQuiesce drains the network and gives delivery goroutines a moment.
+func waitQuiesce(w *guardian.World) {
+	w.Quiesce()
+	time.Sleep(5 * time.Millisecond)
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeScale runs each experiment small enough for CI but large enough to
+// exercise every code path.
+const smokeScale = Scale(0.12)
+
+func runAndRender(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(smokeScale)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var buf bytes.Buffer
+	for _, tab := range res.Tables {
+		tab.Render(&buf)
+		if tab.Rows() == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("%s rendered nothing", id)
+	}
+	return res
+}
+
+// assertHolds fails if any note that should hold deviates.
+func assertHolds(t *testing.T, res *Result, allowDeviates bool) {
+	t.Helper()
+	holds := 0
+	for _, n := range res.Notes {
+		t.Log(n)
+		if strings.HasPrefix(n, "HOLDS") {
+			holds++
+		}
+		if !allowDeviates && strings.HasPrefix(n, "DEVIATES") {
+			t.Errorf("claim deviated: %s", n)
+		}
+	}
+	if holds == 0 {
+		t.Error("no claims validated")
+	}
+}
+
+func TestScaleN(t *testing.T) {
+	if Scale(0.5).N(100, 1) != 50 {
+		t.Fatal("scale math")
+	}
+	if Scale(0.001).N(100, 7) != 7 {
+		t.Fatal("floor not applied")
+	}
+	if Scale(2).N(100, 1) != 200 {
+		t.Fatal("upscale")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("registry has %d experiments, want 9 (E1..E9)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Run == nil || e.Paper == "" || e.Description == "" {
+			t.Fatalf("incomplete registration %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestE1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "fig1")
+	// Contention behavior at tiny scale is noisy; only require that the
+	// experiment ran and emitted shape notes.
+	assertHolds(t, res, true)
+}
+
+func TestE2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "fig2")
+	assertHolds(t, res, true)
+}
+
+func TestE3Smoke(t *testing.T) {
+	res := runAndRender(t, "fig3")
+	assertHolds(t, res, false)
+}
+
+func TestE4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "primitives")
+	// The message-count claim is deterministic and must hold even at
+	// smoke scale.
+	assertHolds(t, res, false)
+}
+
+func TestE5Smoke(t *testing.T) {
+	res := runAndRender(t, "delivery")
+	assertHolds(t, res, true)
+}
+
+func TestE6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "transactions")
+	// Correctness claims (no lost acks, no oversell) must hold at any
+	// scale.
+	for _, n := range res.Notes {
+		if strings.Contains(n, "DEVIATES") {
+			t.Errorf("%s", n)
+		}
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	res := runAndRender(t, "recovery")
+	assertHolds(t, res, false)
+}
+
+func TestE8Smoke(t *testing.T) {
+	res := runAndRender(t, "xrep")
+	assertHolds(t, res, false)
+}
+
+func TestE9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "tpc")
+	// Atomicity is a correctness claim: it must hold at any scale.
+	assertHolds(t, res, false)
+}

@@ -1,0 +1,76 @@
+package exp
+
+import "fmt"
+
+// Experiment ties an id to its runner at default parameters.
+type Experiment struct {
+	// ID is the short name used by cmd/bench -experiment.
+	ID string
+	// Paper names the figure/section reproduced.
+	Paper string
+	// Description summarizes the claim under test.
+	Description string
+	// Run executes the experiment at the given scale.
+	Run func(scale Scale) (*Result, error)
+}
+
+// All returns every experiment in DESIGN.md's index, in order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID: "fig1", Paper: "Figure 1",
+			Description: "flight guardian organizations: sequential vs serializer vs monitor under date skew",
+			Run:         func(s Scale) (*Result, error) { return RunE1Fig1(E1Defaults, s) },
+		},
+		{
+			ID: "fig2", Paper: "Figure 2 / Figure 4",
+			Description: "central vs regional deployment; reply bypass vs relay ablation",
+			Run:         func(s Scale) (*Result, error) { return RunE2Fig2(E2Defaults, s) },
+		},
+		{
+			ID: "fig3", Paper: "Figure 3 / §2.1",
+			Description: "guardian creation: local, remote via primordial guardian, owner policy denial",
+			Run:         func(s Scale) (*Result, error) { return RunE3Fig3(E3Defaults, s) },
+		},
+		{
+			ID: "primitives", Paper: "§3",
+			Description: "no-wait vs synchronization vs remote-transaction send across exchange patterns",
+			Run:         func(s Scale) (*Result, error) { return RunE4Primitives(E4Defaults, s) },
+		},
+		{
+			ID: "delivery", Paper: "§3.4",
+			Description: "best-effort delivery, reordering, bounded port buffers, failure messages",
+			Run:         func(s Scale) (*Result, error) { return RunE5Delivery(E5Defaults, s) },
+		},
+		{
+			ID: "transactions", Paper: "Figure 5 / §3.5",
+			Description: "transaction robustness under regional and UI node crashes; idempotent retry audit",
+			Run:         func(s Scale) (*Result, error) { return RunE6Transactions(E6Defaults, s) },
+		},
+		{
+			ID: "recovery", Paper: "§2.2",
+			Description: "permanence of effect: log replay, recovery time, checkpoint ablation",
+			Run:         func(s Scale) (*Result, error) { return RunE7Recovery(E7Defaults, s) },
+		},
+		{
+			ID: "xrep", Paper: "§3.3",
+			Description: "abstract values: representation diversity, encode/decode cost, 24-bit standard",
+			Run:         func(s Scale) (*Result, error) { return RunE8ExternalRep(E8Defaults, s) },
+		},
+		{
+			ID: "tpc", Paper: "§3/§4 (extension)",
+			Description: "two-phase commit built on the no-wait send: cost scaling and atomicity under faults",
+			Run:         func(s Scale) (*Result, error) { return RunE9Tpc(E9Defaults, s) },
+		},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}

@@ -1,0 +1,78 @@
+package guardian
+
+import "sync"
+
+// ACL is the "access control list mechanism" the paper's airline guardian
+// uses to check "that the requester has the right to request the access"
+// (§2.3). Principals are (node, guardian-id) pairs — the provenance the
+// runtime stamps on every message.
+type ACL struct {
+	mu sync.RWMutex
+	// rules maps command -> allowed principals. The zero-value principal
+	// with AnyPrincipal set allows everyone.
+	rules  map[string]map[Principal]bool
+	anyCmd map[string]bool // commands open to all principals
+}
+
+// Principal identifies a requester.
+type Principal struct {
+	Node     string
+	Guardian uint64
+}
+
+// PrincipalOf extracts the requesting principal from a message.
+func PrincipalOf(m *Message) Principal {
+	return Principal{Node: m.SrcNode, Guardian: m.SrcGuardian}
+}
+
+// NewACL returns an empty ACL (which denies everything).
+func NewACL() *ACL {
+	return &ACL{
+		rules:  make(map[string]map[Principal]bool),
+		anyCmd: make(map[string]bool),
+	}
+}
+
+// Allow grants principal the right to issue command.
+func (a *ACL) Allow(p Principal, command string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.rules[command]
+	if !ok {
+		m = make(map[Principal]bool)
+		a.rules[command] = m
+	}
+	m[p] = true
+}
+
+// AllowAll opens command to every principal.
+func (a *ACL) AllowAll(command string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.anyCmd[command] = true
+}
+
+// Revoke removes principal's right to command.
+func (a *ACL) Revoke(p Principal, command string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.rules[command]; ok {
+		delete(m, p)
+	}
+}
+
+// Permits reports whether principal may issue command.
+func (a *ACL) Permits(p Principal, command string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.anyCmd[command] {
+		return true
+	}
+	return a.rules[command][p]
+}
+
+// PermitsMessage checks the message's stamped principal against its
+// command.
+func (a *ACL) PermitsMessage(m *Message) bool {
+	return a.Permits(PrincipalOf(m), m.Command)
+}

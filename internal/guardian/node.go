@@ -1,0 +1,415 @@
+package guardian
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stable"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// Node is a physical node of the underlying distributed system: one or
+// more processors (goroutines), memory (guardian state), a crash-surviving
+// disk, and a network attachment. Guardians exist entirely at a single
+// node for their whole lifetime (§2.1).
+type Node struct {
+	world *World
+	name  string
+	disk  *stable.Disk
+	reg   *xrep.Registry
+
+	msgID atomic.Uint64
+
+	mu        sync.Mutex
+	alive     bool
+	epoch     uint64
+	guardians map[uint64]*Guardian
+	nextGID   uint64
+	// meta is the node's system catalog: enough information to re-create
+	// recoverable guardians after a crash. It models catalog records kept
+	// in stable storage, so it survives Crash.
+	meta       map[uint64]*guardianMeta
+	primordial *Guardian
+
+	// allowCreate is the node's autonomy policy (§1.1): the owner decides
+	// which remote principals may create which guardians here. Nil allows
+	// everything.
+	allowCreate func(srcNode string, srcGuardian uint64, defName string) bool
+
+	reasm     *wire.Reassembler
+	lastSweep time.Time
+	sweepMu   sync.Mutex
+}
+
+// guardianMeta is the catalog record for one guardian.
+type guardianMeta struct {
+	id      uint64
+	defName string
+	args    xrep.Seq
+	portIDs []uint64
+}
+
+func newNode(w *World, name string) *Node {
+	return &Node{
+		world:     w,
+		name:      name,
+		disk:      stable.NewDisk(w.clock, stable.DiskConfig{}),
+		reg:       xrep.NewRegistry(),
+		guardians: make(map[uint64]*Guardian),
+		meta:      make(map[uint64]*guardianMeta),
+		reasm:     wire.NewReassembler(),
+	}
+}
+
+// Name returns the node's network address.
+func (n *Node) Name() string { return n.name }
+
+// World returns the world this node belongs to.
+func (n *Node) World() *World { return n.world }
+
+// Disk returns the node's crash-surviving storage.
+func (n *Node) Disk() *stable.Disk { return n.disk }
+
+// Registry returns the node's decode registry for abstract types. Nodes
+// may register different representations of the same type (§3.3).
+func (n *Node) Registry() *xrep.Registry { return n.reg }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// SetCreatePolicy installs the autonomy policy consulted when a remote
+// create request arrives at the primordial guardian.
+func (n *Node) SetCreatePolicy(f func(srcNode string, srcGuardian uint64, defName string) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.allowCreate = f
+}
+
+// start brings the node up for the first time.
+func (n *Node) start() {
+	n.mu.Lock()
+	n.alive = true
+	n.epoch++
+	n.mu.Unlock()
+	n.world.net.Attach(netsim.Addr(n.name), n.handlePacket)
+	n.spawnPrimordial()
+}
+
+// Crash simulates a node failure: every guardian's processes are killed,
+// all volatile state (port queues, guardian objects) is lost, and the node
+// detaches from the network. The disk survives.
+func (n *Node) Crash() {
+	n.world.net.Detach(netsim.Addr(n.name))
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.alive = false
+	n.world.trace(EvCrash, n.name, "node crashed (%d guardians lost)", len(n.guardians))
+	gs := make([]*Guardian, 0, len(n.guardians))
+	for _, g := range n.guardians {
+		gs = append(gs, g)
+	}
+	n.guardians = make(map[uint64]*Guardian)
+	n.primordial = nil
+	n.mu.Unlock()
+	for _, g := range gs {
+		g.kill()
+	}
+	n.disk.Crash()
+}
+
+// Restart brings a crashed node back up. The primordial guardian is
+// re-created, and every guardian whose definition provides a Recover
+// process is re-created with its original identity and port names; its
+// Recover process then interprets the guardian's recovery data (§2.2).
+// Guardians without Recover are forgotten, like the paper's transaction
+// processes (§3.5).
+func (n *Node) Restart() error {
+	n.mu.Lock()
+	if n.alive {
+		n.mu.Unlock()
+		return fmt.Errorf("guardian: node %s is already up", n.name)
+	}
+	n.alive = true
+	n.epoch++
+	metas := make([]*guardianMeta, 0, len(n.meta))
+	for _, m := range n.meta {
+		metas = append(metas, m)
+	}
+	n.mu.Unlock()
+
+	n.world.net.Attach(netsim.Addr(n.name), n.handlePacket)
+	n.spawnPrimordial()
+	n.world.trace(EvRestart, n.name, "node restarted")
+
+	for _, m := range metas {
+		def, err := n.world.lookupDef(m.defName)
+		if err != nil {
+			// Definition vanished from the library; forget the guardian.
+			n.mu.Lock()
+			delete(n.meta, m.id)
+			n.mu.Unlock()
+			continue
+		}
+		if def.Recover == nil {
+			n.mu.Lock()
+			delete(n.meta, m.id)
+			n.mu.Unlock()
+			continue
+		}
+		if _, err := n.instantiate(def, m.args, m, true); err != nil {
+			return fmt.Errorf("guardian: recovering %s/%d: %w", m.defName, m.id, err)
+		}
+		n.world.stats.GuardiansRecovered.Add(1)
+		n.world.trace(EvRecover, n.name, "recovered %s (guardian %d)", m.defName, m.id)
+	}
+	return nil
+}
+
+// Guardians returns the ids of the guardians currently running at the
+// node, in no particular order.
+func (n *Node) Guardians() []uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint64, 0, len(n.guardians))
+	for id := range n.guardians {
+		out = append(out, id)
+	}
+	return out
+}
+
+// guardianByID returns the running guardian with the given id.
+func (n *Node) guardianByID(id uint64) (*Guardian, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	g, ok := n.guardians[id]
+	return g, ok
+}
+
+// GuardianByID returns the running guardian with the given id. It is an
+// owner-side facility: only software already resident at the node can
+// reach it, so it does not breach the guardians' isolation from remote
+// parties.
+func (n *Node) GuardianByID(id uint64) (*Guardian, bool) {
+	return n.guardianByID(id)
+}
+
+// instantiate creates (or on recovery, re-creates) a guardian from def.
+// meta is nil for fresh creation.
+func (n *Node) instantiate(def *GuardianDef, args xrep.Seq, meta *guardianMeta, recovering bool) (*Guardian, error) {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return nil, ErrNodeDown
+	}
+	var id uint64
+	if meta != nil {
+		id = meta.id
+	} else {
+		n.nextGID++
+		id = n.nextGID
+	}
+	g := &Guardian{
+		id:     id,
+		def:    def,
+		node:   n,
+		epoch:  n.epoch,
+		killCh: make(chan struct{}),
+		ports:  make(map[uint64]*Port),
+	}
+	capacity := def.PortCapacity
+	if capacity == 0 {
+		capacity = n.world.cfg.DefaultPortCapacity
+	}
+	ports := make([]*Port, len(def.Provides))
+	var portIDs []uint64
+	for i, pt := range def.Provides {
+		var pid uint64
+		if meta != nil {
+			pid = meta.portIDs[i]
+			if pid >= g.nextPortID {
+				g.nextPortID = pid
+			}
+		} else {
+			g.nextPortID++
+			pid = g.nextPortID
+		}
+		p := &Port{
+			name:     xrep.PortName{Node: n.name, Guardian: id, Port: pid},
+			ptype:    pt,
+			guardian: g,
+			capacity: capacity,
+		}
+		g.ports[pid] = p
+		ports[i] = p
+		portIDs = append(portIDs, pid)
+	}
+	g.providedIDs = portIDs
+	n.guardians[id] = g
+	if meta == nil {
+		n.meta[id] = &guardianMeta{id: id, defName: def.TypeName, args: args, portIDs: portIDs}
+	}
+	n.mu.Unlock()
+
+	n.world.stats.GuardiansCreated.Add(1)
+	if !recovering {
+		n.world.trace(EvCreate, n.name, "created %s (guardian %d)", def.TypeName, id)
+	}
+	ctx := &Ctx{G: g, Ports: ports, Args: args, Recovering: recovering}
+	entry := def.Init
+	procName := "main"
+	if recovering {
+		entry = def.Recover
+		procName = "recover"
+	}
+	g.Spawn(procName, func(p *Process) {
+		ctx.Proc = p
+		entry(ctx)
+	})
+	return g, nil
+}
+
+// handlePacket is the node's network attachment: reassemble, verify,
+// dispatch. Runs on netsim delivery goroutines.
+func (n *Node) handlePacket(from netsim.Addr, payload []byte) {
+	if !n.Alive() {
+		return
+	}
+	now := n.world.clock.Now()
+	n.sweepMu.Lock()
+	if now.Sub(n.lastSweep) > n.world.cfg.ReassemblyAge {
+		n.lastSweep = now
+		n.reasm.Sweep(now, n.world.cfg.ReassemblyAge)
+	}
+	n.sweepMu.Unlock()
+
+	frameBytes, err := n.reasm.Add(string(from), payload, now)
+	if err != nil {
+		n.world.stats.DiscardBadFrame.Add(1)
+		return
+	}
+	if frameBytes == nil {
+		return // waiting for more fragments
+	}
+	f, err := wire.UnmarshalFrame(frameBytes)
+	if err != nil {
+		n.world.stats.DiscardBadFrame.Add(1)
+		return
+	}
+	n.dispatchFrame(f)
+}
+
+// dispatchFrame routes a complete, verified frame to its target port,
+// producing the §3.4 failure replies when the message must be thrown away.
+func (n *Node) dispatchFrame(f *wire.Frame) {
+	st := &n.world.stats
+	g, ok := n.guardianByID(f.Dest.Guardian)
+	if !ok {
+		st.DiscardNoGuardian.Add(1)
+		n.world.trace(EvDiscard, n.name, "%s(..) from %s: no guardian %d", f.Command, f.SrcNode, f.Dest.Guardian)
+		n.failureReply(f, "target guardian doesn't exist")
+		return
+	}
+	g.mu.Lock()
+	p, ok := g.ports[f.Dest.Port]
+	g.mu.Unlock()
+	if !ok {
+		st.DiscardNoPort.Add(1)
+		n.world.trace(EvDiscard, n.name, "%s(..) from %s: no port %d on guardian %d", f.Command, f.SrcNode, f.Dest.Port, f.Dest.Guardian)
+		n.failureReply(f, "target port doesn't exist")
+		return
+	}
+	if err := p.ptype.check(f.Command, f.Args); err != nil {
+		st.DiscardBadType.Add(1)
+		n.world.trace(EvDiscard, n.name, "%s(..) from %s: type mismatch", f.Command, f.SrcNode)
+		n.failureReply(f, "message rejected: "+err.Error())
+		return
+	}
+	m := &Message{
+		Command:     f.Command,
+		Args:        f.Args,
+		ReplyTo:     f.ReplyTo,
+		SrcNode:     f.SrcNode,
+		SrcGuardian: f.SrcGuardian,
+		Via:         p,
+	}
+	if !p.deliver(m) {
+		st.DiscardPortFull.Add(1)
+		n.world.trace(EvDiscard, n.name, "%s(..) from %s: port %d full", f.Command, f.SrcNode, f.Dest.Port)
+		n.failureReply(f, "no room for message at target port")
+		return
+	}
+	st.MessagesDelivered.Add(1)
+	n.world.trace(EvDeliver, n.name, "%s(..) from %s/%d to guardian %d port %d",
+		f.Command, f.SrcNode, f.SrcGuardian, f.Dest.Guardian, f.Dest.Port)
+}
+
+// failureReply sends the system failure message to a discarded message's
+// replyto port, if it had one. Failure messages themselves never generate
+// further failures, so no loops arise.
+func (n *Node) failureReply(f *wire.Frame, text string) {
+	if f.ReplyTo.IsZero() || f.Command == FailureCommand {
+		return
+	}
+	n.world.stats.FailuresSent.Add(1)
+	n.world.trace(EvFailure, n.name, "failure(%q) to %s", text, f.ReplyTo.Node)
+	reply := &wire.Frame{
+		Dest:        f.ReplyTo,
+		SrcNode:     n.name,
+		SrcGuardian: 0, // the system
+		MsgID:       n.msgID.Add(1),
+		Command:     FailureCommand,
+		Args:        xrep.Seq{xrep.Str(text)},
+	}
+	n.routeFrame(reply)
+}
+
+// routeFrame marshals, fragments and transmits a frame toward its
+// destination node. Local destinations bypass the network but keep the
+// marshal/unmarshal round trip, preserving value-copy semantics while
+// making intra-node communication cheap (§2.1).
+func (n *Node) routeFrame(f *wire.Frame) error {
+	raw, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	if f.Dest.Node == n.name {
+		if !n.Alive() {
+			return ErrNodeDown
+		}
+		go func() {
+			f2, err := wire.UnmarshalFrame(raw)
+			if err != nil {
+				n.world.stats.DiscardBadFrame.Add(1)
+				return
+			}
+			if !n.Alive() {
+				return
+			}
+			n.dispatchFrame(f2)
+		}()
+		return nil
+	}
+	pkts, err := wire.Fragment(f.MsgID, raw, n.world.cfg.FragmentMTU)
+	if err != nil {
+		return err
+	}
+	for _, pkt := range pkts {
+		// Best-effort: network errors below MTU level mean the node is
+		// detached; the message is simply lost, as the paper allows.
+		if err := n.world.net.Send(netsim.Addr(n.name), netsim.Addr(f.Dest.Node), pkt); err != nil {
+			return nil
+		}
+	}
+	return nil
+}

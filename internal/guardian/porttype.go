@@ -1,0 +1,127 @@
+// Package guardian implements the paper's primary contribution: guardians
+// (§2) — the modular unit of distributed programs — and the no-wait
+// send / receive-with-timeout communication primitives (§3).
+//
+// A World models the whole distributed program: a set of Nodes joined by a
+// simulated network. Each Node hosts Guardians; each Guardian owns objects
+// (its state), Ports (the only globally named entities), and Processes
+// (goroutines). Processes of one guardian share its objects; processes of
+// different guardians communicate only by sending typed messages to ports.
+package guardian
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrep"
+)
+
+// AnyKind is a wildcard in message specs: the argument may be any value
+// kind. Used for arguments whose type is an abstract (user-defined) type
+// record or genuinely polymorphic.
+const AnyKind = xrep.Kind(0xFF)
+
+// FailureCommand is "automatically and implicitly associated with each
+// port type" (§3.4): the system sends failure(string) messages to convey
+// transmission problems or non-existence of the target port or guardian.
+const FailureCommand = "failure"
+
+// MsgSpec describes one message a port accepts: the kinds of its arguments
+// (in order) and, as documentation mirroring the paper's `replies` clause,
+// the command identifiers of expected responses.
+type MsgSpec struct {
+	Args    []xrep.Kind
+	Replies []string
+}
+
+// PortType describes a port by the messages that can be sent to it (§3.2).
+// Port types live in the world-wide library, enabling the library-level
+// analog of compile-time checking of all message passing.
+type PortType struct {
+	name string
+	msgs map[string]MsgSpec
+}
+
+// NewPortType starts a port type description with the given type name.
+func NewPortType(name string) *PortType {
+	return &PortType{name: name, msgs: make(map[string]MsgSpec)}
+}
+
+// Msg adds a message with the given command identifier and argument kinds.
+// It returns the port type for chaining. Re-declaring a command or
+// declaring the implicit failure command panics: port types are static
+// declarations, so a conflict is a programming error.
+func (pt *PortType) Msg(command string, argKinds ...xrep.Kind) *PortType {
+	if command == FailureCommand {
+		panic("guardian: failure is implicitly part of every port type")
+	}
+	if _, dup := pt.msgs[command]; dup {
+		panic(fmt.Sprintf("guardian: duplicate message %q on port type %s", command, pt.name))
+	}
+	pt.msgs[command] = MsgSpec{Args: argKinds}
+	return pt
+}
+
+// Replies documents the expected response commands of the most specific
+// message semantics: it attaches to the command named first. The paper
+// pairs each request with its expected responses; Replies records that
+// pairing for tooling and doc purposes.
+func (pt *PortType) Replies(command string, replies ...string) *PortType {
+	spec, ok := pt.msgs[command]
+	if !ok {
+		panic(fmt.Sprintf("guardian: Replies for undeclared message %q", command))
+	}
+	spec.Replies = replies
+	pt.msgs[command] = spec
+	return pt
+}
+
+// Name returns the port type's name.
+func (pt *PortType) Name() string { return pt.name }
+
+// Commands returns the declared command identifiers, sorted.
+func (pt *PortType) Commands() []string {
+	out := make([]string, 0, len(pt.msgs))
+	for c := range pt.msgs {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec returns the message spec for a command and whether it exists. The
+// implicit failure message is reported for every port type.
+func (pt *PortType) Spec(command string) (MsgSpec, bool) {
+	if command == FailureCommand {
+		return MsgSpec{Args: []xrep.Kind{xrep.KindString}}, true
+	}
+	spec, ok := pt.msgs[command]
+	return spec, ok
+}
+
+// check validates a command and argument list against the port type. It
+// is the runtime half of the paper's compile-time message checking; the
+// sender-side half runs when the sender names the port type in Send.
+func (pt *PortType) check(command string, args xrep.Seq) error {
+	spec, ok := pt.Spec(command)
+	if !ok {
+		return fmt.Errorf("guardian: port type %s has no message %q", pt.name, command)
+	}
+	if len(args) != len(spec.Args) {
+		return fmt.Errorf("guardian: %s(%s) takes %d args, got %d",
+			pt.name, command, len(spec.Args), len(args))
+	}
+	for i, k := range spec.Args {
+		if k == AnyKind {
+			continue
+		}
+		if args[i] == nil {
+			return fmt.Errorf("guardian: %s(%s) arg %d is nil", pt.name, command, i)
+		}
+		if args[i].Kind() != k {
+			return fmt.Errorf("guardian: %s(%s) arg %d is %s, want %s",
+				pt.name, command, i, args[i].Kind(), k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package guardian
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+	"repro/internal/xrep"
+)
+
+// Config configures a World.
+type Config struct {
+	// Clock drives all timeouts and the network. Nil means the wall clock.
+	Clock vtime.Clock
+	// Net is the fault/delay model of the underlying network.
+	Net netsim.Config
+	// Limits are the system-wide type invariants enforced at send time.
+	// The zero value means DefaultLimits.
+	Limits xrep.Limits
+	// DefaultPortCapacity is the buffer space of ports created without an
+	// explicit capacity. Zero means 64.
+	DefaultPortCapacity int
+	// FragmentMTU is the maximum packet size handed to the network; larger
+	// frames are split and reassembled. Zero means 16 KiB.
+	FragmentMTU int
+	// ReassemblyAge evicts partial messages older than this. Zero means
+	// 30 s.
+	ReassemblyAge time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = vtime.NewReal()
+	}
+	if c.Limits == (xrep.Limits{}) {
+		c.Limits = xrep.DefaultLimits
+	}
+	if c.DefaultPortCapacity == 0 {
+		c.DefaultPortCapacity = 64
+	}
+	if c.FragmentMTU == 0 {
+		c.FragmentMTU = 16 * 1024
+	}
+	if c.ReassemblyAge == 0 {
+		c.ReassemblyAge = 30 * time.Second
+	}
+	return c
+}
+
+// Stats counts runtime events across the world. The discard counters
+// correspond one-to-one to the §3.4 reasons a message is thrown away.
+type Stats struct {
+	MessagesSent       atomic.Int64 // send commands that accepted a message
+	MessagesDelivered  atomic.Int64 // messages enqueued at (or handed to) a port
+	DiscardNoNode      atomic.Int64 // destination node dead or unknown (network drop)
+	DiscardNoGuardian  atomic.Int64 // "the guardian doesn't exist"
+	DiscardNoPort      atomic.Int64 // "the port doesn't exist"
+	DiscardPortFull    atomic.Int64 // "no room for the message"
+	DiscardBadType     atomic.Int64 // command/argument mismatch with the port type
+	DiscardBadFrame    atomic.Int64 // checksum or format failure
+	FailuresSent       atomic.Int64 // system failure(...) replies generated
+	GuardiansCreated   atomic.Int64
+	GuardiansRecovered atomic.Int64
+}
+
+// World is a complete distributed program: nodes, the network joining
+// them, and the library of guardian definitions shared by every node (the
+// analog of the CLU library that makes separate compile-time checking
+// possible).
+type World struct {
+	cfg   Config
+	clock vtime.Clock
+	net   *netsim.Network
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+	defs  map[string]*GuardianDef
+
+	tracer atomic.Pointer[tracerBox]
+	stats  Stats
+}
+
+// World-level errors.
+var (
+	ErrNodeExists  = errors.New("guardian: node already exists")
+	ErrNoSuchNode  = errors.New("guardian: no such node")
+	ErrNoSuchDef   = errors.New("guardian: no such guardian definition")
+	ErrNodeDown    = errors.New("guardian: node is down")
+	ErrKilled      = errors.New("guardian: guardian destroyed")
+	ErrNotResident = errors.New("guardian: creator must reside at the target node")
+	ErrDefExists   = errors.New("guardian: definition already registered")
+)
+
+// NewWorld creates an empty world.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	w := &World{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		nodes: make(map[string]*Node),
+		defs:  make(map[string]*GuardianDef),
+	}
+	w.net = netsim.New(cfg.Clock, cfg.Net)
+	return w
+}
+
+// Clock returns the world's clock.
+func (w *World) Clock() vtime.Clock { return w.clock }
+
+// Net exposes the underlying network for fault injection in tests and
+// experiments.
+func (w *World) Net() *netsim.Network { return w.net }
+
+// Stats returns the world's runtime counters.
+func (w *World) Stats() *Stats { return &w.stats }
+
+// Limits returns the system-wide type invariants.
+func (w *World) Limits() xrep.Limits { return w.cfg.Limits }
+
+// Register adds a guardian definition to the world-wide library. All
+// nodes create guardians from this shared library, mirroring separate
+// compilation "in the context of a library containing descriptions of
+// guardian headers".
+func (w *World) Register(def *GuardianDef) error {
+	if def.TypeName == "" {
+		return errors.New("guardian: definition needs a type name")
+	}
+	if def.Init == nil {
+		return fmt.Errorf("guardian: definition %s needs an Init", def.TypeName)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.defs[def.TypeName]; dup {
+		return fmt.Errorf("%w: %s", ErrDefExists, def.TypeName)
+	}
+	w.defs[def.TypeName] = def
+	return nil
+}
+
+// MustRegister is Register that panics on error, for static setup code.
+func (w *World) MustRegister(def *GuardianDef) {
+	if err := w.Register(def); err != nil {
+		panic(err)
+	}
+}
+
+func (w *World) lookupDef(name string) (*GuardianDef, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	def, ok := w.defs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDef, name)
+	}
+	return def, nil
+}
+
+// AddNode brings up a new node with the given address. Each node comes
+// into existence with a primordial guardian (§2.1).
+func (w *World) AddNode(name string) (*Node, error) {
+	w.mu.Lock()
+	if _, dup := w.nodes[name]; dup {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNodeExists, name)
+	}
+	n := newNode(w, name)
+	w.nodes[name] = n
+	w.mu.Unlock()
+	n.start()
+	return n, nil
+}
+
+// MustAddNode is AddNode that panics on error.
+func (w *World) MustAddNode(name string) *Node {
+	n, err := w.AddNode(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns the named node.
+func (w *World) Node(name string) (*Node, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, ok := w.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchNode, name)
+	}
+	return n, nil
+}
+
+// Nodes returns all node names, sorted.
+func (w *World) Nodes() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.nodes))
+	for n := range w.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Quiesce waits for all in-flight network packets to land. Tests call it
+// before asserting on delivery counts.
+func (w *World) Quiesce() { w.net.Quiesce() }

@@ -1,0 +1,168 @@
+// Package metrics provides the measurement and reporting utilities used by
+// the experiment harness: counters, latency histograms with quantiles, and
+// fixed-width table / CSV series printers that regenerate the repository's
+// experiment tables.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Histogram collects duration samples and reports quantiles. It keeps every
+// sample up to a cap, then switches to reservoir-style decimation that
+// preserves quantile accuracy well enough for benchmark reporting.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	min     time.Duration
+}
+
+// maxSamples bounds per-histogram memory.
+const maxSamples = 1 << 16
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if d < h.min {
+		h.min = d
+	}
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Simple decimation: overwrite a pseudo-random slot keyed by count.
+	h.samples[int(h.count)%maxSamples] = d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean sample, or zero with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest sample observed.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the retained samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Snapshot is a fixed view of a histogram's headline statistics.
+type Snapshot struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Snapshot captures the headline statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Throughput measures completed operations over a wall-clock window.
+type Throughput struct {
+	start time.Time
+	ops   atomic.Int64
+}
+
+// NewThroughput starts a throughput window at now.
+func NewThroughput(now time.Time) *Throughput {
+	return &Throughput{start: now}
+}
+
+// Done records one completed operation.
+func (t *Throughput) Done() { t.ops.Add(1) }
+
+// Ops returns the completed operation count.
+func (t *Throughput) Ops() int64 { return t.ops.Load() }
+
+// PerSecond returns ops/sec as of now.
+func (t *Throughput) PerSecond(now time.Time) float64 {
+	el := now.Sub(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops.Load()) / el
+}

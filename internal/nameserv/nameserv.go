@@ -1,0 +1,300 @@
+// Package nameserv provides a name-service guardian: a durable mapping
+// from human-chosen service names to port names. Ports are the only
+// entities with global names (§3.2), and the paper's systems keep finding
+// ports through maps (the flight directory of Figure 4, the UI guardian's
+// directory of Figure 5); this guardian turns that recurring map into a
+// shared service so that port names can be published once and looked up by
+// anyone — including guardians created after the publisher.
+//
+// Bindings are versioned: re-registering a name bumps its version, so a
+// client holding a stale port (e.g. of a guardian that self-destructed)
+// can detect that the binding moved. The registry is logged and recovers
+// after a crash; lookups are reads and cost one message pair.
+package nameserv
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// DefName is the library name of the name-service guardian definition.
+const DefName = "name_service"
+
+// Outcome identifiers.
+const (
+	OutcomeBound    = "bound"
+	OutcomeNotBound = "not_bound"
+	OutcomeDropped  = "dropped"
+	OutcomeDenied   = "denied"
+)
+
+// PortType describes the name-service port.
+var PortType = guardian.NewPortType("name_service_port").
+	Msg("register", xrep.KindString, xrep.KindPortName).
+	Replies("register", OutcomeBound, OutcomeDenied).
+	Msg("unregister", xrep.KindString).
+	Replies("unregister", OutcomeDropped, OutcomeNotBound, OutcomeDenied).
+	Msg("lookup", xrep.KindString).
+	Replies("lookup", "binding", OutcomeNotBound).
+	Msg("list").
+	Replies("list", "bindings")
+
+// ClientReplyType receives name-service replies.
+var ClientReplyType = guardian.NewPortType("name_service_client_port").
+	Msg(OutcomeBound, xrep.KindInt).
+	Msg(OutcomeNotBound).
+	Msg(OutcomeDropped).
+	Msg(OutcomeDenied).
+	Msg("binding", xrep.KindPortName, xrep.KindInt).
+	Msg("bindings", xrep.KindSeq)
+
+// binding is one name's durable state.
+type binding struct {
+	port    xrep.PortName
+	version int64
+	// owner is the principal that first registered the name; only the
+	// owner (or a same-node principal) may rebind or drop it.
+	owner guardian.Principal
+}
+
+type state struct {
+	mu       sync.Mutex
+	bindings map[string]*binding
+}
+
+func record(kind, name string, port xrep.PortName, version int64, owner guardian.Principal) []byte {
+	b, err := wire.MarshalValue(xrep.Seq{
+		xrep.Str(kind), xrep.Str(name), port, xrep.Int(version),
+		xrep.Str(owner.Node), xrep.Int(owner.Guardian),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (st *state) replay(data []byte) {
+	v, err := wire.UnmarshalValue(data)
+	if err != nil {
+		return
+	}
+	seq, ok := v.(xrep.Seq)
+	if !ok || len(seq) != 6 {
+		return
+	}
+	kind, _ := seq[0].(xrep.Str)
+	name, _ := seq[1].(xrep.Str)
+	port, _ := seq[2].(xrep.PortName)
+	version, _ := seq[3].(xrep.Int)
+	ownerNode, _ := seq[4].(xrep.Str)
+	ownerG, _ := seq[5].(xrep.Int)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch string(kind) {
+	case "bind":
+		st.bindings[string(name)] = &binding{
+			port:    port,
+			version: int64(version),
+			owner:   guardian.Principal{Node: string(ownerNode), Guardian: uint64(ownerG)},
+		}
+	case "drop":
+		delete(st.bindings, string(name))
+	}
+}
+
+// Def returns the name-service guardian definition. No creation arguments.
+func Def() *guardian.GuardianDef {
+	main := func(ctx *guardian.Ctx) {
+		st := &state{bindings: make(map[string]*binding)}
+		ctx.G.SetState(st)
+		log := ctx.G.Log()
+		if ctx.Recovering {
+			_, recs, _ := log.Recover()
+			for _, r := range recs {
+				st.replay(r.Data)
+			}
+		}
+		reply := func(pr *guardian.Process, m *guardian.Message, cmd string, args ...any) {
+			if !m.ReplyTo.IsZero() {
+				_ = pr.Send(m.ReplyTo, cmd, args...)
+			}
+		}
+		// mayManage: the binding's owner, or any principal at the name
+		// service's own node (physical control), may rebind/drop.
+		mayManage := func(b *binding, m *guardian.Message) bool {
+			p := guardian.PrincipalOf(m)
+			return p == b.owner || m.SrcNode == ctx.G.Node().Name()
+		}
+
+		guardian.NewReceiver(ctx.Ports[0]).
+			When("register", func(pr *guardian.Process, m *guardian.Message) {
+				name, port := m.Str(0), m.Port(1)
+				st.mu.Lock()
+				b, exists := st.bindings[name]
+				st.mu.Unlock()
+				if exists && !mayManage(b, m) {
+					reply(pr, m, OutcomeDenied)
+					return
+				}
+				version := int64(1)
+				owner := guardian.PrincipalOf(m)
+				if exists {
+					version = b.version + 1
+					owner = b.owner
+				}
+				log.AppendSync(record("bind", name, port, version, owner))
+				st.mu.Lock()
+				st.bindings[name] = &binding{port: port, version: version, owner: owner}
+				st.mu.Unlock()
+				reply(pr, m, OutcomeBound, version)
+			}).
+			When("unregister", func(pr *guardian.Process, m *guardian.Message) {
+				name := m.Str(0)
+				st.mu.Lock()
+				b, exists := st.bindings[name]
+				st.mu.Unlock()
+				if !exists {
+					reply(pr, m, OutcomeNotBound)
+					return
+				}
+				if !mayManage(b, m) {
+					reply(pr, m, OutcomeDenied)
+					return
+				}
+				log.AppendSync(record("drop", name, xrep.PortName{}, 0, b.owner))
+				st.mu.Lock()
+				delete(st.bindings, name)
+				st.mu.Unlock()
+				reply(pr, m, OutcomeDropped)
+			}).
+			When("lookup", func(pr *guardian.Process, m *guardian.Message) {
+				st.mu.Lock()
+				b, exists := st.bindings[m.Str(0)]
+				st.mu.Unlock()
+				if !exists {
+					reply(pr, m, OutcomeNotBound)
+					return
+				}
+				reply(pr, m, "binding", b.port, b.version)
+			}).
+			When("list", func(pr *guardian.Process, m *guardian.Message) {
+				st.mu.Lock()
+				out := make(xrep.Seq, 0, len(st.bindings))
+				for name, b := range st.bindings {
+					out = append(out, xrep.Seq{xrep.Str(name), b.port, xrep.Int(b.version)})
+				}
+				st.mu.Unlock()
+				reply(pr, m, "bindings", out)
+			}).
+			Loop(ctx.Proc, nil)
+	}
+	return &guardian.GuardianDef{
+		TypeName: DefName,
+		Provides: []*guardian.PortType{PortType},
+		Init:     main,
+		Recover:  main,
+	}
+}
+
+// Client is a convenience wrapper for talking to a name service.
+type Client struct {
+	proc  *guardian.Process
+	reply *guardian.Port
+	ns    xrep.PortName
+}
+
+// NewClient builds a client for the name service at ns, using the given
+// process (any guardian's process will do).
+func NewClient(proc *guardian.Process, ns xrep.PortName) (*Client, error) {
+	reply, err := proc.Guardian().NewPort(ClientReplyType, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{proc: proc, reply: reply, ns: ns}, nil
+}
+
+// Register binds name to port and returns the binding version.
+func (c *Client) Register(name string, port xrep.PortName, timeout time.Duration) (int64, error) {
+	m, err := c.call(timeout, "register", name, port)
+	if err != nil {
+		return 0, err
+	}
+	if m.Command != OutcomeBound {
+		return 0, &Error{Outcome: m.Command}
+	}
+	return m.Int(0), nil
+}
+
+// Lookup resolves name to its port and version.
+func (c *Client) Lookup(name string, timeout time.Duration) (xrep.PortName, int64, error) {
+	m, err := c.call(timeout, "lookup", name)
+	if err != nil {
+		return xrep.PortName{}, 0, err
+	}
+	if m.Command != "binding" {
+		return xrep.PortName{}, 0, &Error{Outcome: m.Command}
+	}
+	return m.Port(0), m.Int(1), nil
+}
+
+// Unregister drops a binding.
+func (c *Client) Unregister(name string, timeout time.Duration) error {
+	m, err := c.call(timeout, "unregister", name)
+	if err != nil {
+		return err
+	}
+	if m.Command != OutcomeDropped {
+		return &Error{Outcome: m.Command}
+	}
+	return nil
+}
+
+// List returns all bindings as (name, port, version) triples.
+func (c *Client) List(timeout time.Duration) (map[string]xrep.PortName, error) {
+	m, err := c.call(timeout, "list")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]xrep.PortName)
+	seq, _ := m.Args[0].(xrep.Seq)
+	for _, e := range seq {
+		triple, ok := e.(xrep.Seq)
+		if !ok || len(triple) != 3 {
+			continue
+		}
+		name, ok1 := triple[0].(xrep.Str)
+		port, ok2 := triple[1].(xrep.PortName)
+		if ok1 && ok2 {
+			out[string(name)] = port
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) call(timeout time.Duration, cmd string, args ...any) (*guardian.Message, error) {
+	if err := c.proc.SendReplyTo(c.ns, c.reply.Name(), cmd, args...); err != nil {
+		return nil, err
+	}
+	m, st := c.proc.Receive(timeout, c.reply)
+	switch st {
+	case guardian.RecvOK:
+		if m.IsFailure() {
+			return nil, &Error{Outcome: "failure: " + m.FailureText()}
+		}
+		return m, nil
+	case guardian.RecvTimeout:
+		return nil, &Error{Outcome: "timeout"}
+	default:
+		return nil, guardian.ErrKilled
+	}
+}
+
+// Error reports a non-success outcome from the service.
+type Error struct{ Outcome string }
+
+// Error implements error.
+func (e *Error) Error() string { return "nameserv: " + e.Outcome }

@@ -1,0 +1,202 @@
+package office
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+const testTimeout = 5 * time.Second
+
+type client struct {
+	proc  *guardian.Process
+	reply *guardian.Port
+}
+
+func newClient(t *testing.T, n *guardian.Node) *client {
+	t.Helper()
+	g, proc, err := n.NewDriver("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := g.NewPort(ClientReplyType, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{proc: proc, reply: reply}
+}
+
+func (c *client) call(t *testing.T, port xrep.PortName, cmd string, args ...any) *guardian.Message {
+	t.Helper()
+	if err := c.proc.SendReplyTo(port, c.reply.Name(), cmd, args...); err != nil {
+		t.Fatal(err)
+	}
+	m, st := c.proc.Receive(testTimeout, c.reply)
+	if st != guardian.RecvOK {
+		t.Fatalf("%s: status %v", cmd, st)
+	}
+	return m
+}
+
+func deployOffice(t *testing.T) (*guardian.World, xrep.PortName, xrep.PortName, *client) {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{})
+	if err := w.Register(DivisionDef()); err != nil {
+		t.Fatal(err)
+	}
+	sales := w.MustAddNode("sales")
+	legal := w.MustAddNode("legal")
+	desk := w.MustAddNode("desk")
+	cs, err := sales.Bootstrap(DivisionDefName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := legal.Bootstrap(DivisionDefName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, cs.Ports[0], cl.Ports[0], newClient(t, desk)
+}
+
+func TestCreateReadEdit(t *testing.T) {
+	_, sales, _, c := deployOffice(t)
+	m := c.call(t, sales, "create_doc", "Q3 forecast", "draft v1")
+	if m.Command != "doc_token" {
+		t.Fatalf("create: %v", m.Command)
+	}
+	tok := m.Token(0)
+
+	m = c.call(t, sales, "read_doc", tok)
+	if m.Command != "doc" {
+		t.Fatalf("read: %v", m.Command)
+	}
+	doc, err := DecodeDocument(m.Args[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := doc.(Document)
+	if d.Title != "Q3 forecast" || d.Body != "draft v1" || d.Revision != 1 {
+		t.Fatalf("doc = %+v", d)
+	}
+
+	if m = c.call(t, sales, "edit_doc", tok, "draft v2"); m.Command != "edited" || m.Int(0) != 2 {
+		t.Fatalf("edit: %v %v", m.Command, m.Args)
+	}
+	m = c.call(t, sales, "read_doc", tok)
+	d = mustDoc(t, m)
+	if d.Body != "draft v2" || d.Revision != 2 {
+		t.Fatalf("after edit: %+v", d)
+	}
+}
+
+func mustDoc(t *testing.T, m *guardian.Message) Document {
+	t.Helper()
+	doc, err := DecodeDocument(m.Args[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.(Document)
+}
+
+func TestForeignTokenRejected(t *testing.T) {
+	_, sales, legal, c := deployOffice(t)
+	m := c.call(t, sales, "create_doc", "contract", "text")
+	tok := m.Token(0)
+	// The legal division cannot unseal a sales token.
+	if m := c.call(t, legal, "read_doc", tok); m.Command != OutcomeBadToken {
+		t.Fatalf("foreign token: %v", m.Command)
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	_, sales, _, c := deployOffice(t)
+	tok := c.call(t, sales, "create_doc", "x", "y").Token(0)
+	tok.Body[3] ^= 0x40
+	if m := c.call(t, sales, "read_doc", tok); m.Command != OutcomeBadToken {
+		t.Fatalf("tampered token: %v", m.Command)
+	}
+}
+
+func TestArchivedDocumentTokenDangles(t *testing.T) {
+	// "The system makes no guarantee that the object named by the token
+	// continues to exist": after archiving, the old token unseals fine but
+	// the document is gone.
+	_, sales, _, c := deployOffice(t)
+	tok := c.call(t, sales, "create_doc", "memo", "body").Token(0)
+	if m := c.call(t, sales, "archive_doc", tok); m.Command != "archived" {
+		t.Fatalf("archive: %v", m.Command)
+	}
+	if m := c.call(t, sales, "read_doc", tok); m.Command != OutcomeNoDoc {
+		t.Fatalf("dangling token: %v, want no_document", m.Command)
+	}
+	if m := c.call(t, sales, "archive_doc", tok); m.Command != OutcomeNoDoc {
+		t.Fatalf("re-archive: %v", m.Command)
+	}
+}
+
+func TestSendDocAcrossDivisions(t *testing.T) {
+	_, sales, legal, c := deployOffice(t)
+	tok := c.call(t, sales, "create_doc", "deal", "terms v1").Token(0)
+	// Ask sales to forward to legal; the new token comes from legal
+	// (different-guardian response), and sales also confirms forwarding.
+	if err := c.proc.SendReplyTo(sales, c.reply.Name(), "send_doc", tok, legal); err != nil {
+		t.Fatal(err)
+	}
+	var legalTok xrep.Token
+	gotToken, gotForwarded := false, false
+	for i := 0; i < 2; i++ {
+		m, st := c.proc.Receive(testTimeout, c.reply)
+		if st != guardian.RecvOK {
+			t.Fatalf("status %v", st)
+		}
+		switch m.Command {
+		case "doc_token":
+			legalTok = m.Token(0)
+			if m.SrcNode != "legal" {
+				t.Fatalf("token from %s, want legal", m.SrcNode)
+			}
+			gotToken = true
+		case "forwarded":
+			gotForwarded = true
+		default:
+			t.Fatalf("unexpected %v", m.Command)
+		}
+	}
+	if !gotToken || !gotForwarded {
+		t.Fatalf("token %v forwarded %v", gotToken, gotForwarded)
+	}
+	// The copy is independent: editing at legal does not change sales'.
+	c.call(t, legal, "edit_doc", legalTok, "terms v2 (redlined)")
+	if d := mustDoc(t, c.call(t, sales, "read_doc", tok)); d.Body != "terms v1" {
+		t.Fatalf("sales copy mutated: %+v", d)
+	}
+	if d := mustDoc(t, c.call(t, legal, "read_doc", legalTok)); d.Body != "terms v2 (redlined)" {
+		t.Fatalf("legal copy wrong: %+v", d)
+	}
+	if m := c.call(t, legal, "count_docs"); m.Int(0) != 1 {
+		t.Fatalf("legal holds %d docs", m.Int(0))
+	}
+}
+
+func TestDocumentExternalRepRoundTrip(t *testing.T) {
+	d := Document{Title: "t", Revision: 3, Body: "b"}
+	v, err := xrep.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDocument(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(Document) != d {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if _, err := DecodeDocument(xrep.Int(1)); err == nil {
+		t.Fatal("decoded a non-document")
+	}
+	if _, err := DecodeDocument(xrep.Rec{Name: DocTypeName, Fields: xrep.Seq{xrep.Int(1)}}); err == nil {
+		t.Fatal("decoded a malformed document")
+	}
+}

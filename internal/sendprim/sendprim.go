@@ -1,0 +1,149 @@
+// Package sendprim implements the two communication primitives the paper
+// compares against the no-wait send (§3) — the synchronization send of
+// Hoare and the remote transaction send of Brinch Hansen — built on top of
+// the no-wait send, demonstrating the paper's claim that the no-wait send
+// "can be used to implement the others, but not vice versa (if extra
+// message passing is to be avoided)".
+//
+// Both constructions necessarily cost extra messages and extra sender
+// blocking; experiment E4 counts exactly how many, per exchange pattern.
+package sendprim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// Package errors.
+var (
+	// ErrSyncTimeout: the synchronization send's receipt acknowledgement
+	// never arrived. The sender knows nothing about the message's fate.
+	ErrSyncTimeout = errors.New("sendprim: synchronization send timed out awaiting receipt")
+	// ErrCallTimeout: every attempt of a remote transaction send timed
+	// out. The request may have been performed any number of times.
+	ErrCallTimeout = errors.New("sendprim: remote transaction send exhausted retries")
+	// ErrCallFailed: the system reported a failure (dead port/guardian)
+	// for the request.
+	ErrCallFailed = errors.New("sendprim: remote transaction send failed")
+)
+
+// AckType is the port type on which synchronization-send receipt
+// acknowledgements arrive.
+var AckType = guardian.NewPortType("syncsend_ack_port").
+	Msg("received")
+
+// SyncSend is the synchronization send: it transmits the message and
+// blocks until the receiving process has removed it (or timeout elapses).
+// "The sending process waits until the message has been received by the
+// target process."
+//
+// The construction appends a hidden acknowledgement port as a trailing
+// argument; the receiving process must call Acknowledge when it removes
+// the message. One exchange therefore costs two messages where the
+// no-wait send costs one.
+func SyncSend(pr *guardian.Process, to xrep.PortName, timeout time.Duration, command string, args ...any) error {
+	ack, err := pr.Guardian().NewPort(AckType, 1)
+	if err != nil {
+		return err
+	}
+	defer pr.Guardian().RemovePort(ack)
+	args = append(args, ack.Name())
+	if err := pr.Send(to, command, args...); err != nil {
+		return err
+	}
+	m, st := pr.Receive(timeout, ack)
+	switch st {
+	case guardian.RecvOK:
+		if m.IsFailure() {
+			// The runtime routed a delivery failure to our ack port (the
+			// ack port was not the replyto, so this only happens when the
+			// receiver forwarded one); treat as not received.
+			return fmt.Errorf("%w: %s", ErrSyncTimeout, m.FailureText())
+		}
+		return nil
+	case guardian.RecvKilled:
+		return guardian.ErrKilled
+	default:
+		return ErrSyncTimeout
+	}
+}
+
+// Acknowledge completes the receiving half of a synchronization send: the
+// receiver calls it immediately upon removing the message. The trailing
+// argument carries the hidden acknowledgement port.
+func Acknowledge(pr *guardian.Process, m *guardian.Message) error {
+	if len(m.Args) == 0 {
+		return errors.New("sendprim: message carries no acknowledgement port")
+	}
+	ackPort, ok := m.Args[len(m.Args)-1].(xrep.PortName)
+	if !ok {
+		return errors.New("sendprim: trailing argument is not an acknowledgement port")
+	}
+	return pr.Send(ackPort, "received")
+}
+
+// StripAck returns the message's application arguments with the hidden
+// acknowledgement port removed.
+func StripAck(m *guardian.Message) xrep.Seq {
+	if len(m.Args) == 0 {
+		return m.Args
+	}
+	if _, ok := m.Args[len(m.Args)-1].(xrep.PortName); ok {
+		return m.Args[:len(m.Args)-1]
+	}
+	return m.Args
+}
+
+// CallOptions tunes a remote transaction send.
+type CallOptions struct {
+	// Timeout bounds each attempt.
+	Timeout time.Duration
+	// Retries is the number of re-sends after the first attempt. Retrying
+	// is only safe when the request is idempotent — the paper's reserve
+	// and cancel are designed to be exactly that (§3.5).
+	Retries int
+	// ReplyCapacity sizes the ephemeral reply port. Zero means 4.
+	ReplyCapacity int
+}
+
+// Call is the remote transaction send: "the sending process waits for a
+// response from the receiving process that the command has been carried
+// out." It sends the request with an ephemeral reply port, waits for the
+// response, and optionally retries on timeout, masking message loss (but
+// not node failure — on exhaustion the caller knows nothing, exactly the
+// uncertainty §3.5 describes).
+func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, opts CallOptions, command string, args ...any) (*guardian.Message, error) {
+	capacity := opts.ReplyCapacity
+	if capacity == 0 {
+		capacity = 4
+	}
+	reply, err := pr.Guardian().NewPort(replyType, capacity)
+	if err != nil {
+		return nil, err
+	}
+	defer pr.Guardian().RemovePort(reply)
+
+	attempts := opts.Retries + 1
+	for i := 0; i < attempts; i++ {
+		if err := pr.SendReplyTo(to, reply.Name(), command, args...); err != nil {
+			return nil, err
+		}
+		m, st := pr.Receive(opts.Timeout, reply)
+		switch st {
+		case guardian.RecvOK:
+			if m.IsFailure() {
+				return nil, fmt.Errorf("%w: %s", ErrCallFailed, m.FailureText())
+			}
+			return m, nil
+		case guardian.RecvKilled:
+			return nil, guardian.ErrKilled
+		case guardian.RecvTimeout:
+			// fall through to retry
+		}
+	}
+	return nil, ErrCallTimeout
+}

@@ -1,0 +1,231 @@
+// Package stable models the per-node storage that "will survive a node
+// crash" (§2.2). The paper requires that each guardian provide permanence
+// of effect for the resource it guards by logging recovery data in such
+// storage and interpreting it from a recovery process started after the
+// crash.
+//
+// A Disk belongs to one node and survives Node crashes (but not node
+// destruction). Each guardian opens named Logs on its node's disk. An
+// appended record is volatile until Sync is called: a crash between Append
+// and Sync loses the record, exactly like a real buffered disk write. This
+// distinction is load-bearing — experiment E7 shows that a guardian which
+// acknowledges an atomic operation before syncing its log record violates
+// permanence, while the paper's log-then-ack protocol survives every crash
+// point.
+package stable
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// DiskConfig tunes the simulated device.
+type DiskConfig struct {
+	// SyncDelay is charged (by sleeping on the clock) per Sync call,
+	// modeling the latency of a forced write. Zero means instant.
+	SyncDelay time.Duration
+}
+
+// Disk is one node's crash-surviving storage device.
+type Disk struct {
+	clock vtime.Clock
+	cfg   DiskConfig
+
+	mu   sync.Mutex
+	logs map[string]*Log
+
+	syncCount int64
+}
+
+// NewDisk creates an empty disk using the given clock for write-latency
+// accounting.
+func NewDisk(clock vtime.Clock, cfg DiskConfig) *Disk {
+	return &Disk{clock: clock, cfg: cfg, logs: make(map[string]*Log)}
+}
+
+// OpenLog returns the named log, creating it if absent. Logs persist
+// across crashes, so a recovery process re-opening its guardian's log sees
+// every record that was durable at the crash.
+func (d *Disk) OpenLog(name string) *Log {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.logs[name]
+	if !ok {
+		l = &Log{disk: d, name: name}
+		d.logs[name] = l
+	}
+	return l
+}
+
+// LogNames returns the names of all logs on the disk, sorted.
+func (d *Disk) LogNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.logs))
+	for n := range d.logs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Crash simulates the node failing: every log's volatile tail is lost;
+// durable records and checkpoints survive.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, l := range d.logs {
+		l.mu.Lock()
+		l.volatileRecs = nil
+		l.mu.Unlock()
+	}
+}
+
+// SyncCount reports how many forced writes the disk has performed —
+// the cost metric for checkpoint-interval ablations.
+func (d *Disk) SyncCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncCount
+}
+
+// Record is one durable log entry.
+type Record struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Log is an append-only record log with an optional checkpoint. The
+// checkpoint write is atomic (a real implementation would write-new-then-
+// rename); records with Seq <= the checkpoint's watermark are discarded.
+type Log struct {
+	disk *Disk
+	name string
+
+	mu           sync.Mutex
+	nextSeq      uint64
+	durableRecs  []Record
+	volatileRecs []Record
+	checkpoint   []byte
+	checkpointAt uint64 // watermark: highest seq folded into the checkpoint
+	hasCP        bool
+}
+
+// ErrNoCheckpoint is returned by Recover when no checkpoint exists.
+var ErrNoCheckpoint = errors.New("stable: no checkpoint")
+
+// Append adds a record to the volatile tail and returns its sequence
+// number. The record becomes durable only on the next Sync.
+func (l *Log) Append(data []byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextSeq++
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	l.volatileRecs = append(l.volatileRecs, Record{Seq: l.nextSeq, Data: buf})
+	return l.nextSeq
+}
+
+// Sync forces every appended record to durable storage, charging the
+// configured write latency.
+func (l *Log) Sync() {
+	l.mu.Lock()
+	l.durableRecs = append(l.durableRecs, l.volatileRecs...)
+	l.volatileRecs = nil
+	l.mu.Unlock()
+
+	l.disk.mu.Lock()
+	l.disk.syncCount++
+	delay := l.disk.cfg.SyncDelay
+	clock := l.disk.clock
+	l.disk.mu.Unlock()
+	if delay > 0 {
+		clock.Sleep(delay)
+	}
+}
+
+// AppendSync appends and immediately syncs — the paper's log-then-ack
+// protocol in one call.
+func (l *Log) AppendSync(data []byte) uint64 {
+	seq := l.Append(data)
+	l.Sync()
+	return seq
+}
+
+// Checkpoint atomically replaces the log's checkpoint with state, folding
+// in every durable record with Seq <= upTo; those records are discarded.
+func (l *Log) Checkpoint(state []byte, upTo uint64) {
+	l.mu.Lock()
+	buf := make([]byte, len(state))
+	copy(buf, state)
+	l.checkpoint = buf
+	l.checkpointAt = upTo
+	l.hasCP = true
+	kept := l.durableRecs[:0]
+	for _, r := range l.durableRecs {
+		if r.Seq > upTo {
+			kept = append(kept, r)
+		}
+	}
+	l.durableRecs = kept
+	l.mu.Unlock()
+
+	l.disk.mu.Lock()
+	l.disk.syncCount++
+	delay := l.disk.cfg.SyncDelay
+	clock := l.disk.clock
+	l.disk.mu.Unlock()
+	if delay > 0 {
+		clock.Sleep(delay)
+	}
+}
+
+// Recover returns the checkpoint (or ErrNoCheckpoint) and every durable
+// record after it, in sequence order. This is what a guardian's recovery
+// process reads after a crash.
+func (l *Log) Recover() (checkpoint []byte, records []Record, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	records = make([]Record, len(l.durableRecs))
+	for i, r := range l.durableRecs {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		records[i] = Record{Seq: r.Seq, Data: data}
+	}
+	if !l.hasCP {
+		return nil, records, ErrNoCheckpoint
+	}
+	cp := make([]byte, len(l.checkpoint))
+	copy(cp, l.checkpoint)
+	return cp, records, nil
+}
+
+// DurableLen reports the number of durable records not yet folded into the
+// checkpoint.
+func (l *Log) DurableLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.durableRecs)
+}
+
+// VolatileLen reports the number of appended-but-unsynced records.
+func (l *Log) VolatileLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.volatileRecs)
+}
+
+// LastDurableSeq returns the highest durable sequence number, counting the
+// checkpoint watermark.
+func (l *Log) LastDurableSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.durableRecs); n > 0 {
+		return l.durableRecs[n-1].Seq
+	}
+	return l.checkpointAt
+}

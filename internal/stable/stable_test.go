@@ -1,0 +1,271 @@
+package stable
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+func newDisk() *Disk { return NewDisk(vtime.NewReal(), DiskConfig{}) }
+
+func TestAppendIsVolatileUntilSync(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g1")
+	l.Append([]byte("op1"))
+	if l.VolatileLen() != 1 || l.DurableLen() != 0 {
+		t.Fatalf("volatile=%d durable=%d, want 1/0", l.VolatileLen(), l.DurableLen())
+	}
+	d.Crash()
+	_, recs, _ := l.Recover()
+	if len(recs) != 0 {
+		t.Fatalf("unsynced record survived crash: %v", recs)
+	}
+}
+
+func TestSyncMakesDurable(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g1")
+	l.Append([]byte("op1"))
+	l.Sync()
+	d.Crash()
+	_, recs, err := l.Recover()
+	if err != ErrNoCheckpoint {
+		t.Fatalf("Recover err = %v, want ErrNoCheckpoint", err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "op1" {
+		t.Fatalf("durable records = %v", recs)
+	}
+}
+
+func TestAppendSyncShorthand(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	seq := l.AppendSync([]byte("x"))
+	if seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	if l.DurableLen() != 1 || l.VolatileLen() != 0 {
+		t.Fatal("AppendSync did not reach durable storage")
+	}
+}
+
+func TestSequenceNumbersMonotonic(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	var last uint64
+	for i := 0; i < 100; i++ {
+		seq := l.Append([]byte{byte(i)})
+		if seq <= last {
+			t.Fatalf("seq %d after %d", seq, last)
+		}
+		last = seq
+	}
+}
+
+func TestCrashDropsOnlyVolatileTail(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	l.AppendSync([]byte("durable1"))
+	l.AppendSync([]byte("durable2"))
+	l.Append([]byte("lost"))
+	d.Crash()
+	_, recs, _ := l.Recover()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records after crash, want 2", len(recs))
+	}
+	if string(recs[0].Data) != "durable1" || string(recs[1].Data) != "durable2" {
+		t.Fatalf("records = %q, %q", recs[0].Data, recs[1].Data)
+	}
+}
+
+func TestRecordDataIsCopied(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	buf := []byte("abc")
+	l.AppendSync(buf)
+	buf[0] = 'z'
+	_, recs, _ := l.Recover()
+	if string(recs[0].Data) != "abc" {
+		t.Fatal("log record aliases caller's buffer")
+	}
+}
+
+func TestCheckpointDiscardsFoldedRecords(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	for i := 0; i < 10; i++ {
+		l.AppendSync([]byte{byte(i)})
+	}
+	l.Checkpoint([]byte("state@7"), 7)
+	if l.DurableLen() != 3 {
+		t.Fatalf("DurableLen = %d after checkpoint, want 3", l.DurableLen())
+	}
+	cp, recs, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cp) != "state@7" {
+		t.Fatalf("checkpoint = %q", cp)
+	}
+	if len(recs) != 3 || recs[0].Seq != 8 {
+		t.Fatalf("post-checkpoint records = %v", recs)
+	}
+}
+
+func TestCheckpointSurvivesCrash(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	l.AppendSync([]byte("a"))
+	l.Checkpoint([]byte("cp"), 1)
+	d.Crash()
+	cp, recs, err := l.Recover()
+	if err != nil || string(cp) != "cp" || len(recs) != 0 {
+		t.Fatalf("after crash: cp=%q recs=%v err=%v", cp, recs, err)
+	}
+}
+
+func TestRecoverReturnsCopies(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	l.AppendSync([]byte("orig"))
+	l.Checkpoint([]byte("cp"), 0)
+	cp, recs, _ := l.Recover()
+	cp[0] = 'X'
+	recs[0].Data[0] = 'X'
+	cp2, recs2, _ := l.Recover()
+	if string(cp2) != "cp" || string(recs2[0].Data) != "orig" {
+		t.Fatal("Recover exposed internal buffers")
+	}
+}
+
+func TestLogsIndependentPerGuardian(t *testing.T) {
+	d := newDisk()
+	l1 := d.OpenLog("guardian-a")
+	l2 := d.OpenLog("guardian-b")
+	l1.AppendSync([]byte("a"))
+	l2.AppendSync([]byte("b"))
+	if _, recs, _ := l1.Recover(); len(recs) != 1 || string(recs[0].Data) != "a" {
+		t.Fatal("log a polluted")
+	}
+	if _, recs, _ := l2.Recover(); len(recs) != 1 || string(recs[0].Data) != "b" {
+		t.Fatal("log b polluted")
+	}
+	names := d.LogNames()
+	if len(names) != 2 || names[0] != "guardian-a" || names[1] != "guardian-b" {
+		t.Fatalf("LogNames = %v", names)
+	}
+}
+
+func TestOpenLogIdempotent(t *testing.T) {
+	d := newDisk()
+	l1 := d.OpenLog("g")
+	l1.AppendSync([]byte("x"))
+	l2 := d.OpenLog("g")
+	if l2.DurableLen() != 1 {
+		t.Fatal("re-opened log lost records")
+	}
+}
+
+func TestLastDurableSeq(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	if l.LastDurableSeq() != 0 {
+		t.Fatal("empty log LastDurableSeq != 0")
+	}
+	l.AppendSync([]byte("a"))
+	l.AppendSync([]byte("b"))
+	if l.LastDurableSeq() != 2 {
+		t.Fatalf("LastDurableSeq = %d, want 2", l.LastDurableSeq())
+	}
+	l.Checkpoint(nil, 2)
+	if l.LastDurableSeq() != 2 {
+		t.Fatalf("LastDurableSeq after checkpoint = %d, want 2 (watermark)", l.LastDurableSeq())
+	}
+}
+
+func TestSyncDelayCharged(t *testing.T) {
+	clock := vtime.NewSim(time.Unix(0, 0))
+	d := NewDisk(clock, DiskConfig{SyncDelay: 5 * time.Millisecond})
+	l := d.OpenLog("g")
+	done := make(chan struct{})
+	go func() {
+		l.AppendSync([]byte("x"))
+		close(done)
+	}()
+	for clock.PendingTimers() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	clock.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("AppendSync did not complete after charging SyncDelay")
+	}
+	if d.SyncCount() != 1 {
+		t.Fatalf("SyncCount = %d, want 1", d.SyncCount())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	d := newDisk()
+	l := d.OpenLog("g")
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.AppendSync([]byte(fmt.Sprintf("op%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	_, recs, _ := l.Recover()
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+// The permanence property the paper demands (E7's unit-level core):
+// whatever protocol step the crash lands on, an acknowledged operation is
+// recoverable iff it was synced before the ack.
+func TestPermanenceAcrossEveryCrashPoint(t *testing.T) {
+	for crashAt := 0; crashAt < 3; crashAt++ {
+		d := newDisk()
+		l := d.OpenLog("flight")
+		acked := false
+		// Protocol: append, sync, ack. Crash injected at each step.
+		l.Append([]byte("reserve f22"))
+		if crashAt == 0 {
+			d.Crash()
+		} else {
+			l.Sync()
+			if crashAt == 1 {
+				d.Crash()
+			} else {
+				acked = true
+				d.Crash()
+			}
+		}
+		_, recs, _ := l.Recover()
+		recovered := len(recs) == 1
+		if acked && !recovered {
+			t.Fatalf("crashAt=%d: acknowledged operation lost", crashAt)
+		}
+		if crashAt >= 1 && !recovered {
+			t.Fatalf("crashAt=%d: synced record lost", crashAt)
+		}
+		if crashAt == 0 && recovered {
+			t.Fatalf("crashAt=%d: unsynced record survived", crashAt)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package tpc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// CoordinatorDefName is the library name of the coordinator definition.
+const CoordinatorDefName = "tpc_coordinator"
+
+// Coordinator tuning. Creation arguments of the coordinator guardian:
+//
+//	vote_timeout_ms Int — how long to wait for each vote round
+//	retries         Int — decision-phase retry attempts per participant
+type coordConfig struct {
+	voteTimeout time.Duration
+	retries     int
+}
+
+// decision is the coordinator's durable record for one transaction.
+type decision struct {
+	txid    string
+	commit  bool
+	ops     []txOp
+	settled bool // every participant acknowledged the decision
+}
+
+type txOp struct {
+	participant xrep.PortName
+	op          xrep.Value
+}
+
+// coordState is rebuilt from the coordinator's log at recovery. The mutex
+// guards the decisions map and the settled flags: each transaction runs in
+// its own process (a deliberate echo of Figure 1c), so they share the
+// coordinator's objects the way any guardian's processes do.
+type coordState struct {
+	cfg coordConfig
+
+	mu        sync.Mutex
+	decisions map[string]*decision
+}
+
+func (st *coordState) lookup(txid string) (*decision, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d, ok := st.decisions[txid]
+	return d, ok
+}
+
+func (st *coordState) record(d *decision) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.decisions[d.txid] = d
+}
+
+func (st *coordState) markSettled(d *decision) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d.settled = true
+}
+
+func decisionRecord(kind string, d *decision) []byte {
+	ops := make(xrep.Seq, len(d.ops))
+	for i, o := range d.ops {
+		ops[i] = xrep.Seq{o.participant, o.op}
+	}
+	b, err := wire.MarshalValue(xrep.Seq{
+		xrep.Str(kind), xrep.Str(d.txid), xrep.Bool(d.commit), ops,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func parseDecisionRecord(data []byte) (kind string, d *decision, ok bool) {
+	v, err := wire.UnmarshalValue(data)
+	if err != nil {
+		return "", nil, false
+	}
+	seq, isSeq := v.(xrep.Seq)
+	if !isSeq || len(seq) != 4 {
+		return "", nil, false
+	}
+	k, ok1 := seq[0].(xrep.Str)
+	txid, ok2 := seq[1].(xrep.Str)
+	commit, ok3 := seq[2].(xrep.Bool)
+	opsSeq, ok4 := seq[3].(xrep.Seq)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return "", nil, false
+	}
+	d = &decision{txid: string(txid), commit: bool(commit)}
+	for _, e := range opsSeq {
+		pair, isPair := e.(xrep.Seq)
+		if !isPair || len(pair) != 2 {
+			return "", nil, false
+		}
+		pn, isPN := pair[0].(xrep.PortName)
+		if !isPN {
+			return "", nil, false
+		}
+		d.ops = append(d.ops, txOp{participant: pn, op: pair[1]})
+	}
+	return string(k), d, true
+}
+
+// CoordinatorDef returns the coordinator guardian definition. The
+// coordinator logs every decision before announcing it (the classic 2PC
+// commit point) and a settlement marker once all participants have
+// acknowledged; recovery re-drives the decision phase of unsettled
+// transactions, which is safe because commit/abort are idempotent at the
+// participants.
+func CoordinatorDef() *guardian.GuardianDef {
+	main := func(ctx *guardian.Ctx) {
+		st := &coordState{
+			cfg:       coordConfig{voteTimeout: time.Second, retries: 3},
+			decisions: make(map[string]*decision),
+		}
+		if len(ctx.Args) == 2 {
+			if ms, ok := ctx.Args[0].(xrep.Int); ok && ms > 0 {
+				st.cfg.voteTimeout = time.Duration(ms) * time.Millisecond
+			}
+			if r, ok := ctx.Args[1].(xrep.Int); ok && r >= 0 {
+				st.cfg.retries = int(r)
+			}
+		}
+		ctx.G.SetState(st)
+		log := ctx.G.Log()
+		if ctx.Recovering {
+			_, recs, _ := log.Recover()
+			for _, r := range recs {
+				kind, d, ok := parseDecisionRecord(r.Data)
+				if !ok {
+					continue
+				}
+				switch kind {
+				case "decided":
+					st.decisions[d.txid] = d
+				case "settled":
+					if prev, ok := st.decisions[d.txid]; ok {
+						prev.settled = true
+					}
+				}
+			}
+			// Finish the decision phase of every unsettled transaction.
+			for _, d := range st.decisions {
+				if !d.settled {
+					d := d
+					ctx.G.Spawn("resettle", func(pr *guardian.Process) {
+						settle(pr, log, st, d)
+					})
+				}
+			}
+		}
+
+		guardian.NewReceiver(ctx.Ports[0]).
+			When("begin", func(pr *guardian.Process, m *guardian.Message) {
+				txid := m.Str(0)
+				opsSeq, _ := m.Args[1].(xrep.Seq)
+				client := m.ReplyTo
+				// Duplicate begin for a decided transaction: re-announce
+				// the recorded outcome (client retry after lost reply).
+				if d, dup := st.lookup(txid); dup {
+					replyOutcome(pr, client, d)
+					return
+				}
+				d := &decision{txid: txid}
+				for _, e := range opsSeq {
+					pair, ok := e.(xrep.Seq)
+					if !ok || len(pair) != 2 {
+						continue
+					}
+					pn, ok := pair[0].(xrep.PortName)
+					if !ok {
+						continue
+					}
+					d.ops = append(d.ops, txOp{participant: pn, op: pair[1]})
+				}
+				// Each transaction gets its own process so slow votes do
+				// not serialize unrelated transactions (the Figure 1b/1c
+				// lesson applied to the coordinator itself).
+				g := ctx.G
+				g.Spawn("tx", func(q *guardian.Process) {
+					runTx(q, log, st, d, client)
+				})
+			}).
+			Loop(ctx.Proc, nil)
+	}
+	return &guardian.GuardianDef{
+		TypeName: CoordinatorDefName,
+		Provides: []*guardian.PortType{CoordinatorPortType},
+		Init:     main,
+		Recover:  main,
+	}
+}
+
+// runTx drives one transaction: vote phase, durable decision, decision
+// phase, client reply.
+func runTx(pr *guardian.Process, log logAppender, st *coordState, d *decision, client xrep.PortName) {
+	g := pr.Guardian()
+	votes, err := g.NewPort(CoordReplyType, len(d.ops)*2+4)
+	if err != nil {
+		return
+	}
+	defer g.RemovePort(votes)
+
+	// Phase 1: solicit votes. Prepares are idempotent at the participants
+	// (a prepared participant re-votes yes), so the coordinator re-sends
+	// to participants it has not heard from across several sub-windows of
+	// the vote timeout — masking lost prepare/vote messages without
+	// changing the protocol’s semantics.
+	clock := g.Node().World().Clock()
+	// Count distinct yes voters so a duplicated network delivery cannot
+	// fake a quorum.
+	voted := make(map[principalKey]bool)
+	commit := true
+	const voteRounds = 3
+	roundLen := st.cfg.voteTimeout / voteRounds
+vote:
+	for round := 0; round < voteRounds && len(voted) < len(d.ops); round++ {
+		for _, o := range d.ops {
+			if !voted[principalKey{o.participant.Node, o.participant.Guardian}] {
+				_ = pr.SendReplyTo(o.participant, votes.Name(), "prepare", d.txid, o.op)
+			}
+		}
+		deadline := clock.Now().Add(roundLen)
+		for len(voted) < len(d.ops) {
+			remain := deadline.Sub(clock.Now())
+			if remain <= 0 {
+				break // next round re-solicits the missing votes
+			}
+			m, status := pr.Receive(remain, votes)
+			if status == guardian.RecvKilled {
+				return
+			}
+			if status != guardian.RecvOK {
+				break
+			}
+			switch m.Command {
+			case "vote_yes":
+				if m.Str(0) == d.txid {
+					voted[principalKey{m.SrcNode, m.SrcGuardian}] = true
+				}
+			case "vote_no", guardian.FailureCommand:
+				commit = false
+				break vote
+			}
+		}
+	}
+	if len(voted) < len(d.ops) {
+		commit = false // missing votes count as no (presumed abort)
+	}
+	d.commit = commit
+
+	// The commit point: log the decision durably before telling anyone.
+	log.AppendSync(decisionRecord("decided", d))
+	st.record(d)
+
+	settle(pr, log, st, d)
+	replyOutcome(pr, client, d)
+}
+
+// principalKey identifies a participant by message provenance.
+type principalKey struct {
+	node     string
+	guardian uint64
+}
+
+// settle announces the decision until every participant acknowledges (or
+// retries run out; recovery will resume it).
+func settle(pr *guardian.Process, log logAppender, st *coordState, d *decision) {
+	g := pr.Guardian()
+	acks, err := g.NewPort(CoordReplyType, len(d.ops)*2+4)
+	if err != nil {
+		return
+	}
+	defer g.RemovePort(acks)
+	cmd, ack := "commit", "ack_commit"
+	if !d.commit {
+		cmd, ack = "abort", "ack_abort"
+	}
+	pending := make(map[xrep.PortName]bool, len(d.ops))
+	for _, o := range d.ops {
+		pending[o.participant] = true
+	}
+	for attempt := 0; attempt <= st.cfg.retries && len(pending) > 0; attempt++ {
+		for _, o := range d.ops {
+			if pending[o.participant] {
+				_ = pr.SendReplyTo(o.participant, acks.Name(), cmd, d.txid)
+			}
+		}
+		deadline := g.Node().World().Clock().Now().Add(st.cfg.voteTimeout)
+		for len(pending) > 0 {
+			remain := deadline.Sub(g.Node().World().Clock().Now())
+			if remain <= 0 {
+				break
+			}
+			m, status := pr.Receive(remain, acks)
+			if status != guardian.RecvOK {
+				break
+			}
+			if m.Command == ack && m.Str(0) == d.txid {
+				// Provenance carries node and guardian; match the pending
+				// participant port by those coordinates.
+				for p := range pending {
+					if p.Node == m.SrcNode && p.Guardian == m.SrcGuardian {
+						delete(pending, p)
+					}
+				}
+			}
+		}
+	}
+	if len(pending) == 0 {
+		st.markSettled(d)
+		log.AppendSync(decisionRecord("settled", d))
+	}
+}
+
+func replyOutcome(pr *guardian.Process, client xrep.PortName, d *decision) {
+	if client.IsZero() {
+		return
+	}
+	if d.commit {
+		_ = pr.Send(client, OutcomeCommitted, d.txid)
+	} else {
+		_ = pr.Send(client, OutcomeAborted, d.txid)
+	}
+}
+
+// logAppender is the slice of stable.Log the coordinator needs; an
+// interface keeps settle testable.
+type logAppender interface {
+	AppendSync(data []byte) uint64
+}
+
+// CoordinatorDecision inspects the coordinator's durable outcome for a
+// transaction (owner-side test facility).
+func CoordinatorDecision(g *guardian.Guardian, txid string) (outcome string, settled, known bool) {
+	st, ok := g.State().(*coordState)
+	if !ok {
+		return "", false, false
+	}
+	d, ok := st.lookup(txid)
+	if !ok {
+		return "", false, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if d.commit {
+		return OutcomeCommitted, d.settled, true
+	}
+	return OutcomeAborted, d.settled, true
+}

@@ -1,0 +1,478 @@
+package tpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+	"repro/internal/xrep"
+)
+
+const testTimeout = 10 * time.Second
+
+// harness wires a coordinator plus n slot participants, each on its own
+// node.
+type harness struct {
+	w           *guardian.World
+	coordPort   xrep.PortName
+	coordNode   *guardian.Node
+	coordID     uint64
+	parts       []xrep.PortName
+	partNodes   []*guardian.Node
+	partIDs     []uint64
+	client      *guardian.Process
+	clientReply *guardian.Port
+}
+
+func newHarness(t *testing.T, nParts int, netCfg netsim.Config, capacity int64) *harness {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{Net: netCfg})
+	w.MustRegister(CoordinatorDef())
+	w.MustRegister(NewParticipantDef("slot_participant", func() Resource {
+		return NewSlotResource(map[string]int64{"unit": capacity})
+	}))
+	h := &harness{w: w}
+	cn := w.MustAddNode("coord")
+	h.coordNode = cn
+	created, err := cn.Bootstrap(CoordinatorDefName, int64(500), int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.coordPort = created.Ports[0]
+	h.coordID = created.GuardianID
+	for i := 0; i < nParts; i++ {
+		pn := w.MustAddNode(fmt.Sprintf("part%d", i))
+		pc, err := pn.Bootstrap("slot_participant")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.parts = append(h.parts, pc.Ports[0])
+		h.partNodes = append(h.partNodes, pn)
+		h.partIDs = append(h.partIDs, pc.GuardianID)
+	}
+	clientNode := w.MustAddNode("client")
+	g, proc, err := clientNode.NewDriver("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.client = proc
+	h.clientReply = g.MustNewPort(ClientReplyType, 16)
+	return h
+}
+
+// begin runs one transaction taking n units from every participant and
+// returns the outcome command. Lost replies are handled the way a real
+// client handles them: re-send the same begin (the coordinator records
+// decisions per txid, so duplicates are answered from memory).
+func (h *harness) begin(t *testing.T, txid string, n int64) string {
+	t.Helper()
+	ops := make(xrep.Seq, len(h.parts))
+	for i, p := range h.parts {
+		ops[i] = xrep.Seq{p, SlotOp("unit", n)}
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		if err := h.client.SendReplyTo(h.coordPort, h.clientReply.Name(), "begin", txid, ops); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			m, st := h.client.Receive(time.Until(deadline), h.clientReply)
+			if st != guardian.RecvOK {
+				break // retry the begin
+			}
+			if m.IsFailure() {
+				t.Fatalf("tx %s: %s", txid, m.FailureText())
+			}
+			if m.Str(0) == txid {
+				return m.Command
+			}
+		}
+	}
+	t.Fatalf("tx %s: no outcome after retries", txid)
+	return ""
+}
+
+// resources returns each participant's SlotResource.
+func (h *harness) resources(t *testing.T) []*SlotResource {
+	t.Helper()
+	out := make([]*SlotResource, len(h.partIDs))
+	for i, id := range h.partIDs {
+		g, ok := h.partNodes[i].GuardianByID(id)
+		if !ok {
+			t.Fatalf("participant %d gone", i)
+		}
+		res, ok := ParticipantResource(g)
+		if !ok {
+			t.Fatalf("participant %d has no resource", i)
+		}
+		out[i] = res.(*SlotResource)
+	}
+	return out
+}
+
+// auditAtomic checks all-or-nothing: every participant committed the same
+// set of transactions' units.
+func (h *harness) auditAtomic(t *testing.T) {
+	t.Helper()
+	res := h.resources(t)
+	first := res[0].Committed("unit")
+	for i, r := range res {
+		if got := r.Committed("unit"); got != first {
+			t.Fatalf("atomicity violated: participant 0 committed %d units, participant %d committed %d",
+				first, i, got)
+		}
+		if held := r.Held("unit"); held != 0 {
+			t.Fatalf("participant %d still holds %d units after all transactions settled", i, held)
+		}
+	}
+}
+
+func TestCommitAcrossParticipants(t *testing.T) {
+	h := newHarness(t, 3, netsim.Config{}, 10)
+	if out := h.begin(t, "tx1", 2); out != OutcomeCommitted {
+		t.Fatalf("tx1: %s", out)
+	}
+	for i, r := range h.resources(t) {
+		if got := r.Committed("unit"); got != 2 {
+			t.Fatalf("participant %d committed %d, want 2", i, got)
+		}
+	}
+	h.auditAtomic(t)
+}
+
+func TestAbortWhenAnyParticipantRefuses(t *testing.T) {
+	h := newHarness(t, 3, netsim.Config{}, 10)
+	// First tx takes 9 of 10 everywhere.
+	if out := h.begin(t, "tx1", 9); out != OutcomeCommitted {
+		t.Fatal("tx1 should commit")
+	}
+	// Second wants 2: no participant can prepare — abort, nothing changes.
+	if out := h.begin(t, "tx2", 2); out != OutcomeAborted {
+		t.Fatal("tx2 should abort")
+	}
+	for i, r := range h.resources(t) {
+		if got := r.Committed("unit"); got != 9 {
+			t.Fatalf("participant %d committed %d after abort, want 9", i, got)
+		}
+	}
+	h.auditAtomic(t)
+}
+
+func TestAbortReleasesHolds(t *testing.T) {
+	// Only one participant refuses; the others prepared and must release.
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(CoordinatorDef())
+	w.MustRegister(NewParticipantDef("big", func() Resource {
+		return NewSlotResource(map[string]int64{"unit": 100})
+	}))
+	w.MustRegister(NewParticipantDef("small", func() Resource {
+		return NewSlotResource(map[string]int64{"unit": 1})
+	}))
+	cn := w.MustAddNode("coord")
+	created, err := cn.Bootstrap(CoordinatorDefName, int64(500), int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigNode := w.MustAddNode("big")
+	bigC, err := bigNode.Bootstrap("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallNode := w.MustAddNode("small")
+	smallC, err := smallNode.Bootstrap("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientNode := w.MustAddNode("client")
+	g, client, err := clientNode.NewDriver("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := g.MustNewPort(ClientReplyType, 8)
+	ops := xrep.Seq{
+		xrep.Seq{bigC.Ports[0], SlotOp("unit", 5)},
+		xrep.Seq{smallC.Ports[0], SlotOp("unit", 5)}, // exceeds small's capacity
+	}
+	if err := client.SendReplyTo(created.Ports[0], reply.Name(), "begin", "tx1", ops); err != nil {
+		t.Fatal(err)
+	}
+	m, st := client.Receive(testTimeout, reply)
+	if st != guardian.RecvOK || m.Command != OutcomeAborted {
+		t.Fatalf("want aborted, got %v %v", st, m)
+	}
+	// The big participant's hold must be released.
+	bg, _ := bigNode.GuardianByID(bigC.GuardianID)
+	res, _ := ParticipantResource(bg)
+	slot := res.(*SlotResource)
+	if slot.Held("unit") != 0 || slot.Committed("unit") != 0 {
+		t.Fatalf("aborted hold not released: held=%d committed=%d",
+			slot.Held("unit"), slot.Committed("unit"))
+	}
+	if ph, _ := ParticipantPhase(bg, "tx1"); ph != "aborted" {
+		t.Fatalf("big participant phase %s, want aborted", ph)
+	}
+}
+
+func TestDeadParticipantAborts(t *testing.T) {
+	h := newHarness(t, 2, netsim.Config{}, 10)
+	h.partNodes[1].Crash()
+	if out := h.begin(t, "tx1", 1); out != OutcomeAborted {
+		t.Fatalf("tx with dead participant: %s, want aborted", out)
+	}
+	// The live participant must not be left holding.
+	g, _ := h.partNodes[0].GuardianByID(h.partIDs[0])
+	res, _ := ParticipantResource(g)
+	if held := res.(*SlotResource).Held("unit"); held != 0 {
+		t.Fatalf("live participant holds %d after abort", held)
+	}
+}
+
+func TestDuplicateBeginReturnsRecordedOutcome(t *testing.T) {
+	h := newHarness(t, 2, netsim.Config{}, 10)
+	if out := h.begin(t, "tx1", 3); out != OutcomeCommitted {
+		t.Fatal("tx1 commit")
+	}
+	// Retrying the same txid must not re-run the transaction.
+	if out := h.begin(t, "tx1", 3); out != OutcomeCommitted {
+		t.Fatal("duplicate begin outcome")
+	}
+	for _, r := range h.resources(t) {
+		if got := r.Committed("unit"); got != 3 {
+			t.Fatalf("duplicate begin re-applied: committed %d, want 3", got)
+		}
+	}
+}
+
+func TestTransactionsSurviveMessageLoss(t *testing.T) {
+	// 20% loss: retries in the settle phase mask it; every outcome must
+	// still be atomic.
+	h := newHarness(t, 3, netsim.Config{Seed: 5, LossRate: 0.2, BaseLatency: time.Millisecond}, 100)
+	committed := 0
+	for i := 0; i < 10; i++ {
+		if out := h.begin(t, fmt.Sprintf("tx%d", i), 1); out == OutcomeCommitted {
+			committed++
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no transaction committed under 20% loss")
+	}
+	h.w.Quiesce()
+	time.Sleep(50 * time.Millisecond)
+	h.auditAtomic(t)
+	for i, r := range h.resources(t) {
+		if got := r.Committed("unit"); got != int64(committed) {
+			t.Fatalf("participant %d committed %d units, want %d", i, got, committed)
+		}
+	}
+}
+
+// slowResource wraps a SlotResource with a prepare delay, opening a
+// deterministic window between "prepared and voted" and "heard the
+// decision" for crash-injection tests.
+type slowResource struct {
+	*SlotResource
+	delay time.Duration
+}
+
+func (s *slowResource) Prepare(txid string, op xrep.Value) bool {
+	time.Sleep(s.delay)
+	return s.SlotResource.Prepare(txid, op)
+}
+
+func TestParticipantCrashAfterPrepareThenRecovery(t *testing.T) {
+	// A participant votes yes but never hears the decision (its inbound
+	// link is severed right after the prepare arrives); after recovery its
+	// durable prepared state plus the coordinator's recovery resettle
+	// deliver the commit.
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(CoordinatorDef())
+	w.MustRegister(NewParticipantDef("fast_p", func() Resource {
+		return NewSlotResource(map[string]int64{"unit": 10})
+	}))
+	w.MustRegister(NewParticipantDef("slow_p", func() Resource {
+		return &slowResource{
+			SlotResource: NewSlotResource(map[string]int64{"unit": 10}),
+			delay:        250 * time.Millisecond,
+		}
+	}))
+	coordNode := w.MustAddNode("coord")
+	created, err := coordNode.Bootstrap(CoordinatorDefName, int64(1000), int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0Node := w.MustAddNode("part0")
+	p0, err := p0Node.Bootstrap("fast_p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1Node := w.MustAddNode("part1")
+	p1, err := p1Node.Bootstrap("slow_p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientNode := w.MustAddNode("client")
+	g, client, err := clientNode.NewDriver("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := g.MustNewPort(ClientReplyType, 8)
+	ops := xrep.Seq{
+		xrep.Seq{p0.Ports[0], SlotOp("unit", 2)},
+		xrep.Seq{p1.Ports[0], SlotOp("unit", 2)},
+	}
+	if err := client.SendReplyTo(created.Ports[0], reply.Name(), "begin", "tx1", ops); err != nil {
+		t.Fatal(err)
+	}
+	// Both prepares are delivered almost instantly; participant 1 sits in
+	// its 250 ms prepare. Sever coord→part1 now: the vote (part1→coord)
+	// will still flow, but the commit decision cannot reach part1.
+	time.Sleep(50 * time.Millisecond)
+	w.Net().SetLink("coord", "part1", &netsim.Config{LossRate: 1.0})
+	m, st := client.Receive(testTimeout, reply)
+	if st != guardian.RecvOK || m.Command != OutcomeCommitted {
+		t.Fatalf("tx1 outcome: %v %v (both votes arrived)", st, m)
+	}
+	g1, _ := p1Node.GuardianByID(p1.GuardianID)
+	if ph, _ := ParticipantPhase(g1, "tx1"); ph != "prepared" {
+		t.Fatalf("participant 1 phase %s, want prepared (decision severed)", ph)
+	}
+	// Crash the prepared participant; its promise is durable.
+	p1Node.Crash()
+	if err := p1Node.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	w.Net().SetLink("coord", "part1", nil)
+	h := struct {
+		partNodes []*guardian.Node
+		partIDs   []uint64
+		coordNode *guardian.Node
+	}{
+		partNodes: []*guardian.Node{p0Node, p1Node},
+		partIDs:   []uint64{p0.GuardianID, p1.GuardianID},
+		coordNode: coordNode,
+	}
+	// Crash and recover the coordinator: its decision log shows tx1
+	// unsettled, so recovery re-drives the commit phase.
+	h.coordNode.Crash()
+	if err := h.coordNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g1, ok := h.partNodes[1].GuardianByID(h.partIDs[1])
+		if ok {
+			if ph, _ := ParticipantPhase(g1, "tx1"); ph == "committed" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			ph := "gone"
+			if ok {
+				ph, _ = ParticipantPhase(g1, "tx1")
+			}
+			t.Fatalf("participant 1 never learned the decision after recovery (phase %s)", ph)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And the resource state matches.
+	g1b, _ := h.partNodes[1].GuardianByID(h.partIDs[1])
+	resb, _ := ParticipantResource(g1b)
+	if got := resb.(*slowResource).Committed("unit"); got != 2 {
+		t.Fatalf("recovered participant committed %d, want 2", got)
+	}
+}
+
+func TestCoordinatorCrashBeforeDecisionAborts(t *testing.T) {
+	// If the coordinator dies before logging a decision, the transaction
+	// never decided; prepared participants stay prepared (blocking is
+	// 2PC's known weakness — we only verify nothing commits).
+	h := newHarness(t, 2, netsim.Config{}, 10)
+	// Sever vote replies so the coordinator stalls in the vote phase.
+	h.w.Net().SetLink("part0", "coord", &netsim.Config{LossRate: 1.0})
+	h.w.Net().SetLink("part1", "coord", &netsim.Config{LossRate: 1.0})
+	ops := make(xrep.Seq, len(h.parts))
+	for i, p := range h.parts {
+		ops[i] = xrep.Seq{p, SlotOp("unit", 1)}
+	}
+	if err := h.client.SendReplyTo(h.coordPort, h.clientReply.Name(), "begin", "tx1", ops); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let prepares land
+	h.coordNode.Crash()
+	if err := h.coordNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	for i, r := range h.resources(t) {
+		if got := r.Committed("unit"); got != 0 {
+			t.Fatalf("participant %d committed %d units without a decision", i, got)
+		}
+	}
+}
+
+func TestSlotResourceBasics(t *testing.T) {
+	s := NewSlotResource(map[string]int64{"seat": 2})
+	if !s.Prepare("t1", SlotOp("seat", 1)) {
+		t.Fatal("prepare 1 of 2")
+	}
+	if !s.Prepare("t1", SlotOp("seat", 1)) {
+		t.Fatal("idempotent re-prepare")
+	}
+	if !s.Prepare("t2", SlotOp("seat", 1)) {
+		t.Fatal("prepare 2 of 2")
+	}
+	if s.Prepare("t3", SlotOp("seat", 1)) {
+		t.Fatal("overcommitted hold accepted")
+	}
+	if s.Available("seat") != 0 {
+		t.Fatalf("available = %d", s.Available("seat"))
+	}
+	s.Commit("t1")
+	s.Abort("t2")
+	if s.Committed("seat") != 1 || s.Held("seat") != 0 || s.Available("seat") != 1 {
+		t.Fatalf("state: committed=%d held=%d avail=%d",
+			s.Committed("seat"), s.Held("seat"), s.Available("seat"))
+	}
+	s.Commit("t1") // idempotent
+	s.Abort("t9")  // unknown: no-op
+	if s.Committed("seat") != 1 {
+		t.Fatal("idempotent commit re-applied")
+	}
+}
+
+func TestSlotResourceRejectsMalformedOps(t *testing.T) {
+	s := NewSlotResource(map[string]int64{"seat": 5})
+	bad := []xrep.Value{
+		xrep.Int(1),
+		xrep.Seq{xrep.Str("seat")},
+		xrep.Seq{xrep.Int(1), xrep.Int(2)},
+		SlotOp("seat", 0),
+		SlotOp("seat", -3),
+		SlotOp("unknown-item", 1),
+	}
+	for _, op := range bad {
+		if s.Prepare("t", op) {
+			t.Fatalf("malformed op accepted: %v", op)
+		}
+	}
+}
+
+func TestCoordinatorDecisionInspector(t *testing.T) {
+	h := newHarness(t, 2, netsim.Config{}, 10)
+	if out := h.begin(t, "tx1", 1); out != OutcomeCommitted {
+		t.Fatal(out)
+	}
+	cg, ok := h.coordNode.GuardianByID(h.coordID)
+	if !ok {
+		t.Fatal("coordinator gone")
+	}
+	outcome, settled, known := CoordinatorDecision(cg, "tx1")
+	if !known || outcome != OutcomeCommitted || !settled {
+		t.Fatalf("decision = %q settled=%v known=%v", outcome, settled, known)
+	}
+	if _, _, known := CoordinatorDecision(cg, "ghost"); known {
+		t.Fatal("unknown tx reported known")
+	}
+}

@@ -1,0 +1,200 @@
+package vtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Sim is a deterministic simulated clock. Time stands still until a test
+// calls Advance or AdvanceTo, at which point every timer whose deadline has
+// been reached fires, in deadline order (ties broken by creation order).
+//
+// Goroutines that Sleep on a Sim clock block until an Advance moves time
+// past their wakeup point.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64 // tie-break for identical deadlines
+	pending timerHeap
+}
+
+// NewSim returns a simulated clock whose current time is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration {
+	return s.Now().Sub(t)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+// NewTimer implements Clock.
+func (s *Sim) NewTimer(d time.Duration) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &simTimer{
+		clock:    s,
+		deadline: s.now.Add(d),
+		ch:       make(chan time.Time, 1),
+	}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- s.now
+		return t
+	}
+	t.seq = s.seq
+	s.seq++
+	heap.Push(&s.pending, t)
+	return t
+}
+
+// Sleep implements Clock. It blocks until the simulated time has advanced
+// by at least d.
+func (s *Sim) Sleep(d time.Duration) {
+	<-s.After(d)
+}
+
+// Advance moves simulated time forward by d, firing every timer whose
+// deadline falls within the window, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.AdvanceTo(target)
+}
+
+// AdvanceTo moves simulated time forward to t (never backward), firing
+// timers as their deadlines are crossed.
+func (s *Sim) AdvanceTo(t time.Time) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 || s.pending[0].deadline.After(t) {
+			if t.After(s.now) {
+				s.now = t
+			}
+			s.mu.Unlock()
+			return
+		}
+		tm := heap.Pop(&s.pending).(*simTimer)
+		if tm.deadline.After(s.now) {
+			s.now = tm.deadline
+		}
+		if !tm.stopped {
+			tm.fired = true
+			tm.ch <- s.now
+		}
+		s.mu.Unlock()
+	}
+}
+
+// PendingTimers reports how many unexpired, unstopped timers exist. Useful
+// for tests that need to know a goroutine has reached its blocking point.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.pending {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline returns the deadline of the earliest pending timer and true,
+// or the zero time and false when no timers are pending.
+func (s *Sim) NextDeadline() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.pending {
+		if !t.stopped {
+			// Heap order puts the earliest first, but stopped timers may
+			// shadow it; scan for the minimum among live timers.
+			min := t.deadline
+			for _, u := range s.pending {
+				if !u.stopped && u.deadline.Before(min) {
+					min = u.deadline
+				}
+			}
+			return min, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// RunUntilIdle advances the clock through every pending timer, firing each
+// in order, and returns the final simulated time. It is the usual way to
+// drain a deterministic schedule in tests.
+func (s *Sim) RunUntilIdle() time.Time {
+	for {
+		d, ok := s.NextDeadline()
+		if !ok {
+			return s.Now()
+		}
+		s.AdvanceTo(d)
+	}
+}
+
+type simTimer struct {
+	clock    *Sim
+	deadline time.Time
+	seq      uint64
+	ch       chan time.Time
+	index    int
+	fired    bool
+	stopped  bool
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// timerHeap orders timers by (deadline, seq).
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline.Equal(h[j].deadline) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].deadline.Before(h[j].deadline)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,182 @@
+package watchdog
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+const testTimeout = 5 * time.Second
+
+type harness struct {
+	w      *guardian.World
+	wdPort xrep.PortName
+	proc   *guardian.Process
+	reply  *guardian.Port
+	events *guardian.Port
+}
+
+func deploy(t *testing.T, intervalMS int64) *harness {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(Def())
+	wdNode := w.MustAddNode("monitor")
+	created, err := wdNode.Bootstrap(DefName, intervalMS, int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := w.MustAddNode("cli")
+	g, proc, err := cli.NewDriver("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		w:      w,
+		wdPort: created.Ports[0],
+		proc:   proc,
+		reply:  g.MustNewPort(ClientReplyType, 16),
+		events: g.MustNewPort(EventPortType, 64),
+	}
+}
+
+func (h *harness) call(t *testing.T, cmd string, args ...any) *guardian.Message {
+	t.Helper()
+	if err := h.proc.SendReplyTo(h.wdPort, h.reply.Name(), cmd, args...); err != nil {
+		t.Fatal(err)
+	}
+	m, st := h.proc.Receive(testTimeout, h.reply)
+	if st != guardian.RecvOK {
+		t.Fatalf("%s: %v", cmd, st)
+	}
+	return m
+}
+
+// status returns node → up.
+func (h *harness) status(t *testing.T) map[string]bool {
+	t.Helper()
+	m := h.call(t, "status")
+	out := make(map[string]bool)
+	for _, e := range m.Args[0].(xrep.Seq) {
+		triple := e.(xrep.Seq)
+		out[string(triple[0].(xrep.Str))] = bool(triple[1].(xrep.Bool))
+	}
+	return out
+}
+
+func (h *harness) waitStatus(t *testing.T, node string, up bool) {
+	t.Helper()
+	deadline := time.Now().Add(testTimeout)
+	for time.Now().Before(deadline) {
+		if got, ok := h.status(t)[node]; ok && got == up {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached up=%v", node, up)
+}
+
+func TestDetectsLiveNode(t *testing.T) {
+	h := deploy(t, 20)
+	h.w.MustAddNode("target")
+	if m := h.call(t, "watch", "target"); m.Command != "watching" {
+		t.Fatal(m.Command)
+	}
+	h.waitStatus(t, "target", true)
+}
+
+func TestDetectsCrashAndRecovery(t *testing.T) {
+	h := deploy(t, 20)
+	target := h.w.MustAddNode("target")
+	h.call(t, "watch", "target")
+	h.call(t, "subscribe", h.events.Name())
+	h.waitStatus(t, "target", true)
+
+	target.Crash()
+	h.waitStatus(t, "target", false)
+	if err := target.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	h.waitStatus(t, "target", true)
+
+	// The subscriber saw up → down → up, in order.
+	var seq []string
+	deadline := time.Now().Add(testTimeout)
+	for len(seq) < 3 && time.Now().Before(deadline) {
+		m, st := h.proc.Receive(time.Until(deadline), h.events)
+		if st != guardian.RecvOK {
+			break
+		}
+		if m.Str(0) == "target" {
+			seq = append(seq, m.Command)
+		}
+	}
+	want := []string{"node_up", "node_down", "node_up"}
+	if len(seq) < 3 {
+		t.Fatalf("events = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("events = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestNeverExistedNodeReportsDown(t *testing.T) {
+	h := deploy(t, 20)
+	h.call(t, "watch", "phantom")
+	h.waitStatus(t, "phantom", false)
+}
+
+func TestUnwatchStopsTracking(t *testing.T) {
+	h := deploy(t, 20)
+	h.w.MustAddNode("target")
+	h.call(t, "watch", "target")
+	h.waitStatus(t, "target", true)
+	if m := h.call(t, "unwatch", "target"); m.Command != "unwatched" {
+		t.Fatal(m.Command)
+	}
+	if _, ok := h.status(t)["target"]; ok {
+		t.Fatal("unwatched node still in status")
+	}
+}
+
+func TestWatchIsIdempotent(t *testing.T) {
+	h := deploy(t, 20)
+	h.w.MustAddNode("target")
+	h.call(t, "watch", "target")
+	h.call(t, "watch", "target")
+	if n := len(h.status(t)); n != 1 {
+		t.Fatalf("status has %d entries", n)
+	}
+}
+
+func TestThresholdToleratesSingleMiss(t *testing.T) {
+	// With threshold 2, one missed probe window (a brief partition) must
+	// not flap the node to down.
+	h := deploy(t, 40)
+	target := h.w.MustAddNode("target")
+	_ = target
+	h.call(t, "watch", "target")
+	h.call(t, "subscribe", h.events.Name())
+	h.waitStatus(t, "target", true)
+	// Drop exactly one probe window.
+	h.w.Net().Disconnect("monitor", "target")
+	time.Sleep(45 * time.Millisecond)
+	h.w.Net().Reconnect("monitor", "target")
+	// Wait a few windows, then assert no down event fired.
+	time.Sleep(200 * time.Millisecond)
+	if got := h.status(t)["target"]; !got {
+		t.Fatal("single missed window marked the node down")
+	}
+	for {
+		m, st := h.proc.Receive(0, h.events)
+		if st != guardian.RecvOK {
+			break
+		}
+		if m.Command == "node_down" {
+			t.Fatal("down event fired for a single missed window")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/xrep"
+)
+
+// Frame is a complete message as constructed by the send command (§3.4
+// step 2): the destination port, the command identifier, the encoded
+// arguments, and the optional replyto port (which "is really an extra
+// argument of the message").
+type Frame struct {
+	// Dest is the target port's global name.
+	Dest xrep.PortName
+	// SrcNode is the sending node's address, used to route system failure
+	// replies and for reassembly keying.
+	SrcNode string
+	// MsgID is unique per sending node; it keys fragment reassembly.
+	MsgID uint64
+	// SrcGuardian identifies the sending guardian on SrcNode. The runtime
+	// stamps it; receiving guardians may use it as the principal for
+	// access-control checks (§2.3).
+	SrcGuardian uint64
+	// Command is the command identifier.
+	Command string
+	// Args holds the already-encoded argument values, left to right.
+	Args xrep.Seq
+	// ReplyTo, when non-zero, is where responses (including system failure
+	// messages) should be sent.
+	ReplyTo xrep.PortName
+}
+
+// Frame format constants.
+const (
+	frameMagic   = 0x4C477D9 // "LG" + 1979 & 0xFFF
+	frameVersion = 1
+
+	flagHasReply = 0x01
+)
+
+// Frame errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported frame version")
+	ErrBadChecksum = errors.New("wire: frame checksum mismatch")
+	ErrFrameShort  = errors.New("wire: frame too short")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Marshal encodes the frame, appending a CRC-32C of the body — the
+// "redundant information for error detection" the paper assigns to the
+// system.
+func (f *Frame) Marshal() ([]byte, error) {
+	buf := make([]byte, 0, 64+len(f.Command))
+	buf = binary.BigEndian.AppendUint32(buf, frameMagic)
+	buf = append(buf, frameVersion)
+	flags := byte(0)
+	if !f.ReplyTo.IsZero() {
+		flags |= flagHasReply
+	}
+	buf = append(buf, flags)
+	var err error
+	if buf, err = AppendValue(buf, f.Dest); err != nil {
+		return nil, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(f.SrcNode)))
+	buf = append(buf, f.SrcNode...)
+	buf = binary.AppendUvarint(buf, f.MsgID)
+	buf = binary.AppendUvarint(buf, f.SrcGuardian)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Command)))
+	buf = append(buf, f.Command...)
+	if buf, err = AppendValue(buf, f.Args); err != nil {
+		return nil, err
+	}
+	if flags&flagHasReply != 0 {
+		if buf, err = AppendValue(buf, f.ReplyTo); err != nil {
+			return nil, err
+		}
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable)), nil
+}
+
+// UnmarshalFrame verifies the checksum and decodes a frame. A checksum
+// mismatch returns ErrBadChecksum; the runtime discards such messages, so a
+// corrupted message is never forwarded to its target port.
+func UnmarshalFrame(buf []byte) (*Frame, error) {
+	if len(buf) < 10 {
+		return nil, ErrFrameShort
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, ErrBadChecksum
+	}
+	r := &reader{buf: body}
+	magic, err := r.take(4)
+	if err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(magic) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{}
+	destV, err := r.value(0)
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame dest: %w", err)
+	}
+	dest, ok := destV.(xrep.PortName)
+	if !ok {
+		return nil, errors.New("wire: frame dest is not a port name")
+	}
+	f.Dest = dest
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	src, err := r.take(n)
+	if err != nil {
+		return nil, err
+	}
+	f.SrcNode = string(src)
+	if f.MsgID, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if f.SrcGuardian, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	cn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := r.take(cn)
+	if err != nil {
+		return nil, err
+	}
+	f.Command = string(cmd)
+	argsV, err := r.value(0)
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame args: %w", err)
+	}
+	args, ok := argsV.(xrep.Seq)
+	if !ok {
+		return nil, errors.New("wire: frame args are not a sequence")
+	}
+	f.Args = args
+	if flags&flagHasReply != 0 {
+		rv, err := r.value(0)
+		if err != nil {
+			return nil, fmt.Errorf("wire: frame replyto: %w", err)
+		}
+		rp, ok := rv.(xrep.PortName)
+		if !ok {
+			return nil, errors.New("wire: frame replyto is not a port name")
+		}
+		f.ReplyTo = rp
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in frame", r.remaining())
+	}
+	return f, nil
+}

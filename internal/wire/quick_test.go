@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrep"
+)
+
+// genFrame builds a random but well-formed frame.
+func genFrame(r *rand.Rand) *Frame {
+	f := &Frame{
+		Dest: xrep.PortName{
+			Node:     "n" + string(rune('a'+r.Intn(5))),
+			Guardian: r.Uint64() % 1000,
+			Port:     r.Uint64() % 100,
+		},
+		SrcNode:     "src" + string(rune('a'+r.Intn(5))),
+		MsgID:       r.Uint64(),
+		SrcGuardian: r.Uint64() % 1000,
+		Command:     []string{"reserve", "cancel", "x", ""}[r.Intn(4)],
+		Args:        genArgsSeq(r),
+	}
+	if r.Intn(2) == 0 {
+		f.ReplyTo = xrep.PortName{Node: "r", Guardian: 1 + r.Uint64()%9, Port: 1 + r.Uint64()%9}
+	}
+	return f
+}
+
+// genArgsSeq makes sure the top-level value is a Seq, as frames require.
+func genArgsSeq(r *rand.Rand) xrep.Seq {
+	n := r.Intn(5)
+	s := make(xrep.Seq, n)
+	for i := range s {
+		s[i] = genValue(r, 2)
+	}
+	return s
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fr := genFrame(r)
+		fr.Args = genArgsSeq(r)
+		raw, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalFrame(raw)
+		if err != nil {
+			return false
+		}
+		return got.Dest == fr.Dest &&
+			got.SrcNode == fr.SrcNode &&
+			got.MsgID == fr.MsgID &&
+			got.SrcGuardian == fr.SrcGuardian &&
+			got.Command == fr.Command &&
+			got.ReplyTo == fr.ReplyTo &&
+			xrep.Equal(got.Args, fr.Args)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentReassembleQuick(t *testing.T) {
+	f := func(seed int64, sizeHint uint16, mtuHint uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := int(sizeHint)%8000 + 1
+		mtu := int(mtuHint)%900 + 64 // ≥ packet overhead
+		frame := make([]byte, size)
+		r.Read(frame)
+		pkts, err := Fragment(r.Uint64(), frame, mtu)
+		if err != nil {
+			return false
+		}
+		// Shuffle delivery order.
+		r.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+		ra := NewReassembler()
+		var out []byte
+		for _, p := range pkts {
+			got, err := ra.Add("s", p, time.Unix(0, 0))
+			if err != nil {
+				return false
+			}
+			if got != nil {
+				out = got
+			}
+		}
+		if len(out) != len(frame) {
+			return false
+		}
+		for i := range out {
+			if out[i] != frame[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptFrameNeverDecodesQuick(t *testing.T) {
+	// Random single-bit flips must always be rejected by the checksum.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fr := genFrame(r)
+		fr.Args = genArgsSeq(r)
+		raw, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		bit := r.Intn(len(raw) * 8)
+		raw[bit/8] ^= 1 << (bit % 8)
+		_, err = UnmarshalFrame(raw)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

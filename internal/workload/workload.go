@@ -1,0 +1,117 @@
+// Package workload provides the deterministic request generators used by
+// the experiment harness: date-skew distributions (uniform, zipf, single),
+// passenger id streams, and request mixes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Skew names a date-skew distribution.
+type Skew string
+
+// Supported skews.
+const (
+	// SkewUniform spreads requests evenly over the date range.
+	SkewUniform Skew = "uniform"
+	// SkewZipf concentrates requests on a few hot dates (s=1.3).
+	SkewZipf Skew = "zipf"
+	// SkewSingle targets every request at one date — the worst case for
+	// the concurrent organizations of Figure 1.
+	SkewSingle Skew = "single"
+)
+
+// DateGen draws dates from a fixed range under a skew.
+type DateGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	skew  Skew
+	dates []string
+}
+
+// NewDateGen builds a generator over nDates dates.
+func NewDateGen(seed int64, skew Skew, nDates int) *DateGen {
+	if nDates < 1 {
+		nDates = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &DateGen{rng: rng, skew: skew, dates: make([]string, nDates)}
+	for i := range g.dates {
+		g.dates[i] = fmt.Sprintf("1979-12-%02d", i+1)
+	}
+	if skew == SkewZipf {
+		g.zipf = rand.NewZipf(rng, 1.3, 1.0, uint64(nDates-1))
+	}
+	return g
+}
+
+// Next draws the next date.
+func (g *DateGen) Next() string {
+	switch g.skew {
+	case SkewSingle:
+		return g.dates[0]
+	case SkewZipf:
+		return g.dates[g.zipf.Uint64()]
+	default:
+		return g.dates[g.rng.Intn(len(g.dates))]
+	}
+}
+
+// Dates returns the full date range.
+func (g *DateGen) Dates() []string { return g.dates }
+
+// PassengerGen produces unique passenger ids.
+type PassengerGen struct {
+	prefix string
+	n      int
+}
+
+// NewPassengerGen builds a generator with a stream prefix (so concurrent
+// generators never collide).
+func NewPassengerGen(prefix string) *PassengerGen {
+	return &PassengerGen{prefix: prefix}
+}
+
+// Next returns a fresh passenger id.
+func (g *PassengerGen) Next() string {
+	g.n++
+	return fmt.Sprintf("%s-%06d", g.prefix, g.n)
+}
+
+// Mix is a reserve/cancel request mix.
+type Mix struct {
+	rng *rand.Rand
+	// CancelFrac in [0,1] is the fraction of cancels.
+	CancelFrac float64
+}
+
+// NewMix builds a request-mix chooser.
+func NewMix(seed int64, cancelFrac float64) *Mix {
+	return &Mix{rng: rand.New(rand.NewSource(seed)), CancelFrac: cancelFrac}
+}
+
+// Next returns "cancel" with probability CancelFrac, else "reserve".
+func (m *Mix) Next() string {
+	if m.rng.Float64() < m.CancelFrac {
+		return "cancel"
+	}
+	return "reserve"
+}
+
+// FlightGen draws flight numbers uniformly from [1, nFlights].
+type FlightGen struct {
+	rng *rand.Rand
+	n   int64
+}
+
+// NewFlightGen builds a flight chooser.
+func NewFlightGen(seed int64, nFlights int64) *FlightGen {
+	if nFlights < 1 {
+		nFlights = 1
+	}
+	return &FlightGen{rng: rand.New(rand.NewSource(seed)), n: nFlights}
+}
+
+// Next draws a flight number.
+func (g *FlightGen) Next() int64 { return g.rng.Int63n(g.n) + 1 }

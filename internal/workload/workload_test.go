@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestDateGenUniformCoversRange(t *testing.T) {
+	g := NewDateGen(1, SkewUniform, 10)
+	seen := make(map[string]int)
+	for i := 0; i < 10_000; i++ {
+		seen[g.Next()]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform hit %d of 10 dates", len(seen))
+	}
+	for d, n := range seen {
+		if n < 500 || n > 1500 {
+			t.Fatalf("date %s drawn %d times of 10000; not uniform", d, n)
+		}
+	}
+}
+
+func TestDateGenSingle(t *testing.T) {
+	g := NewDateGen(1, SkewSingle, 10)
+	for i := 0; i < 100; i++ {
+		if g.Next() != g.Dates()[0] {
+			t.Fatal("single skew drew a second date")
+		}
+	}
+}
+
+func TestDateGenZipfSkewed(t *testing.T) {
+	g := NewDateGen(1, SkewZipf, 20)
+	seen := make(map[string]int)
+	for i := 0; i < 10_000; i++ {
+		seen[g.Next()]++
+	}
+	hot := seen[g.Dates()[0]]
+	if hot < 3000 {
+		t.Fatalf("zipf hottest date drew only %d of 10000", hot)
+	}
+	// The hottest date must dominate the uniform share (500) decisively.
+	if hot < 5*10_000/20 {
+		t.Fatalf("zipf not skewed: hottest %d", hot)
+	}
+}
+
+func TestDateGenDeterministic(t *testing.T) {
+	a, b := NewDateGen(7, SkewZipf, 12), NewDateGen(7, SkewZipf, 12)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDateGenDegenerate(t *testing.T) {
+	g := NewDateGen(1, SkewUniform, 0)
+	if g.Next() == "" {
+		t.Fatal("zero-date generator returned empty date")
+	}
+}
+
+func TestPassengerGenUnique(t *testing.T) {
+	g := NewPassengerGen("x")
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	other := NewPassengerGen("y")
+	if other.Next() == "x-000001" {
+		t.Fatal("prefixes collide")
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	m := NewMix(3, 0.25)
+	cancels := 0
+	for i := 0; i < 10_000; i++ {
+		if m.Next() == "cancel" {
+			cancels++
+		}
+	}
+	if cancels < 2000 || cancels > 3000 {
+		t.Fatalf("cancel fraction = %d/10000, want ~2500", cancels)
+	}
+	all := NewMix(3, 0)
+	for i := 0; i < 100; i++ {
+		if all.Next() != "reserve" {
+			t.Fatal("zero cancel fraction produced a cancel")
+		}
+	}
+}
+
+func TestFlightGenRange(t *testing.T) {
+	g := NewFlightGen(5, 8)
+	seen := make(map[int64]bool)
+	for i := 0; i < 5000; i++ {
+		f := g.Next()
+		if f < 1 || f > 8 {
+			t.Fatalf("flight %d out of range", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("drew %d of 8 flights", len(seen))
+	}
+	if NewFlightGen(1, 0).Next() != 1 {
+		t.Fatal("degenerate flight gen")
+	}
+}

@@ -1,0 +1,81 @@
+package xrep
+
+import "bytes"
+
+// Equal reports deep structural equality of two external-rep values.
+// Values of different kinds are never equal.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Null:
+		return true
+	case Bool:
+		return x == b.(Bool)
+	case Int:
+		return x == b.(Int)
+	case Real:
+		return x == b.(Real)
+	case Str:
+		return x == b.(Str)
+	case Bytes:
+		return bytes.Equal(x, b.(Bytes))
+	case PortName:
+		return x == b.(PortName)
+	case Token:
+		y := b.(Token)
+		return x.Issuer == y.Issuer && bytes.Equal(x.Body, y.Body) && bytes.Equal(x.Seal, y.Seal)
+	case Seq:
+		y := b.(Seq)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case Rec:
+		y := b.(Rec)
+		return x.Name == y.Name && Equal(x.Fields, y.Fields)
+	default:
+		return false
+	}
+}
+
+// Size estimates the in-memory footprint of a value tree in bytes. The wire
+// layer reports exact encoded sizes; this estimate is used by port
+// buffer accounting.
+func Size(v Value) int {
+	switch x := v.(type) {
+	case nil, Null:
+		return 1
+	case Bool:
+		return 1
+	case Int, Real:
+		return 8
+	case Str:
+		return 4 + len(x)
+	case Bytes:
+		return 4 + len(x)
+	case PortName:
+		return 20 + len(x.Node)
+	case Token:
+		return 12 + len(x.Body) + len(x.Seal)
+	case Seq:
+		n := 4
+		for _, e := range x {
+			n += Size(e)
+		}
+		return n
+	case Rec:
+		return 4 + len(x.Name) + Size(x.Fields)
+	default:
+		return 8
+	}
+}

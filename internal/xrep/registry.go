@@ -1,0 +1,184 @@
+package xrep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Transmittable is the interface of a transmittable abstract type (§3.3):
+// an implementation provides encode, mapping its internal representation to
+// the external rep. Encode does not construct messages; it merely builds an
+// in-computer value suitable for sending — message construction is the
+// system's job.
+//
+// Encode may fail (the paper allows encode to raise an exception, which
+// terminates the send); a failing encode aborts the send command.
+type Transmittable interface {
+	// XTypeName returns the system-wide name of the abstract type. The
+	// name, together with the external rep layout, is part of the type's
+	// fixed meaning across all nodes.
+	XTypeName() string
+	// EncodeX maps the internal representation to the external rep.
+	EncodeX() (Value, error)
+}
+
+// DecodeFunc is the decode operation of a transmittable type: it maps the
+// external rep into (this node's) internal representation. Different nodes
+// may register different DecodeFuncs for the same type name — that is the
+// point: hash-table and tree implementations of one associative-memory type
+// interoperate through the shared external rep.
+type DecodeFunc func(Value) (any, error)
+
+// Registry holds the decode operations known at one node. Each node of a
+// distributed program owns one registry; registering different
+// implementations at different nodes models per-node representations.
+type Registry struct {
+	mu       sync.RWMutex
+	decoders map[string]DecodeFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{decoders: make(map[string]DecodeFunc)}
+}
+
+// Registry errors.
+var (
+	ErrUnknownType = errors.New("xrep: no decode operation registered for type")
+	ErrNotRec      = errors.New("xrep: value is not an abstract-type record")
+)
+
+// Register installs the decode operation for a type name, replacing any
+// previous registration (a node may switch representations).
+func (r *Registry) Register(name string, dec DecodeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.decoders[name] = dec
+}
+
+// Has reports whether a decoder is registered for name.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.decoders[name]
+	return ok
+}
+
+// Types returns the sorted names of all registered types.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.decoders))
+	for n := range r.decoders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Decode maps an external-rep record back to this node's internal
+// representation using the registered decode operation.
+func (r *Registry) Decode(v Value) (any, error) {
+	rec, ok := v.(Rec)
+	if !ok {
+		return nil, fmt.Errorf("%w (got %s)", ErrNotRec, v.Kind())
+	}
+	r.mu.RLock()
+	dec, ok := r.decoders[rec.Name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownType, rec.Name)
+	}
+	return dec(v)
+}
+
+// Encode converts a Go value into the external value model. Built-in Go
+// types map directly (the system "can build and decompose messages
+// consisting of objects of built-in types"); values implementing
+// Transmittable are encoded via their own encode operation and wrapped in a
+// Rec carrying their type name. Values that are already external-rep Values
+// pass through unchanged.
+func Encode(x any) (Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return Null{}, nil
+	case Value:
+		return v, nil
+	case bool:
+		return Bool(v), nil
+	case int:
+		return Int(v), nil
+	case int8:
+		return Int(v), nil
+	case int16:
+		return Int(v), nil
+	case int32:
+		return Int(v), nil
+	case int64:
+		return Int(v), nil
+	case uint8:
+		return Int(v), nil
+	case uint16:
+		return Int(v), nil
+	case uint32:
+		return Int(v), nil
+	case float32:
+		return Real(v), nil
+	case float64:
+		return Real(v), nil
+	case string:
+		return Str(v), nil
+	case []byte:
+		b := make([]byte, len(v))
+		copy(b, v)
+		return Bytes(b), nil
+	case []any:
+		seq := make(Seq, len(v))
+		for i, e := range v {
+			ev, err := Encode(e)
+			if err != nil {
+				return nil, fmt.Errorf("seq[%d]: %w", i, err)
+			}
+			seq[i] = ev
+		}
+		return seq, nil
+	case Transmittable:
+		inner, err := v.EncodeX()
+		if err != nil {
+			return nil, fmt.Errorf("encode %s: %w", v.XTypeName(), err)
+		}
+		fields, ok := inner.(Seq)
+		if !ok {
+			fields = Seq{inner}
+		}
+		return Rec{Name: v.XTypeName(), Fields: fields}, nil
+	default:
+		return nil, fmt.Errorf("xrep: type %T is not transmittable", x)
+	}
+}
+
+// MustEncode is Encode for values known statically to be transmittable; it
+// panics on error and is intended for literals in tests and examples.
+func MustEncode(x any) Value {
+	v, err := Encode(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// EncodeAll encodes a slice of Go values left to right, exactly the
+// argument-encoding order §3.4 specifies for the send command.
+func EncodeAll(xs ...any) (Seq, error) {
+	out := make(Seq, len(xs))
+	for i, x := range xs {
+		v, err := Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package xrep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueDebugStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null{}, "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-42), "-42"},
+		{Real(2.5), "2.5"},
+		{Str("hi"), `"hi"`},
+		{Bytes{1, 2, 3}, "bytes[3]"},
+		{Seq{}, "[]"},
+		{Rec{Name: "flight", Fields: Seq{Int(22)}}, "flight[22]"},
+		{PortName{Node: "n", Guardian: 3, Port: 7}, "port(n/3/7)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := (Token{Issuer: 5, Body: []byte("abc")}).String(); !strings.Contains(got, "issuer=5") {
+		t.Errorf("Token.String() = %q", got)
+	}
+}
+
+func TestSizeEstimates(t *testing.T) {
+	// Size is an estimate for buffer accounting; it must be positive and
+	// grow with content.
+	small := Size(Str("a"))
+	big := Size(Str(strings.Repeat("a", 100)))
+	if small <= 0 || big <= small {
+		t.Fatalf("Size: small=%d big=%d", small, big)
+	}
+	if Size(nil) <= 0 {
+		t.Fatal("Size(nil)")
+	}
+	nested := Size(Seq{Rec{Name: "r", Fields: Seq{Int(1), Bytes{1, 2}}}, Token{Body: []byte{1}}})
+	if nested <= 0 {
+		t.Fatal("Size(nested)")
+	}
+	if Size(PortName{Node: "n"}) <= 0 {
+		t.Fatal("Size(PortName)")
+	}
+}

@@ -1,0 +1,204 @@
+// Package xrep implements the paper's external representation system
+// (§3.3): every value that crosses guardian boundaries is expressed in a
+// small, system-wide value model. Built-in types map directly; each
+// transmittable abstract (user-defined) type supplies encode/decode
+// operations between its internal representation and an external rep built
+// from these values.
+//
+// The meaning of a type is "fixed and invariant over all the nodes": the
+// Limits type captures system-wide invariants such as the legal integer
+// range (the paper's 24-bit example), which every node enforces at encode
+// time so that a value legal on one node is legal on all.
+package xrep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the value model.
+type Kind uint8
+
+// The kinds of the external value model.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindReal
+	KindString
+	KindBytes
+	KindSeq
+	KindRec
+	KindPortName
+	KindToken
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindSeq:
+		return "seq"
+	case KindRec:
+		return "rec"
+	case KindPortName:
+		return "portname"
+	case KindToken:
+		return "token"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a node in the external representation tree.
+type Value interface {
+	Kind() Kind
+	// String renders a debug form; it is not the wire format.
+	String() string
+}
+
+// Null is the unit value, used for messages with no arguments.
+type Null struct{}
+
+// Kind implements Value.
+func (Null) Kind() Kind { return KindNull }
+
+// String implements Value.
+func (Null) String() string { return "null" }
+
+// Bool is a boolean value.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// String implements Value.
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// Int is an integer value. The system-wide legal range is narrower than
+// int64 when Limits.IntBits is set (the paper's 24-bit discussion); Limits
+// enforcement happens at message-construction time.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Real is a floating-point value.
+type Real float64
+
+// Kind implements Value.
+func (Real) Kind() Kind { return KindReal }
+
+// String implements Value.
+func (r Real) String() string { return strconv.FormatFloat(float64(r), 'g', -1, 64) }
+
+// Str is a string value.
+type Str string
+
+// Kind implements Value.
+func (Str) Kind() Kind { return KindString }
+
+// String implements Value.
+func (s Str) String() string { return strconv.Quote(string(s)) }
+
+// Bytes is an opaque byte-string value.
+type Bytes []byte
+
+// Kind implements Value.
+func (Bytes) Kind() Kind { return KindBytes }
+
+// String implements Value.
+func (b Bytes) String() string { return fmt.Sprintf("bytes[%d]", len(b)) }
+
+// Seq is an ordered sequence of values.
+type Seq []Value
+
+// Kind implements Value.
+func (Seq) Kind() Kind { return KindSeq }
+
+// String implements Value.
+func (s Seq) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v == nil {
+			b.WriteString("<nil>")
+			continue
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Rec is the external rep of a user-defined type: the type's system-wide
+// name plus the field values of its external representation. The name is
+// what lets the receiving node pick the right decode operation, even when
+// its internal representation differs from the sender's.
+type Rec struct {
+	Name   string
+	Fields Seq
+}
+
+// Kind implements Value.
+func (Rec) Kind() Kind { return KindRec }
+
+// String implements Value.
+func (r Rec) String() string { return r.Name + r.Fields.String() }
+
+// PortName is the global name of a port (§3.2): ports are the only
+// entities with global names, and port names may themselves be sent in
+// messages. The coordinates are opaque at this layer; the guardian runtime
+// interprets them.
+type PortName struct {
+	Node     string
+	Guardian uint64
+	Port     uint64
+}
+
+// Kind implements Value.
+func (PortName) Kind() Kind { return KindPortName }
+
+// String implements Value.
+func (p PortName) String() string {
+	return fmt.Sprintf("port(%s/%d/%d)", p.Node, p.Guardian, p.Port)
+}
+
+// IsZero reports whether p is the absent port name.
+func (p PortName) IsZero() bool { return p == PortName{} }
+
+// Token is a sealed capability (§2.1): an external name for an object that
+// can be unsealed only by the guardian that created it. Seal is an
+// authenticator over Body under the issuing guardian's secret; Body is
+// meaningful only to the issuer.
+type Token struct {
+	Issuer uint64 // issuing guardian's id
+	Body   []byte
+	Seal   []byte
+}
+
+// Kind implements Value.
+func (Token) Kind() Kind { return KindToken }
+
+// String implements Value.
+func (t Token) String() string {
+	return fmt.Sprintf("token(issuer=%d, %d bytes)", t.Issuer, len(t.Body))
+}
