@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/airline"
+	"repro/internal/amo"
 	"repro/internal/bank"
 	"repro/internal/exp"
 	"repro/internal/guardian"
@@ -167,7 +168,7 @@ func benchPrimitive(b *testing.B, prim string) {
 	pt := guardian.NewPortType("bench_port").
 		Msg("work", xrep.KindString).
 		Replies("work", "done").
-		Msg("work_sync", xrep.KindString, xrep.KindPortName)
+		Msg("work_sync", xrep.KindString, xrep.KindRec)
 	w.MustRegister(&guardian.GuardianDef{
 		TypeName: "worker",
 		Provides: []*guardian.PortType{pt},
@@ -469,6 +470,44 @@ func BenchmarkE9TwoPhaseCommit(b *testing.B) {
 		m, st := drv.Receive(benchTimeout, reply)
 		if st != guardian.RecvOK || m.Command != tpc.OutcomeCommitted {
 			b.Fatalf("tx %s: %v %v", txid, st, m)
+		}
+	}
+}
+
+// --- E10 / extension: at-most-once call overhead ---
+
+// BenchmarkE10AtMostOnceCall measures the per-call cost of the session
+// layer itself — envelope, request id, dedup lookup, cached-reply
+// bookkeeping — on a clean network, so the difference from a bare
+// request/response round trip is the price of exactly-once.
+func BenchmarkE10AtMostOnceCall(b *testing.B) {
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(bank.BranchDef())
+	branch := w.MustAddNode("branch")
+	created, err := branch.Bootstrap(bank.BranchDefName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := w.MustAddNode("cli")
+	_, drv, err := cli.NewDriver("teller")
+	if err != nil {
+		b.Fatal(err)
+	}
+	caller, err := amo.NewCaller(drv, amo.CallerOptions{Timeout: benchTimeout})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := caller.Call(created.Ports[1], "open", "acct"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := caller.Call(created.Ports[1], "deposit", "acct", int64(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Command != bank.OutcomeOK {
+			b.Fatalf("deposit: %s", rep.Command)
 		}
 	}
 }

@@ -1,0 +1,58 @@
+package airline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// TestAMOReplayReportsOriginalOutcome is why the flight guardian carries
+// an amo port at all: reserve is idempotent (§3.5), but a RETRIED reserve
+// answers pre_reserved where the lost original said ok. Through the amo
+// filter the replay reports the original outcome; only a genuinely new
+// request sees the idempotent no-op.
+func TestAMOReplayReportsOriginalOutcome(t *testing.T) {
+	w := guardian.NewWorld(guardian.Config{})
+	w.MustRegister(FlightDef())
+	east := w.MustAddNode("east")
+	created, err := east.Bootstrap(FlightDefName, int64(12), int64(5), OrgMonitor, int64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amoPort := created.Ports[1]
+	office := w.MustAddNode("office")
+	g, proc, err := office.NewDriver("agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := g.MustNewPort(amo.ReplyType, 8)
+
+	reserve := func(seq int64) string {
+		t.Helper()
+		if err := proc.SendReplyTo(amoPort, reply.Name(), amo.ReqCommand,
+			"agent1", seq, int64(0), "reserve",
+			xrep.Seq{xrep.Int(12), xrep.Str("p1"), xrep.Str("d1")}); err != nil {
+			t.Fatal(err)
+		}
+		m, st := proc.Receive(5*time.Second, reply)
+		if st != guardian.RecvOK {
+			t.Fatalf("seq %d: %v", seq, st)
+		}
+		return m.Str(1)
+	}
+
+	if got := reserve(1); got != OutcomeOK {
+		t.Fatalf("first reserve: %s", got)
+	}
+	// A duplicate of the SAME request reports the original ok.
+	if got := reserve(1); got != OutcomeOK {
+		t.Fatalf("replayed reserve: %s, want cached %s", got, OutcomeOK)
+	}
+	// A NEW request for the same seat sees the idempotent outcome.
+	if got := reserve(2); got != OutcomePreReserved {
+		t.Fatalf("fresh duplicate reserve: %s, want %s", got, OutcomePreReserved)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/amo"
 	"repro/internal/csync"
 	"repro/internal/guardian"
 	"repro/internal/wire"
@@ -113,10 +114,17 @@ func (dd *dateData) passengers() []string {
 //
 // The guardian logs every completed reserve/cancel (log-then-reply, §2.2)
 // and recovers its seat data by replaying the log.
+//
+// Besides its native port it serves an at-most-once port. The paper makes
+// reserve and cancel deliberately idempotent so §3.5 retries are safe;
+// what idempotence cannot give a retrying client is the ORIGINAL outcome
+// (a re-sent reserve that first answered ok reports pre_reserved). The amo
+// filter's cached reply restores that. The filter keeps no durable state:
+// after a crash the operations' own idempotence is protection enough.
 func FlightDef() *guardian.GuardianDef {
 	return &guardian.GuardianDef{
 		TypeName: FlightDefName,
-		Provides: []*guardian.PortType{FlightPortType},
+		Provides: []*guardian.PortType{FlightPortType, amo.ReqType},
 		Init:     func(ctx *guardian.Ctx) { flightMain(ctx) },
 		Recover:  func(ctx *guardian.Ctx) { flightMain(ctx) },
 	}
@@ -245,7 +253,79 @@ func flightMain(ctx *guardian.Ctx) {
 		return true
 	}
 
-	guardian.NewReceiver(ctx.Ports[0]).
+	// withDate runs fn holding possession of the date under the guardian's
+	// organization, blocking the calling process until fn completes.
+	withDate := func(pr *guardian.Process, date string, fn func(dd *dateData)) {
+		switch st.org {
+		case OrgSerializer:
+			done := make(chan struct{})
+			st.serializer.Submit(date, func() {
+				fn(st.date(date))
+				st.serializer.Done(date)
+				close(done)
+			})
+			<-done
+		case OrgMonitor:
+			st.dateLock.StartRequest(date)
+			fn(st.date(date))
+			st.dateLock.EndRequest(date)
+		default:
+			fn(st.date(date))
+		}
+	}
+
+	// amoExec serves the at-most-once port: same operations, but executed
+	// synchronously on the session process so the dedup filter can cache
+	// the outcome before the reply leaves.
+	amoExec := func(pr *guardian.Process, req *amo.Request) (string, xrep.Seq) {
+		argInt := func(i int) int64 {
+			if i < len(req.Args) {
+				if n, ok := req.Args[i].(xrep.Int); ok {
+					return int64(n)
+				}
+			}
+			return -1
+		}
+		argStr := func(i int) string {
+			if i < len(req.Args) {
+				if s, ok := req.Args[i].(xrep.Str); ok {
+					return string(s)
+				}
+			}
+			return ""
+		}
+		if argInt(0) != st.flightNo {
+			return OutcomeNoSuchFlight, nil
+		}
+		switch req.Command {
+		case "reserve", "cancel":
+			pid, date := argStr(1), argStr(2)
+			var outcome string
+			withDate(pr, date, func(dd *dateData) {
+				if st.workCost > 0 {
+					pr.Pause(st.workCost)
+				}
+				outcome = dd.apply(req.Command, pid, st.capacity)
+				log.AppendSync(logRecord(req.Command, pid, date))
+			})
+			return outcome, nil
+		case "list_passengers":
+			var names []string
+			withDate(pr, argStr(1), func(dd *dateData) {
+				names = dd.passengers()
+			})
+			seq := make(xrep.Seq, len(names))
+			for i, nm := range names {
+				seq[i] = xrep.Str(nm)
+			}
+			return "info", xrep.Seq{seq}
+		}
+		return OutcomeNoSuchFlight, nil
+	}
+	dedup := amo.NewDedup(amo.DedupOptions{})
+
+	guardian.NewReceiver(ctx.Ports[0], ctx.Ports[1]).
+		Intercept(dedup.Hook(amoExec), amo.ReqCommand).
 		When("reserve", func(pr *guardian.Process, m *guardian.Message) {
 			if checkFlight(pr, m) {
 				dispatch(pr, m, "reserve")

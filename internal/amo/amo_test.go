@@ -1,0 +1,407 @@
+package amo_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+	"repro/internal/watchdog"
+	"repro/internal/xrep"
+)
+
+const testTimeout = 5 * time.Second
+
+// fixture is a two-node world: an "amoserver" guardian on node srv running
+// an adding handler behind a Dedup filter, and a driver process on node
+// cli. The handler's execution count is the ground truth every
+// at-most-once assertion checks against.
+type fixture struct {
+	w       *guardian.World
+	srvPort xrep.PortName
+	g       *guardian.Guardian
+	proc    *guardian.Process
+	met     *amo.Metrics
+
+	execs atomic.Int64
+	total atomic.Int64
+	dch   chan *amo.Dedup
+}
+
+func deploy(t *testing.T, net netsim.Config, persist bool) *fixture {
+	t.Helper()
+	f := &fixture{met: &amo.Metrics{}, dch: make(chan *amo.Dedup, 1)}
+	f.w = guardian.NewWorld(guardian.Config{Net: net})
+	serve := func(ctx *guardian.Ctx) {
+		opts := amo.DedupOptions{Metrics: f.met}
+		if persist {
+			opts.Log = ctx.G.Log()
+		}
+		d := amo.NewDedup(opts)
+		if ctx.Recovering {
+			if _, err := d.Recover(); err != nil {
+				panic(err)
+			}
+		}
+		select {
+		case f.dch <- d:
+		default:
+		}
+		d.Serve(ctx.Proc, func(pr *guardian.Process, req *amo.Request) (string, xrep.Seq) {
+			f.execs.Add(1)
+			switch req.Command {
+			case "add":
+				v := f.total.Add(int64(req.Args[0].(xrep.Int)))
+				return "sum", xrep.Seq{xrep.Int(v)}
+			}
+			return "err", xrep.Seq{xrep.Str("unknown " + req.Command)}
+		}, ctx.Ports[0])
+	}
+	f.w.MustRegister(&guardian.GuardianDef{
+		TypeName: "amoserver",
+		Provides: []*guardian.PortType{amo.ReqType},
+		Init:     serve,
+		Recover:  serve,
+	})
+	srv := f.w.MustAddNode("srv")
+	created, err := srv.Bootstrap("amoserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.srvPort = created.Ports[0]
+	cli := f.w.MustAddNode("cli")
+	f.g, f.proc, err = cli.NewDriver("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// dedup returns the server's current Dedup instance (a fresh one after
+// each recovery).
+func (f *fixture) dedup(t *testing.T) *amo.Dedup {
+	t.Helper()
+	select {
+	case d := <-f.dch:
+		return d
+	case <-time.After(testTimeout):
+		t.Fatal("server never published its dedup filter")
+		return nil
+	}
+}
+
+func (f *fixture) caller(t *testing.T, opts amo.CallerOptions) *amo.Caller {
+	t.Helper()
+	if opts.Metrics == nil {
+		opts.Metrics = f.met
+	}
+	c, err := amo.NewCaller(f.proc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	c := f.caller(t, amo.CallerOptions{Timeout: time.Second})
+	for i, want := range []int64{5, 12} {
+		r, err := c.Call(f.srvPort, "add", int64([]int64{5, 7}[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Command != "sum" || r.Int(0) != want {
+			t.Fatalf("call %d: %s %v", i, r.Command, r.Args)
+		}
+	}
+	if n := f.execs.Load(); n != 2 {
+		t.Fatalf("handler executed %d times, want 2", n)
+	}
+	if n := f.met.Calls.Load(); n != 2 {
+		t.Fatalf("Calls = %d, want 2", n)
+	}
+}
+
+// TestAtMostOnceUnderLossAndDup is the layer's core claim: under heavy
+// loss AND duplication every logical call executes exactly once.
+func TestAtMostOnceUnderLossAndDup(t *testing.T) {
+	f := deploy(t, netsim.Config{
+		Seed: 42, LossRate: 0.25, DupRate: 0.25,
+		BaseLatency: 500 * time.Microsecond,
+	}, false)
+	c := f.caller(t, amo.CallerOptions{
+		Timeout: 25 * time.Millisecond,
+		Retries: 30,
+		Backoff: amo.BackoffPolicy{Base: 2 * time.Millisecond, Jitter: 0.5},
+	})
+	const calls = 40
+	for i := 0; i < calls; i++ {
+		r, err := c.Call(f.srvPort, "add", int64(1))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if r.Command != "sum" {
+			t.Fatalf("call %d: %s %v", i, r.Command, r.Args)
+		}
+	}
+	if n := f.execs.Load(); n != calls {
+		t.Fatalf("handler executed %d times for %d logical calls", n, calls)
+	}
+	if n := f.total.Load(); n != calls {
+		t.Fatalf("total = %d, want %d", n, calls)
+	}
+	// A 25%-loss 25%-dup network that caused zero retries and zero dedups
+	// over 40+ messages means fault injection is broken.
+	if f.met.Retries.Load()+f.met.CallsDeduped.Load() == 0 {
+		t.Fatal("no retries and no dedups under 25% loss + 25% dup")
+	}
+}
+
+// TestReplayAnsweredFromCache sends the same request id twice, raw: the
+// second delivery must yield the cached reply without re-execution.
+func TestReplayAnsweredFromCache(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	reply := f.g.MustNewPort(amo.ReplyType, 16)
+	for i := 0; i < 2; i++ {
+		if err := f.proc.SendReplyTo(f.srvPort, reply.Name(), amo.ReqCommand,
+			"c1", int64(1), int64(0), "add", xrep.Seq{xrep.Int(5)}); err != nil {
+			t.Fatal(err)
+		}
+		m, st := f.proc.Receive(testTimeout, reply)
+		if st != guardian.RecvOK {
+			t.Fatalf("delivery %d: %v", i, st)
+		}
+		if m.Int(0) != 1 || m.Str(1) != "sum" || m.Args[2].(xrep.Seq)[0].(xrep.Int) != 5 {
+			t.Fatalf("delivery %d: %v %v", i, m.Command, m.Args)
+		}
+	}
+	if n := f.execs.Load(); n != 1 {
+		t.Fatalf("handler executed %d times, want 1", n)
+	}
+	if n := f.met.RepliesReplayed.Load(); n != 1 {
+		t.Fatalf("RepliesReplayed = %d, want 1", n)
+	}
+}
+
+// TestAckWatermarkPrunes: a sequential caller's acks keep the server's
+// cached-reply table at one entry per client.
+func TestAckWatermarkPrunes(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	d := f.dedup(t)
+	c := f.caller(t, amo.CallerOptions{Timeout: time.Second})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call(f.srvPort, "add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Call n carries ack n-1, so after 5 calls exactly the 5th reply
+	// remains cached.
+	if n := d.Cached(c.Client()); n != 1 {
+		t.Fatalf("cached replies = %d, want 1", n)
+	}
+}
+
+// TestBackoffSpacesRetries: a black-holed link must cost
+// timeout+backoff per attempt, and the error must carry the accounting.
+func TestBackoffSpacesRetries(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	f.w.Net().SetLink("cli", "srv", &netsim.Config{LossRate: 1.0})
+	c := f.caller(t, amo.CallerOptions{
+		Timeout: 10 * time.Millisecond,
+		Retries: 2,
+		Backoff: amo.BackoffPolicy{Base: 20 * time.Millisecond},
+	})
+	start := time.Now()
+	_, err := c.Call(f.srvPort, "add", int64(1))
+	elapsed := time.Since(start)
+	if !errors.Is(err, amo.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	var ce *amo.CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not *CallError", err)
+	}
+	if ce.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", ce.Attempts)
+	}
+	// 3 × 10ms waits + 20ms + 40ms backoffs ⇒ ≥ 90ms.
+	if want := 85 * time.Millisecond; elapsed < want {
+		t.Fatalf("elapsed %v, want ≥ %v", elapsed, want)
+	}
+	if ce.Backoff != 60*time.Millisecond {
+		t.Fatalf("backoff total = %v, want 60ms", ce.Backoff)
+	}
+	if n := f.met.RetryBackoffTotal.Load(); n != int64(60*time.Millisecond) {
+		t.Fatalf("RetryBackoffTotal = %d", n)
+	}
+}
+
+// TestBackoffJitterStaysInBounds: with equal jitter each delay lands in
+// [d/2, d], so two backoffs of nominal 20ms and 40ms total 30–60ms.
+func TestBackoffJitterStaysInBounds(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	f.w.Net().SetLink("cli", "srv", &netsim.Config{LossRate: 1.0})
+	c := f.caller(t, amo.CallerOptions{
+		Timeout: 5 * time.Millisecond,
+		Retries: 2,
+		Backoff: amo.BackoffPolicy{Base: 20 * time.Millisecond, Jitter: 0.5},
+		Seed:    7,
+	})
+	_, err := c.Call(f.srvPort, "add", int64(1))
+	var ce *amo.CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	if ce.Backoff < 30*time.Millisecond || ce.Backoff > 60*time.Millisecond {
+		t.Fatalf("jittered backoff total %v outside [30ms, 60ms]", ce.Backoff)
+	}
+}
+
+func TestCircuitOpenFailsFast(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	h, err := amo.NewHealth(f.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.caller(t, amo.CallerOptions{
+		Timeout: time.Second,
+		Retries: 5,
+		Health:  h,
+	})
+	h.MarkDown("srv")
+	start := time.Now()
+	_, err = c.Call(f.srvPort, "add", int64(1))
+	if !errors.Is(err, amo.ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("circuit-open call took %v, not fast", elapsed)
+	}
+	if n := f.met.CircuitOpen.Load(); n != 1 {
+		t.Fatalf("CircuitOpen = %d, want 1", n)
+	}
+	h.MarkUp("srv")
+	if _, err := c.Call(f.srvPort, "add", int64(1)); err != nil {
+		t.Fatalf("call after MarkUp: %v", err)
+	}
+}
+
+// TestHealthFollowsWatchdog wires the breaker to a real watchdog: crash
+// the server node, the breaker opens; restart it, the breaker closes.
+func TestHealthFollowsWatchdog(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	f.w.MustRegister(watchdog.Def())
+	mon := f.w.MustAddNode("monitor")
+	wd, err := mon.Bootstrap(watchdog.DefName, int64(20), int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := amo.NewHealth(f.g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Subscribe(f.proc, wd.Ports[0], time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wdReply := f.g.MustNewPort(watchdog.ClientReplyType, 4)
+	if err := f.proc.SendReplyTo(wd.Ports[0], wdReply.Name(), "watch", "srv"); err != nil {
+		t.Fatal(err)
+	}
+	if m, st := f.proc.Receive(testTimeout, wdReply); st != guardian.RecvOK || m.Command != "watching" {
+		t.Fatalf("watch: %v", st)
+	}
+
+	waitDown := func(want bool) {
+		deadline := time.Now().Add(testTimeout)
+		for time.Now().Before(deadline) {
+			if h.Down("srv") == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("health never reported down=%v for srv", want)
+	}
+
+	c := f.caller(t, amo.CallerOptions{Timeout: time.Second, Health: h})
+	if _, err := c.Call(f.srvPort, "add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	srvNode, _ := f.w.Node("srv")
+	srvNode.Crash()
+	waitDown(true)
+	if _, err := c.Call(f.srvPort, "add", int64(1)); !errors.Is(err, amo.ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+
+	if err := srvNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	waitDown(false)
+	if _, err := c.Call(f.srvPort, "add", int64(1)); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+}
+
+// TestDedupSurvivesCrash: with a stable log, a request executed before the
+// crash is answered from the recovered cache afterwards — never
+// re-executed.
+func TestDedupSurvivesCrash(t *testing.T) {
+	f := deploy(t, netsim.Config{}, true)
+	f.dedup(t) // drain the pre-crash instance
+	reply := f.g.MustNewPort(amo.ReplyType, 16)
+	send := func() *guardian.Message {
+		t.Helper()
+		if err := f.proc.SendReplyTo(f.srvPort, reply.Name(), amo.ReqCommand,
+			"c9", int64(1), int64(0), "add", xrep.Seq{xrep.Int(5)}); err != nil {
+			t.Fatal(err)
+		}
+		m, st := f.proc.Receive(testTimeout, reply)
+		if st != guardian.RecvOK {
+			t.Fatalf("receive: %v", st)
+		}
+		return m
+	}
+	if m := send(); m.Str(1) != "sum" || m.Args[2].(xrep.Seq)[0].(xrep.Int) != 5 {
+		t.Fatalf("first reply: %v", m.Args)
+	}
+
+	srvNode, _ := f.w.Node("srv")
+	srvNode.Crash()
+	if err := srvNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	f.dedup(t) // recovery published a fresh instance
+
+	if m := send(); m.Str(1) != "sum" || m.Args[2].(xrep.Seq)[0].(xrep.Int) != 5 {
+		t.Fatalf("replayed reply: %v", m.Args)
+	}
+	if n := f.execs.Load(); n != 1 {
+		t.Fatalf("handler executed %d times across the crash, want 1", n)
+	}
+	if n := f.met.RepliesReplayed.Load(); n < 1 {
+		t.Fatalf("RepliesReplayed = %d, want ≥ 1", n)
+	}
+}
+
+// TestCallerSequential: a second in-flight call on one Caller is refused.
+func TestCallerSequential(t *testing.T) {
+	f := deploy(t, netsim.Config{}, false)
+	f.w.Net().SetLink("cli", "srv", &netsim.Config{LossRate: 1.0})
+	c := f.caller(t, amo.CallerOptions{Timeout: 300 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(f.srvPort, "add", int64(1))
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Call(f.srvPort, "add", int64(1)); !errors.Is(err, amo.ErrBusy) {
+		t.Fatalf("concurrent call: %v, want ErrBusy", err)
+	}
+	if err := <-done; !errors.Is(err, amo.ErrTimeout) {
+		t.Fatalf("first call: %v", err)
+	}
+}

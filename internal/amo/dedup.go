@@ -1,0 +1,319 @@
+package amo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/guardian"
+	"repro/internal/stable"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// Request is one decoded at-most-once request as the handler sees it.
+type Request struct {
+	// Command and Args are the application command and its arguments.
+	Command string
+	Args    xrep.Seq
+	// Client and Seq form the request id.
+	Client string
+	Seq    int64
+	// SrcNode and SrcGuardian identify the sending guardian, usable as an
+	// access-control principal exactly like on a raw message.
+	SrcNode     string
+	SrcGuardian uint64
+}
+
+// Handler executes one request and returns the reply's outcome command and
+// arguments. It runs on the guardian's own process, so it may use the
+// guardian's state under the guardian's usual locking discipline. It is
+// called AT MOST ONCE per request id: replays get the cached reply.
+type Handler func(pr *guardian.Process, req *Request) (outcome string, args xrep.Seq)
+
+// dedupLogRec names the stable-log record that persists one executed
+// request's cached reply.
+const dedupLogRec = "amo/dedup"
+
+// DedupOptions tunes a Dedup filter.
+type DedupOptions struct {
+	// MaxPerClient bounds the cached replies kept per client beyond the
+	// ack-watermark pruning (a safety net against a client that never
+	// acks). Zero means 128.
+	MaxPerClient int
+	// Log, when non-nil, persists every executed request's reply — the
+	// §2.2 log-then-reply protocol — so Recover can rebuild the table and
+	// at-most-once survives a crash.
+	Log *stable.Log
+	// Metrics receives the filter's counters. Nil means Default.
+	Metrics *Metrics
+}
+
+// cached is one retained reply.
+type cached struct {
+	outcome string
+	args    xrep.Seq
+}
+
+// session is the dedup state for one client.
+type session struct {
+	// pruned is the high-water mark: every seq at or below it has been
+	// answered and the reply discarded. A request at or below it is a
+	// duplicate by construction and is dropped without execution.
+	pruned int64
+	// replies caches the reply for every answered, un-pruned seq.
+	replies map[int64]cached
+	// executing marks seqs whose handler is currently running, so a
+	// duplicate racing the first delivery is dropped, not re-executed.
+	executing map[int64]bool
+}
+
+// Dedup is the server half of the at-most-once layer: a filter a guardian
+// interposes on its receive loop (via Hook or Serve) that executes each
+// request id exactly once and answers replays from a cached-reply table.
+type Dedup struct {
+	opts DedupOptions
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// NewDedup builds an empty filter.
+func NewDedup(opts DedupOptions) *Dedup {
+	if opts.MaxPerClient <= 0 {
+		opts.MaxPerClient = 128
+	}
+	return &Dedup{opts: opts, sessions: make(map[string]*session)}
+}
+
+// Hook adapts the filter to guardian.Receiver.Intercept: install it with
+//
+//	NewReceiver(ports...).Intercept(d.Hook(handler), amo.ReqCommand)
+//
+// so the filter owns every amo_req envelope while the guardian's ordinary
+// arms keep handling its native commands on the same ports.
+func (d *Dedup) Hook(h Handler) func(pr *guardian.Process, m *guardian.Message) bool {
+	return func(pr *guardian.Process, m *guardian.Message) bool {
+		if m.Command != ReqCommand {
+			return false
+		}
+		d.handle(pr, m, h)
+		return true
+	}
+}
+
+// Serve runs a receive loop over the given ports dedicated to at-most-once
+// traffic. Guardians that mix amo with native commands use Hook on their
+// own Receiver instead.
+func (d *Dedup) Serve(pr *guardian.Process, h Handler, ports ...*guardian.Port) {
+	guardian.NewReceiver(ports...).Intercept(d.Hook(h), ReqCommand).Loop(pr, nil)
+}
+
+// ParseRequest decodes an amo_req envelope. The returned ack is the
+// client's prune watermark. Exported so a guardian that deliberately
+// serves envelopes WITHOUT dedup (an experiment's control arm) can share
+// the wire format.
+func ParseRequest(m *guardian.Message) (req *Request, ack int64) {
+	req = &Request{
+		Client:      m.Str(0),
+		Seq:         m.Int(1),
+		Command:     m.Str(3),
+		SrcNode:     m.SrcNode,
+		SrcGuardian: m.SrcGuardian,
+	}
+	req.Args, _ = m.Args[4].(xrep.Seq)
+	return req, m.Int(2)
+}
+
+// SendReply answers an envelope directly — the reply path Dedup uses,
+// exported for the same no-dedup control-arm use as ParseRequest.
+func SendReply(pr *guardian.Process, m *guardian.Message, outcome string, args xrep.Seq) {
+	if m.ReplyTo == (xrep.PortName{}) {
+		return
+	}
+	if args == nil {
+		args = xrep.Seq{}
+	}
+	_ = pr.Send(m.ReplyTo, ReplyCommand, m.Int(1), outcome, args)
+}
+
+// handle processes one envelope: drop (already pruned), replay (cached),
+// or execute-log-reply (fresh).
+func (d *Dedup) handle(pr *guardian.Process, m *guardian.Message, h Handler) {
+	req, ack := ParseRequest(m)
+	met := orDefault(d.opts.Metrics)
+
+	d.mu.Lock()
+	s, ok := d.sessions[req.Client]
+	if !ok {
+		s = &session{replies: make(map[int64]cached), executing: make(map[int64]bool)}
+		d.sessions[req.Client] = s
+	}
+	switch {
+	case req.Seq <= s.pruned:
+		// Answered and forgotten: the client's own ack proved it holds
+		// the reply, so this stray duplicate needs no answer.
+		d.mu.Unlock()
+		met.CallsDeduped.Inc()
+		return
+	case s.executing[req.Seq]:
+		// The first delivery is still running its handler; the client's
+		// retry will be answered from the cache once it lands.
+		d.mu.Unlock()
+		met.CallsDeduped.Inc()
+		return
+	default:
+		if c, ok := s.replies[req.Seq]; ok {
+			d.mu.Unlock()
+			met.CallsDeduped.Inc()
+			met.RepliesReplayed.Inc()
+			d.reply(pr, m, req.Seq, c)
+			return
+		}
+	}
+	s.executing[req.Seq] = true
+	d.mu.Unlock()
+
+	outcome, outArgs := h(pr, req)
+	c := cached{outcome: outcome, args: outArgs}
+
+	// Log-then-reply: the cached reply must be durable before the client
+	// can observe it, or a crash between reply and log would let a replay
+	// after recovery re-execute the handler.
+	if d.opts.Log != nil {
+		d.opts.Log.AppendSync(marshalDedupRec(req.Client, req.Seq, ack, c))
+	}
+
+	d.mu.Lock()
+	delete(s.executing, req.Seq)
+	s.replies[req.Seq] = c
+	s.prune(ack)
+	s.bound(d.opts.MaxPerClient)
+	d.mu.Unlock()
+
+	d.reply(pr, m, req.Seq, c)
+}
+
+// reply sends (or re-sends) a cached reply to the envelope's reply port.
+func (d *Dedup) reply(pr *guardian.Process, m *guardian.Message, seq int64, c cached) {
+	if m.ReplyTo == (xrep.PortName{}) {
+		return
+	}
+	args := c.args
+	if args == nil {
+		args = xrep.Seq{}
+	}
+	// Best-effort, like any no-wait send: a lost reply is the client's
+	// retry's problem.
+	_ = pr.Send(m.ReplyTo, ReplyCommand, seq, c.outcome, args)
+}
+
+// prune applies the client's ack watermark: every cached reply at or below
+// it is provably held by the client and may be forgotten.
+func (s *session) prune(ack int64) {
+	if ack <= s.pruned {
+		return
+	}
+	for seq := range s.replies {
+		if seq <= ack {
+			delete(s.replies, seq)
+		}
+	}
+	s.pruned = ack
+}
+
+// bound enforces MaxPerClient by discarding the OLDEST cached replies and
+// raising the watermark over them; with a well-behaved sequential client
+// the table holds at most one entry, so this only fires for a client that
+// stopped acking.
+func (s *session) bound(max int) {
+	if len(s.replies) <= max {
+		return
+	}
+	seqs := make([]int64, 0, len(s.replies))
+	for seq := range s.replies {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs[:len(seqs)-max] {
+		delete(s.replies, seq)
+		if seq > s.pruned {
+			s.pruned = seq
+		}
+	}
+}
+
+// Cached reports how many replies are currently retained for the client —
+// an observability hook for tests and experiments.
+func (d *Dedup) Cached(client string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.sessions[client]
+	if !ok {
+		return 0
+	}
+	return len(s.replies)
+}
+
+// marshalDedupRec encodes one executed request for the stable log.
+func marshalDedupRec(client string, seq, ack int64, c cached) []byte {
+	args := c.args
+	if args == nil {
+		args = xrep.Seq{}
+	}
+	rec := xrep.Rec{Name: dedupLogRec, Fields: xrep.Seq{
+		xrep.Str(client), xrep.Int(seq), xrep.Int(ack), xrep.Str(c.outcome), args,
+	}}
+	buf, err := wire.MarshalValue(rec)
+	if err != nil {
+		panic(fmt.Sprintf("amo: marshal dedup record: %v", err))
+	}
+	return buf
+}
+
+// Recover rebuilds the dedup table from the stable log, re-applying each
+// record's reply cache and ack watermark in order. A guardian's recovery
+// process calls it before serving, so a request the pre-crash incarnation
+// already executed is answered from the cache, never re-executed —
+// at-most-once across the crash.
+func (d *Dedup) Recover() (int, error) {
+	if d.opts.Log == nil {
+		return 0, nil
+	}
+	_, records, err := d.opts.Log.Recover()
+	if err != nil && err != stable.ErrNoCheckpoint {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, r := range records {
+		v, err := wire.UnmarshalValue(r.Data)
+		if err != nil {
+			return n, fmt.Errorf("amo: recover dedup record %d: %w", r.Seq, err)
+		}
+		rec, ok := v.(xrep.Rec)
+		if !ok || rec.Name != dedupLogRec || len(rec.Fields) != 5 {
+			continue // not ours; the log may be shared
+		}
+		client := string(rec.Fields[0].(xrep.Str))
+		seq := int64(rec.Fields[1].(xrep.Int))
+		ack := int64(rec.Fields[2].(xrep.Int))
+		c := cached{
+			outcome: string(rec.Fields[3].(xrep.Str)),
+			args:    rec.Fields[4].(xrep.Seq),
+		}
+		s, ok := d.sessions[client]
+		if !ok {
+			s = &session{replies: make(map[int64]cached), executing: make(map[int64]bool)}
+			d.sessions[client] = s
+		}
+		if seq > s.pruned {
+			s.replies[seq] = c
+		}
+		s.prune(ack)
+		s.bound(d.opts.MaxPerClient)
+		n++
+	}
+	return n, nil
+}

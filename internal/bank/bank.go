@@ -14,7 +14,9 @@ package bank
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/amo"
 	"repro/internal/guardian"
 	"repro/internal/wire"
 	"repro/internal/xrep"
@@ -67,16 +69,38 @@ type branchState struct {
 	// applied maps op_id → outcome command, for idempotent replay and
 	// duplicate suppression.
 	applied map[string]string
+	// applies counts mutating executions taken through the at-most-once
+	// port — the ground truth a double-apply audit compares against the
+	// number of logical operations clients issued. Atomic because tests
+	// read it while the guardian runs.
+	applies atomic.Int64
 }
 
-// BranchDef returns the branch guardian definition. No creation arguments.
+// BranchDef returns the branch guardian definition.
+//
+// The branch serves two ports: its native idempotent port (every mutating
+// message carries an op_id) and an at-most-once port, where the amo layer
+// supplies the duplicate suppression instead and commands carry NO op_id.
+// Creation argument "raw" disables the at-most-once filter on the second
+// port — the control arm experiment E10 uses to demonstrate double
+// application under duplication.
 func BranchDef() *guardian.GuardianDef {
 	return &guardian.GuardianDef{
 		TypeName: BranchDefName,
-		Provides: []*guardian.PortType{BranchPortType},
+		Provides: []*guardian.PortType{BranchPortType, amo.ReqType},
 		Init:     branchMain,
 		Recover:  branchMain,
 	}
+}
+
+// Applies reports how many mutating operations the branch has executed
+// through its at-most-once port. Owner-side audit facility.
+func Applies(g *guardian.Guardian) (int64, error) {
+	st, ok := g.State().(*branchState)
+	if !ok {
+		return 0, fmt.Errorf("bank: guardian %d is not a branch", g.ID())
+	}
+	return st.applies.Load(), nil
 }
 
 // opRecord encodes one durable operation.
@@ -175,7 +199,97 @@ func branchMain(ctx *guardian.Ctx) {
 		return outcome
 	}
 
-	guardian.NewReceiver(ctx.Ports[0]).
+	// amoExec executes one command arriving on the at-most-once port.
+	// These carry NO op_id: duplicate suppression is the amo layer's job
+	// (or, in raw mode, deliberately nobody's). Effects are logged to the
+	// same op log with an empty op_id, so recovery replays them as-is.
+	amoExec := func(pr *guardian.Process, req *amo.Request) (string, xrep.Seq) {
+		str := func(i int) string {
+			if i < len(req.Args) {
+				if s, ok := req.Args[i].(xrep.Str); ok {
+					return string(s)
+				}
+			}
+			return ""
+		}
+		num := func(i int) int64 {
+			if i < len(req.Args) {
+				if n, ok := req.Args[i].(xrep.Int); ok {
+					return int64(n)
+				}
+			}
+			return 0
+		}
+		simple := func(kind string) (string, xrep.Seq) {
+			log.AppendSync(opRecord(kind, str(0), num(1), ""))
+			outcome := st.apply(kind, str(0), num(1), "")
+			if outcome == OutcomeOK {
+				st.applies.Add(1)
+			}
+			return outcome, nil
+		}
+		switch req.Command {
+		case "open", "deposit", "withdraw":
+			return simple(req.Command)
+		case "transfer":
+			// Intra-branch move: both legs or neither, so the sufficiency
+			// check precedes any logging.
+			from, to, amount := str(0), str(1), num(2)
+			bal, ok := st.accounts[from]
+			if !ok {
+				return OutcomeNoAccount, nil
+			}
+			if _, ok := st.accounts[to]; !ok {
+				return OutcomeNoAccount, nil
+			}
+			if bal < amount {
+				return OutcomeInsufficient, nil
+			}
+			log.Append(opRecord("withdraw", from, amount, ""))
+			log.AppendSync(opRecord("deposit", to, amount, ""))
+			st.apply("withdraw", from, amount, "")
+			st.apply("deposit", to, amount, "")
+			st.applies.Add(1)
+			return OutcomeOK, nil
+		case "balance":
+			bal, ok := st.accounts[str(0)]
+			if !ok {
+				return OutcomeNoAccount, nil
+			}
+			return "balance_is", xrep.Seq{xrep.Int(bal)}
+		}
+		return OutcomeNoAccount, nil
+	}
+
+	raw := false
+	if len(ctx.Args) > 0 {
+		if s, ok := ctx.Args[0].(xrep.Str); ok && string(s) == "raw" {
+			raw = true
+		}
+	}
+	recv := guardian.NewReceiver(ctx.Ports[0], ctx.Ports[1])
+	if raw {
+		// Control arm: execute every delivery, duplicates included — the
+		// bare remote-transaction-send behavior of §3.5.
+		recv.Intercept(func(pr *guardian.Process, m *guardian.Message) bool {
+			req, _ := amo.ParseRequest(m)
+			outcome, out := amoExec(pr, req)
+			amo.SendReply(pr, m, outcome, out)
+			return true
+		}, amo.ReqCommand)
+	} else {
+		dedup := amo.NewDedup(amo.DedupOptions{
+			Log: ctx.G.Node().Disk().OpenLog(fmt.Sprintf("amo-%s-%d", BranchDefName, ctx.G.ID())),
+		})
+		if ctx.Recovering {
+			if _, err := dedup.Recover(); err != nil {
+				panic(err)
+			}
+		}
+		recv.Intercept(dedup.Hook(amoExec), amo.ReqCommand)
+	}
+
+	recv.
 		When("open", func(pr *guardian.Process, m *guardian.Message) {
 			mutate(pr, m, "open", m.Str(0), 0, "", m.ReplyTo)
 		}).

@@ -14,6 +14,9 @@
 //   - repro/internal/sendprim — the two §3 comparison primitives
 //     (synchronization send, remote transaction send) built on top of the
 //     no-wait send.
+//   - repro/internal/amo — the at-most-once call layer (§3.5 extension):
+//     request ids, backoff + jitter, server-side dedup with cached
+//     replies, watchdog-fed circuit breaking.
 //   - repro/internal/xrep — the external representation system (§3.3):
 //     the value model, Transmittable encode/decode, system-wide type
 //     invariants, and the paper's two worked examples (complex numbers,
@@ -33,6 +36,6 @@
 //
 //   - repro/internal/airline — the running example (Figures 1–5).
 //   - repro/internal/bank, repro/internal/office — the other §1.2 domains.
-//   - repro/internal/exp — experiments E1–E9 (DESIGN.md §3).
+//   - repro/internal/exp — experiments E1–E10 (DESIGN.md §3).
 //   - package repro (repository root) — the public facade.
 package core

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/bank"
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sendprim"
+)
+
+// E10Params configures the at-most-once experiment.
+type E10Params struct {
+	// Transfers is the total workload size across all clients.
+	Transfers int
+	// Clients run concurrently, each owning a disjoint account pair.
+	Clients int
+	// LossRate and DupRate are applied to every packet both ways.
+	LossRate float64
+	DupRate  float64
+	// NetLatency is the one-way base latency.
+	NetLatency time.Duration
+	// AttemptTimeout bounds each call attempt; Retries re-sends follow.
+	AttemptTimeout time.Duration
+	Retries        int
+}
+
+// E10Defaults is the full-size configuration.
+var E10Defaults = E10Params{
+	Transfers:      500,
+	Clients:        10,
+	LossRate:       0.20,
+	DupRate:        0.20,
+	NetLatency:     300 * time.Microsecond,
+	AttemptTimeout: 25 * time.Millisecond,
+	Retries:        20,
+}
+
+// RunE10AMO measures what the at-most-once layer buys back from the §3.5
+// concession that a retried remote transaction send "may be performed any
+// number of times". The same concurrent transfer workload runs twice
+// against a bank branch over a lossy, duplicating network: once through
+// amo.Caller + amo.Dedup, once through the bare envelope with no filter.
+// The layer must yield exactly-once application (executions == logical
+// calls, every balance as the replies implied); the bare arm must
+// demonstrably over-apply.
+func RunE10AMO(p E10Params, scale Scale) (*Result, error) {
+	p.Transfers = scale.N(p.Transfers, 40)
+	if p.Clients > p.Transfers {
+		p.Clients = p.Transfers
+	}
+	res := &Result{ID: "E10 (extension: at-most-once on the no-wait send)"}
+	tab := metrics.NewTable(
+		fmt.Sprintf("At-most-once vs bare calls: %d transfers, %.0f%% loss + %.0f%% dup",
+			p.Transfers, p.LossRate*100, p.DupRate*100),
+		"mode", "ok", "applies", "double-applied", "deviating-accts", "retries", "deduped", "replayed", "backoff")
+	res.Tables = append(res.Tables, tab)
+
+	for _, mode := range []string{"amo", "bare"} {
+		row, err := runE10Cell(p, mode == "bare")
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(mode, row.ok, row.applies, row.applies-row.ok, row.deviating,
+			row.retries, row.deduped, row.replayed, row.backoff.Round(time.Millisecond).String())
+		if row.failed > 0 {
+			res.Notef("DEVIATES: %s arm had %d calls exhaust %d retries", mode, row.failed, p.Retries)
+			continue
+		}
+		if mode == "amo" {
+			if row.applies == row.ok && row.deviating == 0 {
+				res.Notef("HOLDS: at-most-once layer applied %d/%d transfers exactly once (suppressed %d duplicates, replayed %d cached replies)",
+					row.applies, row.ok, row.deduped, row.replayed)
+			} else {
+				res.Notef("DEVIATES: amo arm executed %d transfers for %d calls with %d deviating accounts",
+					row.applies, row.ok, row.deviating)
+			}
+		} else {
+			if row.applies > row.ok && row.deviating > 0 {
+				res.Notef("HOLDS: bare calls double-applied %d of %d transfers (%d accounts wrong) — the §3.5 hazard the layer removes",
+					row.applies-row.ok, row.ok, row.deviating)
+			} else {
+				res.Notef("DEVIATES: bare arm showed no over-application under %.0f%% duplication", p.DupRate*100)
+			}
+		}
+	}
+	return res, nil
+}
+
+type e10Row struct {
+	ok        int64
+	failed    int64
+	applies   int64
+	deviating int
+	retries   int64
+	deduped   int64
+	replayed  int64
+	backoff   time.Duration
+}
+
+func runE10Cell(p E10Params, raw bool) (e10Row, error) {
+	var row e10Row
+	w := guardian.NewWorld(guardian.Config{Net: netsim.Config{
+		Seed:        10,
+		LossRate:    p.LossRate,
+		DupRate:     p.DupRate,
+		BaseLatency: p.NetLatency,
+	}})
+	w.MustRegister(bank.BranchDef())
+	branchNode := w.MustAddNode("branch")
+	var created *guardian.Created
+	var err error
+	if raw {
+		created, err = branchNode.Bootstrap(bank.BranchDefName, "raw")
+	} else {
+		created, err = branchNode.Bootstrap(bank.BranchDefName)
+	}
+	if err != nil {
+		return row, err
+	}
+	nativePort, amoPort := created.Ports[0], created.Ports[1]
+	tellers := w.MustAddNode("tellers")
+	met := &amo.Metrics{}
+	dedup0, replay0 := amo.Default.CallsDeduped.Load(), amo.Default.RepliesReplayed.Load()
+
+	perClient := p.Transfers / p.Clients
+	extra := p.Transfers % p.Clients
+	type clientResult struct {
+		ok, failed int64
+		expA, expB int64
+		acctA      string
+		acctB      string
+		err        error
+	}
+	results := make([]clientResult, p.Clients)
+	var wg sync.WaitGroup
+	for i := 0; i < p.Clients; i++ {
+		_, proc, err := tellers.NewDriver(fmt.Sprintf("teller-%d", i))
+		if err != nil {
+			return row, err
+		}
+		calls := perClient
+		if i < extra {
+			calls++
+		}
+		wg.Add(1)
+		go func(i, calls int, proc *guardian.Process) {
+			defer wg.Done()
+			r := &results[i]
+			r.acctA, r.acctB = fmt.Sprintf("c%d-a", i), fmt.Sprintf("c%d-b", i)
+			// Account setup goes over the NATIVE idempotent port (op_id
+			// deduplication), so both arms start from identical, exact
+			// balances and the amo port carries only the audited transfers.
+			const seedFunds = int64(1_000_000)
+			callOpts := sendprim.CallOptions{
+				Timeout: 2 * p.AttemptTimeout,
+				Retries: p.Retries,
+				Backoff: 2 * time.Millisecond,
+			}
+			for _, acct := range []string{r.acctA, r.acctB} {
+				m, err := sendprim.Call(proc, nativePort, bank.ClientReplyType, callOpts, "open", acct)
+				if err != nil {
+					r.err = err
+					return
+				}
+				if m.Command != bank.OutcomeOK && m.Command != bank.OutcomeExists {
+					r.err = fmt.Errorf("exp: open %s: %s", acct, m.Command)
+					return
+				}
+			}
+			m, err := sendprim.Call(proc, nativePort, bank.ClientReplyType, callOpts,
+				"deposit", r.acctA, seedFunds, fmt.Sprintf("fund-%d", i))
+			if err != nil {
+				r.err = err
+				return
+			}
+			if m.Command != bank.OutcomeOK {
+				r.err = fmt.Errorf("exp: funding %s: %s", r.acctA, m.Command)
+				return
+			}
+			r.expA, r.expB = seedFunds, 0
+
+			caller, err := amo.NewCaller(proc, amo.CallerOptions{
+				Timeout: p.AttemptTimeout,
+				Retries: p.Retries,
+				Backoff: amo.BackoffPolicy{Base: 2 * time.Millisecond, Jitter: 0.5},
+				Metrics: met,
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			for j := 0; j < calls; j++ {
+				amount := int64(1 + j%7)
+				rep, err := caller.Call(amoPort, "transfer", r.acctA, r.acctB, amount)
+				if err != nil {
+					r.failed++
+					continue
+				}
+				if rep.Command == bank.OutcomeOK {
+					r.ok++
+					r.expA -= amount
+					r.expB += amount
+				}
+			}
+		}(i, calls, proc)
+	}
+	wg.Wait()
+	waitQuiesce(w)
+	time.Sleep(20 * time.Millisecond)
+
+	bg, ok := branchNode.GuardianByID(created.GuardianID)
+	if !ok {
+		return row, fmt.Errorf("exp: branch guardian vanished")
+	}
+	balances, err := bank.Snapshot(bg)
+	if err != nil {
+		return row, err
+	}
+	row.applies, err = bank.Applies(bg)
+	if err != nil {
+		return row, err
+	}
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return row, r.err
+		}
+		row.ok += r.ok
+		row.failed += r.failed
+		if balances[r.acctA] != r.expA {
+			row.deviating++
+		}
+		if balances[r.acctB] != r.expB {
+			row.deviating++
+		}
+	}
+	row.retries = met.Retries.Load()
+	row.deduped = amo.Default.CallsDeduped.Load() - dedup0
+	row.replayed = amo.Default.RepliesReplayed.Load() - replay0
+	row.backoff = time.Duration(met.RetryBackoffTotal.Load())
+	return row, nil
+}

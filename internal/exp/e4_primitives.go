@@ -36,14 +36,14 @@ var (
 	e4PrimaryType = guardian.NewPortType("e4_primary_port").
 			Msg("req", xrep.KindString).
 			Replies("req", "resp").
-			Msg("req_sync", xrep.KindString, xrep.KindPortName, xrep.KindPortName).
+			Msg("req_sync", xrep.KindString, xrep.KindPortName, xrep.KindRec).
 			Msg("batch", xrep.KindString, xrep.KindBool).
 			Replies("batch", "resp").
-			Msg("batch_sync", xrep.KindString, xrep.KindBool, xrep.KindPortName, xrep.KindPortName).
+			Msg("batch_sync", xrep.KindString, xrep.KindBool, xrep.KindPortName, xrep.KindRec).
 			Msg("batch_call", xrep.KindString, xrep.KindBool).
 			Replies("batch_call", "resp").
 			Msg("fwd", xrep.KindString).
-			Msg("fwd_sync", xrep.KindString, xrep.KindPortName, xrep.KindPortName).
+			Msg("fwd_sync", xrep.KindString, xrep.KindPortName, xrep.KindRec).
 			Msg("fwd_call", xrep.KindString).
 			Replies("fwd_call", "resp")
 

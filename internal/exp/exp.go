@@ -1,5 +1,5 @@
 // Package exp implements the repository's experiment harness: one
-// function per experiment in DESIGN.md's index (E1–E9), each regenerating
+// function per experiment in DESIGN.md's index (E1–E10), each regenerating
 // the table for one figure or design claim of the paper. cmd/bench and the
 // root benchmarks drive the same code at different scales.
 package exp

@@ -68,8 +68,8 @@ func TestScaleN(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("registry has %d experiments, want 9 (E1..E9)", len(all))
+	if len(all) != 10 {
+		t.Fatalf("registry has %d experiments, want 10 (E1..E10)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -157,5 +157,16 @@ func TestE9Smoke(t *testing.T) {
 	}
 	res := runAndRender(t, "tpc")
 	// Atomicity is a correctness claim: it must hold at any scale.
+	assertHolds(t, res, false)
+}
+
+func TestE10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "amo")
+	// Exactly-once through the layer is a correctness claim, and at 20%
+	// duplication even the smoke-scale bare arm over-applies with
+	// near-certain probability; both notes must hold.
 	assertHolds(t, res, false)
 }

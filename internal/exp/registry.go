@@ -62,6 +62,11 @@ func All() []Experiment {
 			Description: "two-phase commit built on the no-wait send: cost scaling and atomicity under faults",
 			Run:         func(s Scale) (*Result, error) { return RunE9Tpc(E9Defaults, s) },
 		},
+		{
+			ID: "amo", Paper: "§3.5 (extension)",
+			Description: "at-most-once layer vs bare calls: exactly-once transfers under loss and duplication",
+			Run:         func(s Scale) (*Result, error) { return RunE10AMO(E10Defaults, s) },
+		},
 	}
 }
 

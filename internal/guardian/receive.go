@@ -20,12 +20,21 @@ import (
 // compile time"), and at Run every command the ports can deliver must have
 // an arm.
 type Receiver struct {
-	ports     []*Port
-	arms      map[string]func(*Process, *Message)
-	onFailure func(*Process, string, *Message)
-	timeout   time.Duration
-	onTimeout func(*Process)
-	checked   bool
+	ports        []*Port
+	arms         map[string]func(*Process, *Message)
+	interceptors []interceptor
+	onFailure    func(*Process, string, *Message)
+	timeout      time.Duration
+	onTimeout    func(*Process)
+	checked      bool
+}
+
+// interceptor is a receive-loop hook: a filter offered messages before arm
+// dispatch. commands lists the command identifiers the hook owns; those
+// commands are exempt from arm-coverage checking.
+type interceptor struct {
+	hook     func(*Process, *Message) bool
+	commands map[string]struct{}
 }
 
 // NewReceiver starts a receive statement over the given ports, listed in
@@ -65,6 +74,44 @@ func (r *Receiver) When(command string, body func(pr *Process, m *Message)) *Rec
 	return r
 }
 
+// Intercept installs a receive-loop hook: before arm dispatch, each
+// non-failure message whose command is in commands is offered to hook,
+// which returns true to consume it. Hooks run in installation order.
+//
+// The listed commands become the hook's responsibility: they are exempt
+// from the arm-coverage check, and a message the hook declines (returns
+// false for) falls through to an arm if one exists, or is quietly thrown
+// away — the §3.4 license to discard. This is how a session layer (e.g. an
+// at-most-once filter) wraps a guardian's receive loop without the
+// guardian's own arms knowing about it.
+//
+// Every listed command must be declared by some listed port, the same
+// construction-time check When performs.
+func (r *Receiver) Intercept(hook func(pr *Process, m *Message) bool, commands ...string) *Receiver {
+	if len(commands) == 0 {
+		panic("guardian: Intercept needs at least one command")
+	}
+	owned := make(map[string]struct{}, len(commands))
+	for _, command := range commands {
+		if command == FailureCommand {
+			panic("guardian: use WhenFailure for the implicit failure arm")
+		}
+		found := false
+		for _, p := range r.ports {
+			if _, ok := p.ptype.Spec(command); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("guardian: no listed port declares message %q", command))
+		}
+		owned[command] = struct{}{}
+	}
+	r.interceptors = append(r.interceptors, interceptor{hook: hook, commands: owned})
+	return r
+}
+
 // WhenFailure adds the arm for the implicit system failure message.
 func (r *Receiver) WhenFailure(body func(pr *Process, text string, m *Message)) *Receiver {
 	r.onFailure = body
@@ -86,13 +133,27 @@ func (r *Receiver) check() {
 	}
 	for _, p := range r.ports {
 		for _, cmd := range p.ptype.Commands() {
-			if _, ok := r.arms[cmd]; !ok {
-				panic(fmt.Sprintf("guardian: port type %s delivers %q but receive has no arm for it",
-					p.ptype.Name(), cmd))
+			if _, ok := r.arms[cmd]; ok {
+				continue
 			}
+			if r.intercepted(cmd) {
+				continue
+			}
+			panic(fmt.Sprintf("guardian: port type %s delivers %q but receive has no arm for it",
+				p.ptype.Name(), cmd))
 		}
 	}
 	r.checked = true
+}
+
+// intercepted reports whether any installed hook owns the command.
+func (r *Receiver) intercepted(command string) bool {
+	for _, ic := range r.interceptors {
+		if _, ok := ic.commands[command]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // RunOnce executes the receive statement once on behalf of pr: one message
@@ -109,8 +170,17 @@ func (r *Receiver) RunOnce(pr *Process) RecvStatus {
 			}
 			return st
 		}
+		for _, ic := range r.interceptors {
+			if _, owned := ic.commands[m.Command]; owned && ic.hook(pr, m) {
+				return st
+			}
+		}
 		arm, ok := r.arms[m.Command]
 		if !ok {
+			if r.intercepted(m.Command) {
+				// Offered to its hook, declined, no arm: throw it away.
+				return st
+			}
 			// Unreachable given check() plus runtime type checking; keep a
 			// loud failure rather than a silent drop.
 			panic(fmt.Sprintf("guardian: no arm for delivered command %q", m.Command))

@@ -12,6 +12,7 @@ package sendprim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/guardian"
@@ -36,14 +37,39 @@ var (
 var AckType = guardian.NewPortType("syncsend_ack_port").
 	Msg("received")
 
+// ackRecName tags the hidden acknowledgement port. The tag is a reserved
+// record name rather than a bare port value, so a message whose final real
+// argument happens to be a port is never mistaken for a sync send.
+const ackRecName = "sendprim/ack"
+
+// AckArg wraps an acknowledgement port in its unambiguous tag. Port types
+// receiving sync sends declare the hidden trailing slot as KindRec.
+func AckArg(p xrep.PortName) xrep.Rec {
+	return xrep.Rec{Name: ackRecName, Fields: xrep.Seq{p}}
+}
+
+// ackPort extracts the acknowledgement port from a message's trailing
+// argument, reporting ok=false when the message is not a sync send.
+func ackPort(m *guardian.Message) (xrep.PortName, bool) {
+	if len(m.Args) == 0 {
+		return xrep.PortName{}, false
+	}
+	rec, ok := m.Args[len(m.Args)-1].(xrep.Rec)
+	if !ok || rec.Name != ackRecName || len(rec.Fields) != 1 {
+		return xrep.PortName{}, false
+	}
+	p, ok := rec.Fields[0].(xrep.PortName)
+	return p, ok
+}
+
 // SyncSend is the synchronization send: it transmits the message and
 // blocks until the receiving process has removed it (or timeout elapses).
 // "The sending process waits until the message has been received by the
 // target process."
 //
-// The construction appends a hidden acknowledgement port as a trailing
-// argument; the receiving process must call Acknowledge when it removes
-// the message. One exchange therefore costs two messages where the
+// The construction appends a hidden, tagged acknowledgement port as a
+// trailing argument; the receiving process must call Acknowledge when it
+// removes the message. One exchange therefore costs two messages where the
 // no-wait send costs one.
 func SyncSend(pr *guardian.Process, to xrep.PortName, timeout time.Duration, command string, args ...any) error {
 	ack, err := pr.Guardian().NewPort(AckType, 1)
@@ -51,7 +77,7 @@ func SyncSend(pr *guardian.Process, to xrep.PortName, timeout time.Duration, com
 		return err
 	}
 	defer pr.Guardian().RemovePort(ack)
-	args = append(args, ack.Name())
+	args = append(args, AckArg(ack.Name()))
 	if err := pr.Send(to, command, args...); err != nil {
 		return err
 	}
@@ -74,25 +100,20 @@ func SyncSend(pr *guardian.Process, to xrep.PortName, timeout time.Duration, com
 
 // Acknowledge completes the receiving half of a synchronization send: the
 // receiver calls it immediately upon removing the message. The trailing
-// argument carries the hidden acknowledgement port.
+// argument carries the hidden, tagged acknowledgement port.
 func Acknowledge(pr *guardian.Process, m *guardian.Message) error {
-	if len(m.Args) == 0 {
-		return errors.New("sendprim: message carries no acknowledgement port")
-	}
-	ackPort, ok := m.Args[len(m.Args)-1].(xrep.PortName)
+	p, ok := ackPort(m)
 	if !ok {
-		return errors.New("sendprim: trailing argument is not an acknowledgement port")
+		return errors.New("sendprim: message carries no tagged acknowledgement port")
 	}
-	return pr.Send(ackPort, "received")
+	return pr.Send(p, "received")
 }
 
 // StripAck returns the message's application arguments with the hidden
-// acknowledgement port removed.
+// acknowledgement port removed. Only the tagged record is stripped: a
+// message whose final real argument is a plain port keeps it.
 func StripAck(m *guardian.Message) xrep.Seq {
-	if len(m.Args) == 0 {
-		return m.Args
-	}
-	if _, ok := m.Args[len(m.Args)-1].(xrep.PortName); ok {
+	if _, ok := ackPort(m); ok {
 		return m.Args[:len(m.Args)-1]
 	}
 	return m.Args
@@ -104,18 +125,83 @@ type CallOptions struct {
 	Timeout time.Duration
 	// Retries is the number of re-sends after the first attempt. Retrying
 	// is only safe when the request is idempotent — the paper's reserve
-	// and cancel are designed to be exactly that (§3.5).
+	// and cancel are designed to be exactly that (§3.5) — or when the
+	// receiver runs an at-most-once filter (package amo).
 	Retries int
 	// ReplyCapacity sizes the ephemeral reply port. Zero means 4.
 	ReplyCapacity int
+	// Backoff is the delay inserted before the first re-send; each further
+	// re-send doubles it, capped at BackoffCap. Zero keeps the historical
+	// behavior: immediate blind re-send.
+	Backoff time.Duration
+	// BackoffCap bounds the grown backoff. Zero means 32×Backoff.
+	BackoffCap time.Duration
 }
+
+// backoffFor returns the delay to insert after failed attempt number
+// attempt (0-based).
+func (o CallOptions) backoffFor(attempt int) time.Duration {
+	if o.Backoff <= 0 {
+		return 0
+	}
+	cap := o.BackoffCap
+	if cap <= 0 {
+		cap = 32 * o.Backoff
+	}
+	d := o.Backoff
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// CallTiming records one attempt of a remote transaction send.
+type CallTiming struct {
+	// Start is the attempt's offset from the call's beginning.
+	Start time.Duration
+	// Wait is how long the attempt waited for a reply.
+	Wait time.Duration
+	// Backoff is the delay slept after the attempt failed.
+	Backoff time.Duration
+}
+
+// CallError reports an exhausted remote transaction send with per-attempt
+// timing. It unwraps to ErrCallTimeout, so errors.Is keeps working.
+type CallError struct {
+	Attempts []CallTiming
+}
+
+// Error implements error.
+func (e *CallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v after %d attempts (", ErrCallTimeout, len(e.Attempts))
+	for i, a := range e.Attempts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "@%v waited %v", a.Start.Round(time.Millisecond), a.Wait.Round(time.Millisecond))
+		if a.Backoff > 0 {
+			fmt.Fprintf(&b, " backoff %v", a.Backoff.Round(time.Millisecond))
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Unwrap lets errors.Is(err, ErrCallTimeout) succeed.
+func (e *CallError) Unwrap() error { return ErrCallTimeout }
 
 // Call is the remote transaction send: "the sending process waits for a
 // response from the receiving process that the command has been carried
 // out." It sends the request with an ephemeral reply port, waits for the
-// response, and optionally retries on timeout, masking message loss (but
-// not node failure — on exhaustion the caller knows nothing, exactly the
-// uncertainty §3.5 describes).
+// response, and optionally retries on timeout — with exponential backoff
+// between attempts when Backoff is set — masking message loss (but not
+// node failure: on exhaustion the caller knows nothing, exactly the
+// uncertainty §3.5 describes, and the returned CallError carries the
+// per-attempt timing so the caller can see how the budget was spent).
 func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, opts CallOptions, command string, args ...any) (*guardian.Message, error) {
 	capacity := opts.ReplyCapacity
 	if capacity == 0 {
@@ -127,8 +213,12 @@ func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, 
 	}
 	defer pr.Guardian().RemovePort(reply)
 
+	clock := pr.Guardian().Node().World().Clock()
+	begin := clock.Now()
 	attempts := opts.Retries + 1
+	timings := make([]CallTiming, 0, attempts)
 	for i := 0; i < attempts; i++ {
+		attemptStart := clock.Now()
 		if err := pr.SendReplyTo(to, reply.Name(), command, args...); err != nil {
 			return nil, err
 		}
@@ -142,8 +232,18 @@ func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, 
 		case guardian.RecvKilled:
 			return nil, guardian.ErrKilled
 		case guardian.RecvTimeout:
-			// fall through to retry
+			t := CallTiming{
+				Start: attemptStart.Sub(begin),
+				Wait:  clock.Now().Sub(attemptStart),
+			}
+			if i < attempts-1 {
+				t.Backoff = opts.backoffFor(i)
+				if t.Backoff > 0 && !pr.Pause(t.Backoff) {
+					return nil, guardian.ErrKilled
+				}
+			}
+			timings = append(timings, t)
 		}
 	}
-	return nil, ErrCallTimeout
+	return nil, &CallError{Attempts: timings}
 }

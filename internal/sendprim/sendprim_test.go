@@ -1,6 +1,7 @@
 package sendprim
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -9,11 +10,12 @@ import (
 	"repro/internal/xrep"
 )
 
-// workType declares a trailing AnyKind slot for the hidden sync-send ack
-// port (present only on sync sends) by declaring two commands.
+// workType declares a trailing KindRec slot for the hidden, tagged
+// sync-send ack port (present only on sync sends) by declaring two
+// commands.
 var workType = guardian.NewPortType("work_port").
-	Msg("work_sync", xrep.KindString, xrep.KindPortName). // sync-send variant
-	Msg("work", xrep.KindString).                         // no-wait / call variant
+	Msg("work_sync", xrep.KindString, xrep.KindRec). // sync-send variant
+	Msg("work", xrep.KindString).                    // no-wait / call variant
 	Replies("work", "done")
 
 var doneType = guardian.NewPortType("done_port").
@@ -130,20 +132,32 @@ func TestAcknowledgeRejectsMalformed(t *testing.T) {
 	if err := Acknowledge(drv, m); err == nil {
 		t.Fatal("Acknowledge accepted a non-port trailing arg")
 	}
+	// A bare trailing port is NOT an ack port: only the tagged record is.
+	pn := xrep.PortName{Node: "n", Guardian: 1, Port: 2}
+	m2 := &guardian.Message{Command: "x", Args: xrep.Seq{pn}}
+	if err := Acknowledge(drv, m2); err == nil {
+		t.Fatal("Acknowledge accepted an untagged trailing port")
+	}
 }
 
 func TestStripAck(t *testing.T) {
 	pn := xrep.PortName{Node: "n", Guardian: 1, Port: 2}
-	m := &guardian.Message{Args: xrep.Seq{xrep.Str("a"), pn}}
+	m := &guardian.Message{Args: xrep.Seq{xrep.Str("a"), AckArg(pn)}}
 	if got := StripAck(m); len(got) != 1 {
 		t.Fatalf("StripAck kept %d args", len(got))
 	}
-	m2 := &guardian.Message{Args: xrep.Seq{xrep.Str("a")}}
-	if got := StripAck(m2); len(got) != 1 {
+	// A message whose final REAL argument is a port keeps it: this is the
+	// corruption the tagged record prevents.
+	m2 := &guardian.Message{Args: xrep.Seq{xrep.Str("a"), pn}}
+	if got := StripAck(m2); len(got) != 2 {
+		t.Fatalf("StripAck corrupted a message ending in a real port arg (%d args left)", len(got))
+	}
+	m3 := &guardian.Message{Args: xrep.Seq{xrep.Str("a")}}
+	if got := StripAck(m3); len(got) != 1 {
 		t.Fatalf("StripAck removed a non-port arg")
 	}
-	m3 := &guardian.Message{}
-	if got := StripAck(m3); len(got) != 0 {
+	m4 := &guardian.Message{}
+	if got := StripAck(m4); len(got) != 0 {
 		t.Fatal("StripAck on empty args")
 	}
 }
@@ -198,11 +212,69 @@ func TestCallExhaustsRetries(t *testing.T) {
 	start := time.Now()
 	_, err := Call(drv, port, doneType,
 		CallOptions{Timeout: 20 * time.Millisecond, Retries: 2}, "work", "x")
-	if err != ErrCallTimeout {
+	if !errors.Is(err, ErrCallTimeout) {
 		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T does not carry per-attempt timing", err)
+	}
+	if len(ce.Attempts) != 3 {
+		t.Fatalf("error records %d attempts, want 3", len(ce.Attempts))
+	}
+	for i, a := range ce.Attempts {
+		if a.Wait < 15*time.Millisecond {
+			t.Fatalf("attempt %d waited only %v", i, a.Wait)
+		}
 	}
 	if el := time.Since(start); el < 55*time.Millisecond {
 		t.Fatalf("3 attempts × 20ms finished in %v", el)
+	}
+}
+
+func TestCallBackoffSpacesAttempts(t *testing.T) {
+	cfg := netsim.Config{LossRate: 1.0}
+	_, port, drv := newWorker(t, cfg, 0)
+	start := time.Now()
+	_, err := Call(drv, port, doneType,
+		CallOptions{Timeout: 10 * time.Millisecond, Retries: 2, Backoff: 20 * time.Millisecond},
+		"work", "x")
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	// 3 waits of 10ms plus backoffs of 20ms and 40ms between attempts.
+	if el := time.Since(start); el < 85*time.Millisecond {
+		t.Fatalf("backed-off attempts finished in %v, want ≥ ~90ms", el)
+	}
+	var ce *CallError
+	if !errors.As(err, &ce) {
+		t.Fatal("no CallError")
+	}
+	if ce.Attempts[0].Backoff != 20*time.Millisecond || ce.Attempts[1].Backoff != 40*time.Millisecond {
+		t.Fatalf("backoffs %v/%v, want 20ms/40ms", ce.Attempts[0].Backoff, ce.Attempts[1].Backoff)
+	}
+	if ce.Attempts[2].Backoff != 0 {
+		t.Fatalf("final attempt slept %v after exhaustion", ce.Attempts[2].Backoff)
+	}
+}
+
+func TestCallBackoffCap(t *testing.T) {
+	opts := CallOptions{Backoff: 10 * time.Millisecond, BackoffCap: 25 * time.Millisecond}
+	want := []time.Duration{10, 20, 25, 25}
+	for i, w := range want {
+		if got := opts.backoffFor(i); got != w*time.Millisecond {
+			t.Fatalf("backoffFor(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	// Default cap: 32×Backoff.
+	opts = CallOptions{Backoff: time.Millisecond}
+	if got := opts.backoffFor(10); got != 32*time.Millisecond {
+		t.Fatalf("default cap gave %v, want 32ms", got)
+	}
+	// Zero backoff: old behavior, no delay at any attempt.
+	opts = CallOptions{}
+	if got := opts.backoffFor(5); got != 0 {
+		t.Fatalf("zero backoff slept %v", got)
 	}
 }
 
@@ -241,7 +313,7 @@ func TestCallAtLeastOnceSemantics(t *testing.T) {
 	}
 	_, err = Call(drv, created.Ports[0], doneType,
 		CallOptions{Timeout: 30 * time.Millisecond, Retries: 3}, "work", "dup")
-	if err != ErrCallTimeout {
+	if !errors.Is(err, ErrCallTimeout) {
 		t.Fatalf("err = %v, want timeout (replies severed)", err)
 	}
 	w.Quiesce()

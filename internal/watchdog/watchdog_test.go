@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/guardian"
+	"repro/internal/netsim"
 	"repro/internal/xrep"
 )
 
@@ -149,6 +150,51 @@ func TestWatchIsIdempotent(t *testing.T) {
 	h.call(t, "watch", "target")
 	if n := len(h.status(t)); n != 1 {
 		t.Fatalf("status has %d entries", n)
+	}
+}
+
+// TestPartitionHealTransitions: a network partition is indistinguishable
+// from a node crash to a timeout-based detector (§3.4) — the partitioned
+// node must be reported node_down, and healing the partition must bring a
+// node_up without any restart.
+func TestPartitionHealTransitions(t *testing.T) {
+	h := deploy(t, 20)
+	h.w.MustAddNode("target")
+	h.call(t, "watch", "target")
+	h.call(t, "subscribe", h.events.Name())
+	h.waitStatus(t, "target", true)
+
+	// Cut the monitor off from the target; the client side stays attached
+	// to the monitor so status queries keep working.
+	h.w.Net().Partition(
+		[]netsim.Addr{"monitor", "cli"},
+		[]netsim.Addr{"target"},
+	)
+	h.waitStatus(t, "target", false)
+
+	h.w.Net().Heal()
+	h.waitStatus(t, "target", true)
+
+	// The subscriber saw the full up → down → up sequence.
+	var seq []string
+	deadline := time.Now().Add(testTimeout)
+	for len(seq) < 3 && time.Now().Before(deadline) {
+		m, st := h.proc.Receive(time.Until(deadline), h.events)
+		if st != guardian.RecvOK {
+			break
+		}
+		if m.Str(0) == "target" {
+			seq = append(seq, m.Command)
+		}
+	}
+	want := []string{"node_up", "node_down", "node_up"}
+	if len(seq) < 3 {
+		t.Fatalf("events = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("events = %v, want %v", seq, want)
+		}
 	}
 }
 

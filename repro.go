@@ -24,6 +24,7 @@
 package repro
 
 import (
+	"repro/internal/amo"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
 	"repro/internal/sendprim"
@@ -77,6 +78,14 @@ type (
 
 	// Value is a node of the external representation model (§3.3).
 	Value = xrep.Value
+	// Seq is a sequence value of the external model.
+	Seq = xrep.Seq
+	// Int is an integer value of the external model.
+	Int = xrep.Int
+	// Str is a string value of the external model.
+	Str = xrep.Str
+	// Bool is a boolean value of the external model.
+	Bool = xrep.Bool
 	// PortName is the global name of a port.
 	PortName = xrep.PortName
 	// Token is a sealed capability (§2.1).
@@ -89,6 +98,23 @@ type (
 	Registry = xrep.Registry
 	// CallOptions tunes a remote transaction send.
 	CallOptions = sendprim.CallOptions
+
+	// AMOCaller issues at-most-once calls over the no-wait send.
+	AMOCaller = amo.Caller
+	// AMOCallerOptions tunes an AMOCaller.
+	AMOCallerOptions = amo.CallerOptions
+	// AMOBackoff is the capped exponential backoff + jitter policy.
+	AMOBackoff = amo.BackoffPolicy
+	// AMODedup is the server-side duplicate filter with cached replies.
+	AMODedup = amo.Dedup
+	// AMODedupOptions tunes an AMODedup.
+	AMODedupOptions = amo.DedupOptions
+	// AMORequest is a deduplicated request handed to a handler.
+	AMORequest = amo.Request
+	// AMOReply is the decoded reply of an at-most-once call.
+	AMOReply = amo.Reply
+	// AMOHealth tracks watchdog liveness events as a circuit breaker.
+	AMOHealth = amo.Health
 )
 
 // Constructors and helpers.
@@ -113,6 +139,22 @@ var (
 	Call = sendprim.Call
 	// Acknowledge completes the receiving half of a synchronization send.
 	Acknowledge = sendprim.Acknowledge
+	// NewAMOCaller creates an at-most-once caller for a driver process.
+	NewAMOCaller = amo.NewCaller
+	// NewAMODedup creates a server-side at-most-once filter.
+	NewAMODedup = amo.NewDedup
+	// NewAMOHealth creates a watchdog-fed circuit breaker.
+	NewAMOHealth = amo.NewHealth
+	// AMOReqType is the port type a guardian provides to accept amo calls.
+	AMOReqType = amo.ReqType
+	// AMOErrTimeout: the retry budget was exhausted without a reply.
+	AMOErrTimeout = amo.ErrTimeout
+	// AMOErrCircuitOpen: the target node is reported down; failed fast.
+	AMOErrCircuitOpen = amo.ErrCircuitOpen
+	// AMOErrFailed: the runtime returned a failure message for the call.
+	AMOErrFailed = amo.ErrFailed
+	// AMOErrBusy: a Caller carries one call at a time.
+	AMOErrBusy = amo.ErrBusy
 	// NewRealClock returns the wall clock.
 	NewRealClock = vtime.NewReal
 	// NewSimClock returns a deterministic simulated clock.
@@ -133,6 +175,8 @@ const (
 	Infinite = guardian.Infinite
 	// FailureCommand is the implicit system failure message.
 	FailureCommand = guardian.FailureCommand
+	// AMOReqCommand is the envelope command of at-most-once requests.
+	AMOReqCommand = amo.ReqCommand
 	// AnyKind is the wildcard argument kind in message specs.
 	AnyKind = guardian.AnyKind
 )
