@@ -1,0 +1,84 @@
+// Command dst runs the deterministic simulation harness: a seeded fault
+// schedule (drop/dup/reorder/partition/crash-restart) against the bank or
+// airline workload, with invariant checkers for conservation of money,
+// exactly-once application, no-overbooking, and recovery-equals-replay
+// (see DESIGN.md §7).
+//
+// Usage:
+//
+//	dst -seed 42                          # one bank run under the mixed profile
+//	dst -seeds 100 -workload airline      # sweep seeds 1..100
+//	dst -profile crashy -clients 5        # pick a fault profile
+//	dst -bug disable-dedup                # inject the control-arm bug
+//	dst -profiles                         # list fault profiles
+//
+// Exits 1 if any run violates an invariant; failing runs are shrunk to a
+// minimal fault schedule and printed with their reproduction line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dst"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "first (or only) seed")
+		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+		workload = flag.String("workload", "bank", "workload: bank or airline")
+		profile  = flag.String("profile", "", "fault profile (default mixed; see -profiles)")
+		clients  = flag.Int("clients", 0, "concurrent clients (default 3)")
+		ops      = flag.Int("ops", 0, "operations per client (default 12)")
+		bug      = flag.String("bug", "", "inject a known bug (disable-dedup) as a harness check")
+		list     = flag.Bool("profiles", false, "list fault profiles and exit")
+		verbose  = flag.Bool("v", false, "print every report, not only failures")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Fault profiles:")
+		for _, p := range dst.Profiles() {
+			fmt.Printf("  %-12s loss=%.2f dup=%.2f reorder=%.2f crashes=%d partitions=%d\n",
+				p.Name, p.Loss, p.Dup, p.Reorder, p.Crashes, p.Partitions)
+		}
+		return
+	}
+
+	opts := dst.Options{
+		Workload:     *workload,
+		Clients:      *clients,
+		OpsPerClient: *ops,
+		Bug:          *bug,
+	}
+	if *profile != "" {
+		p, err := dst.ProfileByName(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Profile = p
+	}
+
+	failed := 0
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		opts.Seed = s
+		rep := dst.Run(opts)
+		if rep.Failed() {
+			failed++
+			rep = dst.Shrink(opts, rep, 0)
+			fmt.Print(rep.String())
+		} else if *verbose {
+			fmt.Print(rep.String())
+		} else {
+			fmt.Printf("seed %-6d %-8s %-12s PASS (%d/%d ops acked, %d retries)\n",
+				s, opts.Workload, rep.Profile, rep.OpsAcked, rep.OpsIssued, rep.Retries)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dst: %d of %d seeds violated an invariant\n", failed, *seeds)
+		os.Exit(1)
+	}
+}

@@ -378,6 +378,32 @@ type FlightSnapshot struct {
 	Waiting  int
 }
 
+// SnapshotAllDates inspects every date a flight guardian has touched.
+// Quiescent-guardians-only, like SnapshotFlight.
+func SnapshotAllDates(g *guardian.Guardian) (map[string]FlightSnapshot, bool) {
+	st, ok := g.State().(*flightState)
+	if !ok {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]FlightSnapshot, len(st.dates))
+	for d, dd := range st.dates {
+		out[d] = FlightSnapshot{Reserved: len(dd.reserved), Waiting: len(dd.waitlist)}
+	}
+	return out, true
+}
+
+// FlightCapacity reports the guardian's configured seats per date — the
+// bound a no-overbooking checker holds every date's Reserved count to.
+func FlightCapacity(g *guardian.Guardian) (int, bool) {
+	st, ok := g.State().(*flightState)
+	if !ok {
+		return 0, false
+	}
+	return st.capacity, true
+}
+
 // SnapshotFlight inspects a flight guardian's state. Only for tests and
 // in-process tooling at the same node; it takes the date maps' mutex but
 // not per-date possession, so use it only on quiescent guardians.

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/amo"
 	"repro/internal/guardian"
+	"repro/internal/stable"
 	"repro/internal/wire"
 	"repro/internal/xrep"
 )
@@ -112,6 +113,44 @@ func opRecord(kind, acct string, amount int64, opID string) []byte {
 	return b
 }
 
+// decodeOpRecord is opRecord's inverse. ok is false for foreign records —
+// the branch's log is shared with its dedup filter, whose records are
+// xrep.Rec values and simply skipped here.
+func decodeOpRecord(data []byte) (kind, acct string, amount int64, opID string, ok bool) {
+	v, err := wire.UnmarshalValue(data)
+	if err != nil {
+		return "", "", 0, "", false
+	}
+	seq, isSeq := v.(xrep.Seq)
+	if !isSeq || len(seq) != 4 {
+		return "", "", 0, "", false
+	}
+	k, ok1 := seq[0].(xrep.Str)
+	a, ok2 := seq[1].(xrep.Str)
+	n, ok3 := seq[2].(xrep.Int)
+	id, ok4 := seq[3].(xrep.Str)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return "", "", 0, "", false
+	}
+	return string(k), string(a), int64(n), string(id), true
+}
+
+// ReplayAccounts rebuilds a branch's account table by replaying durable
+// operation records through the same deterministic apply used online,
+// skipping foreign (e.g. dedup-table) records. It is the independent
+// reference a recovery checker compares a restarted branch against: if the
+// live recovery path and this pure replay disagree, recovery lost or
+// invented an effect.
+func ReplayAccounts(records []stable.Record) map[string]int64 {
+	st := &branchState{accounts: make(map[string]int64), applied: make(map[string]string)}
+	for _, r := range records {
+		if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
+			st.apply(kind, acct, amount, opID)
+		}
+	}
+	return st.accounts
+}
+
 // apply performs one operation against the state; deterministic, so
 // recovery replays the log through it. It returns the outcome command.
 func (st *branchState) apply(kind, acct string, amount int64, opID string) string {
@@ -164,19 +203,9 @@ func branchMain(ctx *guardian.Ctx) {
 	if ctx.Recovering {
 		_, recs, _ := log.Recover()
 		for _, r := range recs {
-			v, err := wire.UnmarshalValue(r.Data)
-			if err != nil {
-				continue
+			if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
+				st.apply(kind, acct, amount, opID)
 			}
-			seq, ok := v.(xrep.Seq)
-			if !ok || len(seq) != 4 {
-				continue
-			}
-			kind, _ := seq[0].(xrep.Str)
-			acct, _ := seq[1].(xrep.Str)
-			amount, _ := seq[2].(xrep.Int)
-			opID, _ := seq[3].(xrep.Str)
-			st.apply(string(kind), string(acct), int64(amount), string(opID))
 		}
 	}
 
@@ -197,6 +226,29 @@ func branchMain(ctx *guardian.Ctx) {
 			_ = pr.Send(replyTo, outcome)
 		}
 		return outcome
+	}
+
+	raw := false
+	if len(ctx.Args) > 0 {
+		if s, ok := ctx.Args[0].(xrep.Str); ok && string(s) == "raw" {
+			raw = true
+		}
+	}
+
+	// appendOp makes one amo-port op record durable. With the dedup filter
+	// on (the normal mode), the record is only appended here — volatile —
+	// and committed by the filter's own log-then-reply AppendSync on the
+	// SAME shared log, so the op and its dedup record become durable in one
+	// forced write: there is no crash window in which the op is durable but
+	// the dedup table has forgotten it, which would let a post-recovery
+	// retry re-execute the op. The raw control arm has no filter, so it
+	// must sync here.
+	appendOp := func(data []byte) {
+		if raw {
+			log.AppendSync(data)
+		} else {
+			log.Append(data)
+		}
 	}
 
 	// amoExec executes one command arriving on the at-most-once port.
@@ -221,7 +273,7 @@ func branchMain(ctx *guardian.Ctx) {
 			return 0
 		}
 		simple := func(kind string) (string, xrep.Seq) {
-			log.AppendSync(opRecord(kind, str(0), num(1), ""))
+			appendOp(opRecord(kind, str(0), num(1), ""))
 			outcome := st.apply(kind, str(0), num(1), "")
 			if outcome == OutcomeOK {
 				st.applies.Add(1)
@@ -246,7 +298,7 @@ func branchMain(ctx *guardian.Ctx) {
 				return OutcomeInsufficient, nil
 			}
 			log.Append(opRecord("withdraw", from, amount, ""))
-			log.AppendSync(opRecord("deposit", to, amount, ""))
+			appendOp(opRecord("deposit", to, amount, ""))
 			st.apply("withdraw", from, amount, "")
 			st.apply("deposit", to, amount, "")
 			st.applies.Add(1)
@@ -261,12 +313,6 @@ func branchMain(ctx *guardian.Ctx) {
 		return OutcomeNoAccount, nil
 	}
 
-	raw := false
-	if len(ctx.Args) > 0 {
-		if s, ok := ctx.Args[0].(xrep.Str); ok && string(s) == "raw" {
-			raw = true
-		}
-	}
 	recv := guardian.NewReceiver(ctx.Ports[0], ctx.Ports[1])
 	if raw {
 		// Control arm: execute every delivery, duplicates included — the
@@ -278,9 +324,10 @@ func branchMain(ctx *guardian.Ctx) {
 			return true
 		}, amo.ReqCommand)
 	} else {
-		dedup := amo.NewDedup(amo.DedupOptions{
-			Log: ctx.G.Node().Disk().OpenLog(fmt.Sprintf("amo-%s-%d", BranchDefName, ctx.G.ID())),
-		})
+		// The dedup table shares the guardian's own log: its log-then-reply
+		// sync is what commits the volatile op records appendOp left behind,
+		// making op and dedup record durable atomically (one forced write).
+		dedup := amo.NewDedup(amo.DedupOptions{Log: log})
 		if ctx.Recovering {
 			if _, err := dedup.Recover(); err != nil {
 				panic(err)

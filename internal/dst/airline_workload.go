@@ -1,0 +1,209 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/airline"
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/sendprim"
+)
+
+// flightNo and flightCapacity shape the airline workload: a small capacity
+// against many reserve attempts keeps the seat table full and the
+// waitlist-promotion path hot — the regime where an overbooking bug would
+// show.
+const (
+	flightNo       = 7
+	flightCapacity = 3
+)
+
+var flightDates = []string{"jul4", "jul5", "jul6"}
+
+// airlineWorkload drives reserve/cancel traffic against one flight
+// guardian through its at-most-once port and audits the seat data:
+//
+//	no-overbooking: Reserved ≤ capacity on every date, always — the
+//	                §2.3 correctness property the three organizations of
+//	                Figure 1 exist to protect
+//	recovery:       seat data after crash+restart == before (reserve and
+//	                cancel are logged before the reply leaves)
+type airlineWorkload struct {
+	opts    Options
+	w       *guardian.World
+	created *guardian.Created
+	met     *amo.Metrics
+
+	mu        sync.Mutex
+	opsIssued int64
+	opsAcked  int64
+	opsFailed int64
+}
+
+func newAirlineWorkload(opts Options) *airlineWorkload {
+	return &airlineWorkload{opts: opts, met: &amo.Metrics{}}
+}
+
+func (a *airlineWorkload) crashNodes() []string { return []string{serverNode} }
+func (a *airlineWorkload) allNodes() []string   { return []string{serverNode, clientsNode} }
+
+func (a *airlineWorkload) setup(w *guardian.World) error {
+	a.w = w
+	w.MustRegister(airline.FlightDef())
+	srv := w.MustAddNode(serverNode)
+	w.MustAddNode(clientsNode)
+	created, err := srv.Bootstrap(airline.FlightDefName,
+		int64(flightNo), int64(flightCapacity), airline.OrgSequential, int64(0))
+	if err != nil {
+		return err
+	}
+	a.created = created
+	return nil
+}
+
+func (a *airlineWorkload) client(i int, crng *rand.Rand) {
+	node, err := a.w.Node(clientsNode)
+	if err != nil {
+		return
+	}
+	_, pr, err := node.NewDriver(fmt.Sprintf("airline-client-%d", i))
+	if err != nil {
+		return
+	}
+	caller, err := amo.NewCaller(pr, amo.CallerOptions{
+		Timeout: a.opts.AttemptTimeout,
+		Retries: a.opts.Retries,
+		Backoff: amo.BackoffPolicy{Base: 2 * time.Millisecond, Jitter: 0.5},
+		Seed:    crng.Int63(),
+		Metrics: a.met,
+	})
+	if err != nil {
+		return
+	}
+	defer caller.Close()
+	amoPort := a.created.Ports[1]
+
+	passengers := []string{
+		fmt.Sprintf("p%d-0", i), fmt.Sprintf("p%d-1", i), fmt.Sprintf("p%d-2", i),
+	}
+	for op := 0; op < a.opts.OpsPerClient; op++ {
+		pace(pr, crng, a.opts)
+		cmd := "reserve"
+		if crng.Intn(10) < 4 {
+			cmd = "cancel"
+		}
+		pid := passengers[crng.Intn(len(passengers))]
+		date := flightDates[crng.Intn(len(flightDates))]
+		a.note(func() { a.opsIssued++ })
+		if _, err := caller.Call(amoPort, cmd, int64(flightNo), pid, date); err != nil {
+			a.note(func() { a.opsFailed++ })
+			continue
+		}
+		a.note(func() { a.opsAcked++ })
+	}
+}
+
+func (a *airlineWorkload) note(f func()) {
+	a.mu.Lock()
+	f()
+	a.mu.Unlock()
+}
+
+// ping performs a synchronizing list_passengers call: the reply proves the
+// flight's receiver loop is running, which in turn proves any recovery
+// replay has completed — only then is it safe to read the guardian's state
+// directly.
+func (a *airlineWorkload) ping(pr *guardian.Process) error {
+	_, err := sendprim.Call(pr, a.created.Ports[0], airline.ClientReplyType,
+		sendprim.CallOptions{
+			Timeout: a.opts.AttemptTimeout,
+			Retries: 20,
+			Backoff: 2 * time.Millisecond,
+		}, "list_passengers", int64(flightNo), flightDates[0])
+	return err
+}
+
+func (a *airlineWorkload) check(w *guardian.World, rep *Report, crashed bool) {
+	a.mu.Lock()
+	rep.OpsIssued, rep.OpsAcked, rep.OpsFailed = a.opsIssued, a.opsAcked, a.opsFailed
+	a.mu.Unlock()
+	rep.Retries = a.met.Retries.Load()
+
+	node, err := w.Node(serverNode)
+	if err != nil {
+		rep.addViolation("recovery", "server node missing: %v", err)
+		return
+	}
+	if !node.Alive() {
+		if err := node.Restart(); err != nil {
+			rep.addViolation("recovery", "restart failed: %v", err)
+			return
+		}
+	}
+	cnode, err := w.Node(clientsNode)
+	if err != nil {
+		rep.addViolation("recovery", "clients node missing: %v", err)
+		return
+	}
+	_, pr, err := cnode.NewDriver("airline-checker")
+	if err != nil {
+		rep.addViolation("recovery", "checker driver: %v", err)
+		return
+	}
+	if err := a.ping(pr); err != nil {
+		rep.addViolation("recovery", "flight unreachable after run: %v", err)
+		return
+	}
+	g, ok := node.GuardianByID(a.created.GuardianID)
+	if !ok {
+		rep.addViolation("recovery", "flight guardian %d missing after run", a.created.GuardianID)
+		return
+	}
+	pre, ok := airline.SnapshotAllDates(g)
+	capacity, _ := airline.FlightCapacity(g)
+	if !ok {
+		rep.addViolation("recovery", "guardian %d is not a flight", a.created.GuardianID)
+		return
+	}
+	for date, snap := range pre {
+		if snap.Reserved > capacity {
+			rep.addViolation("no-overbooking",
+				"date %s has %d reserved seats for capacity %d", date, snap.Reserved, capacity)
+		}
+	}
+
+	// Recovery: the flight logs every completed reserve/cancel before
+	// replying, so a crash+restart must reproduce the same seat data.
+	node.Crash()
+	if err := node.Restart(); err != nil {
+		rep.addViolation("recovery", "final restart: %v", err)
+		return
+	}
+	if err := a.ping(pr); err != nil {
+		rep.addViolation("recovery", "flight unreachable after final restart: %v", err)
+		return
+	}
+	g2, ok := node.GuardianByID(a.created.GuardianID)
+	if !ok {
+		rep.addViolation("recovery", "flight guardian %d not recovered", a.created.GuardianID)
+		return
+	}
+	post, ok := airline.SnapshotAllDates(g2)
+	if !ok {
+		rep.addViolation("recovery", "post-restart snapshot failed")
+		return
+	}
+	if len(pre) != len(post) {
+		rep.addViolation("recovery", "dates %d before crash, %d after", len(pre), len(post))
+		return
+	}
+	for date, snap := range pre {
+		if post[date] != snap {
+			rep.addViolation("recovery",
+				"date %s: pre-crash %+v != post-restart %+v", date, snap, post[date])
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package dst
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/bank"
+	"repro/internal/guardian"
+	"repro/internal/sendprim"
+	"repro/internal/stable"
+)
+
+// seedFunds is the initial deposit each client makes into its first
+// account before issuing random operations.
+const seedFunds = 1000
+
+// clientLedger is one session's client-side model of its two accounts.
+// Touched only by its own goroutine during the run, read by check after.
+type clientLedger struct {
+	acctA, acctB string
+	expA, expB   int64
+	// funded is true once the initial deposit was acked ok.
+	funded bool
+	// certain is true while every call the client made was acked — the
+	// precondition for comparing exact balances. Any timeout or failure
+	// leaves an op in may-or-may-not-have-applied limbo and clears it.
+	certain bool
+}
+
+// bankWorkload drives deposits, withdrawals and intra-branch transfers
+// against one branch guardian through its at-most-once port, and audits
+// the surviving accounts.
+//
+// The invariants are chosen to be valid under ANY schedule and goroutine
+// interleaving, exploiting the branch's log-then-reply discipline (an
+// acked op is durable) and the amo layer's at-most-once promise (an
+// issued op applies at most once):
+//
+//	conservation:  Σ balances ∈ [ackedDeposits−issuedWithdrawals,
+//	                             issuedDeposits−ackedWithdrawals]
+//	exactly-once:  ackedOK ≤ applies ≤ issuedAmoOps   (crash-free runs:
+//	               the applies counter is volatile)
+//	balance:       exact expected balances, for clients whose every call
+//	               was acked
+//	recovery:      state after crash+restart == state before == pure
+//	               replay of the durable log (bank.ReplayAccounts)
+type bankWorkload struct {
+	opts    Options
+	w       *guardian.World
+	created *guardian.Created
+	met     *amo.Metrics
+	ledgers []clientLedger
+
+	mu           sync.Mutex
+	issuedDepSum int64 // all deposit amounts issued (funding included)
+	ackedDepSum  int64 // deposit amounts acked ok
+	issuedWdSum  int64 // all withdrawal amounts issued
+	ackedWdSum   int64 // withdrawal amounts acked ok
+	issuedAmo    int64 // mutating at-most-once calls issued
+	ackedOKAmo   int64 // at-most-once calls acked with outcome ok
+	opsIssued    int64
+	opsAcked     int64
+	opsFailed    int64
+}
+
+func newBankWorkload(opts Options) *bankWorkload {
+	return &bankWorkload{
+		opts:    opts,
+		met:     &amo.Metrics{},
+		ledgers: make([]clientLedger, opts.Clients),
+	}
+}
+
+func (b *bankWorkload) crashNodes() []string { return []string{serverNode} }
+func (b *bankWorkload) allNodes() []string   { return []string{serverNode, clientsNode} }
+
+func (b *bankWorkload) setup(w *guardian.World) error {
+	b.w = w
+	w.MustRegister(bank.BranchDef())
+	srv := w.MustAddNode(serverNode)
+	w.MustAddNode(clientsNode)
+	var args []any
+	if b.opts.Bug == BugDisableDedup {
+		args = append(args, "raw")
+	}
+	created, err := srv.Bootstrap(bank.BranchDefName, args...)
+	if err != nil {
+		return err
+	}
+	b.created = created
+	return nil
+}
+
+func (b *bankWorkload) client(i int, crng *rand.Rand) {
+	led := &b.ledgers[i]
+	led.acctA, led.acctB = fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+	led.certain = true
+
+	node, err := b.w.Node(clientsNode)
+	if err != nil {
+		return
+	}
+	_, pr, err := node.NewDriver(fmt.Sprintf("bank-client-%d", i))
+	if err != nil {
+		return
+	}
+	native := b.created.Ports[0]
+	amoPort := b.created.Ports[1]
+	callOpts := sendprim.CallOptions{
+		Timeout: b.opts.AttemptTimeout,
+		Retries: b.opts.Retries,
+		Backoff: 2 * time.Millisecond,
+	}
+
+	// Account setup and funding go through the branch's native idempotent
+	// port: open re-sends answer account_exists, the funding deposit
+	// carries an op_id.
+	open := func(acct string) bool {
+		b.note(func() { b.opsIssued++ })
+		m, err := sendprim.Call(pr, native, bank.ClientReplyType, callOpts, "open", acct)
+		if err != nil || (m.Command != bank.OutcomeOK && m.Command != bank.OutcomeExists) {
+			b.note(func() { b.opsFailed++ })
+			led.certain = false
+			return false
+		}
+		b.note(func() { b.opsAcked++ })
+		return true
+	}
+	if !open(led.acctA) || !open(led.acctB) {
+		return
+	}
+	b.note(func() { b.opsIssued++; b.issuedDepSum += seedFunds })
+	m, err := sendprim.Call(pr, native, bank.ClientReplyType, callOpts,
+		"deposit", led.acctA, int64(seedFunds), fmt.Sprintf("fund-%d", i))
+	if err != nil || m.Command != bank.OutcomeOK {
+		b.note(func() { b.opsFailed++ })
+		led.certain = false
+		return
+	}
+	b.note(func() { b.opsAcked++; b.ackedDepSum += seedFunds })
+	led.funded = true
+	led.expA = seedFunds
+
+	caller, err := amo.NewCaller(pr, amo.CallerOptions{
+		Timeout: b.opts.AttemptTimeout,
+		Retries: b.opts.Retries,
+		Backoff: amo.BackoffPolicy{Base: 2 * time.Millisecond, Jitter: 0.5},
+		Seed:    crng.Int63(),
+		Metrics: b.met,
+	})
+	if err != nil {
+		return
+	}
+	defer caller.Close()
+
+	for op := 0; op < b.opts.OpsPerClient; op++ {
+		pace(pr, crng, b.opts)
+		acct, exp := led.acctA, &led.expA
+		if crng.Intn(2) == 1 {
+			acct, exp = led.acctB, &led.expB
+		}
+		switch pick := crng.Intn(10); {
+		case pick < 4: // deposit
+			amt := 1 + crng.Int63n(9)
+			b.note(func() { b.opsIssued++; b.issuedAmo++; b.issuedDepSum += amt })
+			rep, err := caller.Call(amoPort, "deposit", acct, amt)
+			if err != nil {
+				b.note(func() { b.opsFailed++ })
+				led.certain = false
+				continue
+			}
+			b.note(func() { b.opsAcked++ })
+			if rep.Command == bank.OutcomeOK {
+				b.note(func() { b.ackedDepSum += amt; b.ackedOKAmo++ })
+				*exp += amt
+			}
+		case pick < 7: // withdraw
+			amt := 1 + crng.Int63n(5)
+			b.note(func() { b.opsIssued++; b.issuedAmo++; b.issuedWdSum += amt })
+			rep, err := caller.Call(amoPort, "withdraw", acct, amt)
+			if err != nil {
+				b.note(func() { b.opsFailed++ })
+				led.certain = false
+				continue
+			}
+			b.note(func() { b.opsAcked++ })
+			if rep.Command == bank.OutcomeOK {
+				b.note(func() { b.ackedWdSum += amt; b.ackedOKAmo++ })
+				*exp -= amt
+			}
+		default: // intra-branch transfer a→b
+			amt := 1 + crng.Int63n(7)
+			b.note(func() { b.opsIssued++; b.issuedAmo++ })
+			rep, err := caller.Call(amoPort, "transfer", led.acctA, led.acctB, amt)
+			if err != nil {
+				b.note(func() { b.opsFailed++ })
+				led.certain = false
+				continue
+			}
+			b.note(func() { b.opsAcked++ })
+			if rep.Command == bank.OutcomeOK {
+				b.note(func() { b.ackedOKAmo++ })
+				led.expA -= amt
+				led.expB += amt
+			}
+		}
+	}
+}
+
+func (b *bankWorkload) note(f func()) {
+	b.mu.Lock()
+	f()
+	b.mu.Unlock()
+}
+
+// ping performs a synchronizing audit call: the reply proves the branch's
+// receiver loop is running, which in turn proves any recovery replay has
+// completed — only then is it safe to read the guardian's state directly.
+func (b *bankWorkload) ping(pr *guardian.Process) error {
+	_, err := sendprim.Call(pr, b.created.Ports[0], bank.ClientReplyType,
+		sendprim.CallOptions{
+			Timeout: b.opts.AttemptTimeout,
+			Retries: 20,
+			Backoff: 2 * time.Millisecond,
+		}, "audit")
+	return err
+}
+
+func (b *bankWorkload) check(w *guardian.World, rep *Report, crashed bool) {
+	b.mu.Lock()
+	rep.OpsIssued, rep.OpsAcked, rep.OpsFailed = b.opsIssued, b.opsAcked, b.opsFailed
+	lo := b.ackedDepSum - b.issuedWdSum
+	hi := b.issuedDepSum - b.ackedWdSum
+	ackedOK, issuedAmo := b.ackedOKAmo, b.issuedAmo
+	b.mu.Unlock()
+	rep.Retries = b.met.Retries.Load()
+
+	node, err := w.Node(serverNode)
+	if err != nil {
+		rep.addViolation("recovery", "server node missing: %v", err)
+		return
+	}
+	if !node.Alive() {
+		if err := node.Restart(); err != nil {
+			rep.addViolation("recovery", "restart failed: %v", err)
+			return
+		}
+	}
+	cnode, err := w.Node(clientsNode)
+	if err != nil {
+		rep.addViolation("recovery", "clients node missing: %v", err)
+		return
+	}
+	_, pr, err := cnode.NewDriver("bank-checker")
+	if err != nil {
+		rep.addViolation("recovery", "checker driver: %v", err)
+		return
+	}
+	if err := b.ping(pr); err != nil {
+		rep.addViolation("recovery", "branch unreachable after run: %v", err)
+		return
+	}
+	g, ok := node.GuardianByID(b.created.GuardianID)
+	if !ok {
+		rep.addViolation("recovery", "branch guardian %d missing after run", b.created.GuardianID)
+		return
+	}
+	accts, err := bank.Snapshot(g)
+	if err != nil {
+		rep.addViolation("recovery", "snapshot: %v", err)
+		return
+	}
+	var total int64
+	for _, bal := range accts {
+		total += bal
+	}
+	if total < lo || total > hi {
+		rep.addViolation("conservation",
+			"total balance %d outside [%d,%d] (acked/issued deposit and withdrawal bounds)",
+			total, lo, hi)
+	}
+
+	// The applies counter is volatile guardian state, so the execution
+	// count audit is only sound on crash-free schedules.
+	if !crashed {
+		applies, err := bank.Applies(g)
+		if err != nil {
+			rep.addViolation("exactly-once", "applies: %v", err)
+		} else if applies < ackedOK || applies > issuedAmo {
+			rep.addViolation("exactly-once",
+				"branch executed %d ok ops, want between %d acked-ok and %d issued",
+				applies, ackedOK, issuedAmo)
+		}
+	}
+
+	for i := range b.ledgers {
+		led := &b.ledgers[i]
+		if !led.funded || !led.certain {
+			continue
+		}
+		if accts[led.acctA] != led.expA || accts[led.acctB] != led.expB {
+			rep.addViolation("balance",
+				"client %d (all calls acked): got %s=%d %s=%d, want %d/%d",
+				i, led.acctA, accts[led.acctA], led.acctB, accts[led.acctB],
+				led.expA, led.expB)
+		}
+	}
+
+	// Recovery: crash the branch once more and require the restarted
+	// state to equal both the pre-crash state and an independent pure
+	// replay of the durable log.
+	node.Crash()
+	if err := node.Restart(); err != nil {
+		rep.addViolation("recovery", "final restart: %v", err)
+		return
+	}
+	if err := b.ping(pr); err != nil {
+		rep.addViolation("recovery", "branch unreachable after final restart: %v", err)
+		return
+	}
+	g2, ok := node.GuardianByID(b.created.GuardianID)
+	if !ok {
+		rep.addViolation("recovery", "branch guardian %d not recovered", b.created.GuardianID)
+		return
+	}
+	post, err := bank.Snapshot(g2)
+	if err != nil {
+		rep.addViolation("recovery", "post-restart snapshot: %v", err)
+		return
+	}
+	if !equalAccounts(post, accts) {
+		rep.addViolation("recovery", "post-restart accounts %v != pre-crash %v", post, accts)
+	}
+	// ErrNoCheckpoint is the normal state of a branch log (the branch
+	// never checkpoints); the records are still complete.
+	_, recs, err := g2.Log().Recover()
+	if err != nil && !errors.Is(err, stable.ErrNoCheckpoint) {
+		rep.addViolation("recovery", "log recover: %v", err)
+		return
+	}
+	if replay := bank.ReplayAccounts(recs); !equalAccounts(post, replay) {
+		rep.addViolation("recovery", "post-restart accounts %v != log replay %v", post, replay)
+	}
+}
+
+func equalAccounts(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

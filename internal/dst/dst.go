@@ -1,0 +1,327 @@
+// Package dst is a deterministic simulation testing harness for the
+// guardian runtime: whole multi-node programs — the bank and airline
+// applications, their at-most-once sessions, the lossy network, crashes
+// and partitions — run to completion on a virtual clock, in milliseconds
+// of real time, with every random decision derived from one master seed.
+//
+// The paper argues informally that its primitives survive "crashes of the
+// physical nodes" and an unreliable network (§1.1, §3.4); this package
+// turns that argument into a checked property. Each run derives, from the
+// seed, (1) the network's fate decisions (loss, duplication, reordering —
+// internal/netsim), (2) a fault schedule of node crash/restart and
+// partition/heal windows placed in virtual time, and (3) the client
+// workload. Invariant checkers then audit the surviving state:
+// conservation of money and exactly-once application for the bank,
+// no-overbooking for the airline, and a recovery checker asserting the
+// post-crash state equals the stable-log replay.
+//
+// A failed run prints its seed, its fault schedule (minimized by Shrink),
+// and the violated invariants; re-running the same seed regenerates the
+// identical schedule and workload, so red runs reproduce with
+//
+//	go test ./internal/dst -run 'TestSeed$' -dst.seed=N [-dst.bug=...]
+//
+// What is and is not deterministic here — virtual time is driven by
+// vtime.Sim.Drive, but goroutine interleaving within one virtual instant
+// is the Go scheduler's — is discussed in DESIGN.md §7; the invariants are
+// written to be schedule-independent, so a violation is a real bug
+// regardless of interleaving.
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/guardian"
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// Injectable bugs: each disables one protection the harness exists to
+// audit, as a self-test that the checkers actually have teeth.
+const (
+	// BugDisableDedup runs the bank branch in its "raw" control-arm mode:
+	// the at-most-once filter is removed, so duplicated or retried deposits
+	// apply more than once and conservation of money breaks.
+	BugDisableDedup = "disable-dedup"
+)
+
+// Profile bundles the fault intensity of a run: the network's standing
+// fate rates plus how many crash and partition windows the schedule
+// generator places inside the horizon.
+type Profile struct {
+	Name string
+
+	// Network fate rates (netsim.Config).
+	Loss    float64
+	Dup     float64
+	Reorder float64
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Crashes is the number of crash→restart windows of the workload's
+	// server node.
+	Crashes int
+	// Partitions is the number of partition→heal windows.
+	Partitions int
+	// Horizon is the virtual window fault events are placed in.
+	Horizon time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	if p.Latency == 0 {
+		p.Latency = 500 * time.Microsecond
+	}
+	if p.Horizon == 0 {
+		p.Horizon = 2 * time.Second
+	}
+	return p
+}
+
+// The stock profiles, in increasing order of hostility.
+func QuietProfile() Profile {
+	return Profile{Name: "quiet", Jitter: 200 * time.Microsecond}.withDefaults()
+}
+func LossyProfile() Profile {
+	return Profile{Name: "lossy", Loss: 0.25, Dup: 0.25, Reorder: 0.20,
+		Jitter: 300 * time.Microsecond}.withDefaults()
+}
+func PartitionedProfile() Profile {
+	return Profile{Name: "partitioned", Loss: 0.05, Dup: 0.05,
+		Jitter: 300 * time.Microsecond, Partitions: 2}.withDefaults()
+}
+func CrashyProfile() Profile {
+	return Profile{Name: "crashy", Loss: 0.05, Dup: 0.05,
+		Jitter: 300 * time.Microsecond, Crashes: 2, Partitions: 1}.withDefaults()
+}
+
+// MixedProfile is the default seed-sweep profile: every fault class at
+// once, at moderate rates.
+func MixedProfile() Profile {
+	return Profile{Name: "mixed", Loss: 0.10, Dup: 0.10, Reorder: 0.10,
+		Jitter: 300 * time.Microsecond, Crashes: 1, Partitions: 1}.withDefaults()
+}
+
+// Profiles returns the stock profiles.
+func Profiles() []Profile {
+	return []Profile{QuietProfile(), LossyProfile(), PartitionedProfile(),
+		CrashyProfile(), MixedProfile()}
+}
+
+// ProfileByName resolves a stock profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("dst: unknown profile %q", name)
+}
+
+// Options configures one simulated run.
+type Options struct {
+	// Seed is the master seed; every random decision of the run derives
+	// from it.
+	Seed int64
+	// Workload selects the application under test: "bank" (default) or
+	// "airline".
+	Workload string
+	// Profile is the fault intensity. Zero value means MixedProfile.
+	Profile Profile
+	// Clients is the number of concurrent client sessions. Zero means 3.
+	Clients int
+	// OpsPerClient is the number of operations each client issues after
+	// setup. Zero means 12.
+	OpsPerClient int
+	// Bug optionally disables a protection (see the Bug* constants), as a
+	// harness self-test: the checkers must catch it.
+	Bug string
+	// AttemptTimeout bounds each call attempt (virtual time). Zero means
+	// 25ms.
+	AttemptTimeout time.Duration
+	// Retries is the per-call re-send budget. Zero means 8.
+	Retries int
+	// Settle is the real-time pacing window of vtime.Drive. Zero means the
+	// driver's default.
+	Settle time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workload == "" {
+		o.Workload = "bank"
+	}
+	if o.Profile.Name == "" && o.Profile == (Profile{}) {
+		o.Profile = MixedProfile()
+	} else {
+		o.Profile = o.Profile.withDefaults()
+	}
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if o.OpsPerClient <= 0 {
+		o.OpsPerClient = 12
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 25 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 8
+	}
+	return o
+}
+
+// Schedule generates (without running) the fault schedule opts would run
+// under — the deterministic function of (seed, profile, workload nodes)
+// that makes reproduction possible.
+func Schedule(opts Options) []Event {
+	opts = opts.withDefaults()
+	wl, err := newWorkload(opts)
+	if err != nil {
+		return nil
+	}
+	master := rand.New(rand.NewSource(opts.Seed))
+	_ = master.Int63() // network seed draw; keep the stream aligned with run()
+	schedRng := rand.New(rand.NewSource(master.Int63()))
+	return genSchedule(schedRng, opts.Profile, wl.crashNodes(), wl.allNodes())
+}
+
+// Run executes one simulated run: schedule generation, then
+// RunWithSchedule.
+func Run(opts Options) *Report {
+	opts = opts.withDefaults()
+	return RunWithSchedule(opts, Schedule(opts))
+}
+
+// RunWithSchedule executes one simulated run under an explicit fault
+// schedule (the shrinker's entry point: same seed, fewer events). The
+// network and workload streams still derive from opts.Seed exactly as in
+// Run, so removing a schedule event is the ONLY difference between the
+// two runs.
+func RunWithSchedule(opts Options, schedule []Event) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{
+		Seed:     opts.Seed,
+		Workload: opts.Workload,
+		Profile:  opts.Profile.Name,
+		Bug:      opts.Bug,
+		Schedule: schedule,
+	}
+	wl, err := newWorkload(opts)
+	if err != nil {
+		rep.addViolation("setup", err.Error())
+		return rep
+	}
+
+	master := rand.New(rand.NewSource(opts.Seed))
+	netSeed := master.Int63()
+	_ = master.Int63() // schedule seed (consumed by Schedule)
+	workSeed := master.Int63()
+
+	p := opts.Profile
+	clock := vtime.NewSim(time.Unix(0, 0))
+	w := guardian.NewWorld(guardian.Config{
+		Clock: clock,
+		Net: netsim.Config{
+			Seed:        netSeed,
+			BaseLatency: p.Latency,
+			Jitter:      p.Jitter,
+			LossRate:    p.Loss,
+			DupRate:     p.Dup,
+			ReorderRate: p.Reorder,
+		},
+	})
+
+	start := clock.Now()
+	realStart := time.Now()
+	if err := wl.setup(w); err != nil {
+		rep.addViolation("setup", err.Error())
+		return rep
+	}
+
+	// Client sessions: each drives its own sequence of calls from its own
+	// seed-derived stream.
+	var clients sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		i := i
+		crng := rand.New(rand.NewSource(workSeed + 7919*int64(i)))
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			wl.client(i, crng)
+		}()
+	}
+
+	// Fault executor: sleeps on the virtual clock to each event's offset
+	// and applies it, so faults land at exactly their scheduled virtual
+	// times relative to the workload's own timers.
+	execDone := make(chan struct{})
+	go func() {
+		defer close(execDone)
+		for _, ev := range schedule {
+			if d := ev.At - clock.Since(start); d > 0 {
+				clock.Sleep(d)
+			}
+			applyEvent(w, ev)
+		}
+	}()
+
+	crashed := false
+	for _, ev := range schedule {
+		if ev.Kind == EvCrash {
+			crashed = true
+		}
+	}
+
+	// The audit phase runs while the clock is still driven: the recovery
+	// checker crashes and restarts the server once more, and recovery —
+	// like the checker's own synchronizing calls — needs network timers to
+	// fire.
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		clients.Wait()
+		<-execDone
+		w.Quiesce()
+		// Quiesce covers network deliveries; give same-node dispatch
+		// goroutines a moment of real time too.
+		time.Sleep(2 * time.Millisecond)
+		rep.VirtualElapsed = clock.Since(start)
+		rep.Net = w.Net().Stats()
+		wl.check(w, rep, crashed)
+	}()
+	clock.Drive(done.Load, vtime.DriveOptions{Settle: opts.Settle})
+	rep.RealElapsed = time.Since(realStart)
+	return rep
+}
+
+// applyEvent performs one schedule event against the world. Crashing a
+// dead node or restarting a live one (overlapping windows) is a no-op.
+func applyEvent(w *guardian.World, ev Event) {
+	switch ev.Kind {
+	case EvCrash:
+		if n, err := w.Node(ev.Node); err == nil && n.Alive() {
+			n.Crash()
+		}
+	case EvRestart:
+		if n, err := w.Node(ev.Node); err == nil && !n.Alive() {
+			_ = n.Restart()
+		}
+	case EvPartition:
+		groups := make([][]netsim.Addr, len(ev.Groups))
+		for i, g := range ev.Groups {
+			groups[i] = make([]netsim.Addr, len(g))
+			for j, name := range g {
+				groups[i][j] = netsim.Addr(name)
+			}
+		}
+		w.Net().Partition(groups...)
+	case EvHeal:
+		w.Net().Heal()
+	}
+}

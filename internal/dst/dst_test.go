@@ -1,0 +1,160 @@
+package dst
+
+import (
+	"flag"
+	"testing"
+)
+
+// Reproduction flags: a failed run prints a -dst.seed=N command line;
+// TestSeed re-runs exactly that run.
+var (
+	flagSeed     = flag.Int64("dst.seed", 0, "re-run one simulated run with this seed")
+	flagWorkload = flag.String("dst.workload", "bank", "workload for -dst.seed runs")
+	flagProfile  = flag.String("dst.profile", "mixed", "fault profile for -dst.seed runs")
+	flagBug      = flag.String("dst.bug", "", "injected bug for -dst.seed runs")
+)
+
+// TestSeed replays a single seed, for reproducing a sweep failure:
+//
+//	go test ./internal/dst -run 'TestSeed$' -dst.seed=N
+func TestSeed(t *testing.T) {
+	if *flagSeed == 0 {
+		t.Skip("no -dst.seed given")
+	}
+	profile, err := ProfileByName(*flagProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(Options{Seed: *flagSeed, Workload: *flagWorkload, Profile: profile, Bug: *flagBug})
+	t.Logf("\n%s", rep)
+	if rep.Failed() {
+		t.Errorf("seed %d: %d invariant violations", rep.Seed, len(rep.Violations))
+	}
+}
+
+// TestSeedSweep is the harness's steady-state gate (and the CI dst-smoke
+// job): 25 seeds under the mixed profile — loss, duplication, reordering,
+// one crash window, one partition window — alternating between the bank
+// and airline workloads. Every invariant must hold on every seed; a
+// failure prints the seed and its minimized schedule for replay.
+func TestSeedSweep(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		workload := "bank"
+		if seed%2 == 0 {
+			workload = "airline"
+		}
+		opts := Options{Seed: seed, Workload: workload, Profile: MixedProfile()}
+		rep := Run(opts)
+		if rep.Failed() {
+			rep = Shrink(opts, rep, 0)
+			t.Errorf("sweep failure:\n%s", rep)
+		}
+	}
+}
+
+// TestScheduleDeterministic: the fault schedule is a pure function of
+// (seed, profile, workload) — same seed, same events; different seed,
+// different events.
+func TestScheduleDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, Profile: CrashyProfile()}
+	a, b := Schedule(opts), Schedule(opts)
+	if !sameSchedule(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != 2*CrashyProfile().Crashes+2*CrashyProfile().Partitions {
+		t.Fatalf("schedule has %d events, want %d", len(a), 2*CrashyProfile().Crashes+2*CrashyProfile().Partitions)
+	}
+	other := Schedule(Options{Seed: 43, Profile: CrashyProfile()})
+	if sameSchedule(a, other) {
+		t.Fatalf("seeds 42 and 43 produced the identical schedule %v", a)
+	}
+}
+
+// TestSeedReproducible: re-running a seed replays the identical fault
+// schedule and reaches the same verdict. (Operation counts may differ by
+// goroutine scheduling; the schedule and the invariant verdict are the
+// reproducible trace.)
+func TestSeedReproducible(t *testing.T) {
+	opts := Options{Seed: 7, Workload: "bank", Profile: MixedProfile()}
+	a, b := Run(opts), Run(opts)
+	if !sameSchedule(a.Schedule, b.Schedule) {
+		t.Fatalf("re-run changed the schedule:\n%s\n%s", a, b)
+	}
+	if a.Failed() != b.Failed() {
+		t.Fatalf("re-run changed the verdict:\n%s\n%s", a, b)
+	}
+}
+
+// TestInjectedBugCaught is the harness's teeth test (ISSUE acceptance
+// criterion): disabling the at-most-once filter on the bank branch must
+// be caught by the sweep, and the printed seed must reproduce the same
+// failing trace on re-run.
+func TestInjectedBugCaught(t *testing.T) {
+	var failing *Report
+	var failOpts Options
+	for seed := int64(1); seed <= 10; seed++ {
+		// Lossy: heavy duplication, no crash windows, so both the
+		// conservation and the execution-count audits are armed.
+		opts := Options{Seed: seed, Workload: "bank", Profile: LossyProfile(), Bug: BugDisableDedup}
+		if rep := Run(opts); rep.Failed() {
+			failing, failOpts = rep, opts
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("disabled dedup was not caught on any of 10 seeds; the checkers have no teeth")
+	}
+	t.Logf("caught at seed %d:\n%s", failing.Seed, failing)
+
+	// The printed seed must reproduce: identical schedule, same failure.
+	again := Run(failOpts)
+	if !again.Failed() {
+		t.Fatalf("seed %d failed once but passed on re-run", failOpts.Seed)
+	}
+	if !sameSchedule(failing.Schedule, again.Schedule) {
+		t.Fatalf("re-run of seed %d changed the schedule:\n%s\n%s", failOpts.Seed, failing, again)
+	}
+	if failing.Violations[0].Invariant != again.Violations[0].Invariant {
+		t.Fatalf("re-run of seed %d changed the violation: %s vs %s",
+			failOpts.Seed, failing.Violations[0].Invariant, again.Violations[0].Invariant)
+	}
+}
+
+// TestShrinkMinimizes: shrinking a failing crashy run must keep it failing
+// and never grow the schedule.
+func TestShrinkMinimizes(t *testing.T) {
+	var failing *Report
+	var failOpts Options
+	for seed := int64(1); seed <= 6; seed++ {
+		opts := Options{Seed: seed, Workload: "bank", Profile: CrashyProfile(), Bug: BugDisableDedup}
+		if rep := Run(opts); rep.Failed() {
+			failing, failOpts = rep, opts
+			break
+		}
+	}
+	if failing == nil {
+		t.Skip("no failing crashy seed in range; bug-catch is covered by TestInjectedBugCaught")
+	}
+	shrunk := Shrink(failOpts, failing, 0)
+	if !shrunk.Failed() {
+		t.Fatal("Shrink returned a passing report for a failing run")
+	}
+	if len(shrunk.Schedule) > len(failing.Schedule) {
+		t.Fatalf("Shrink grew the schedule: %d -> %d events",
+			len(failing.Schedule), len(shrunk.Schedule))
+	}
+	if len(shrunk.Schedule) < len(failing.Schedule) && !shrunk.Shrunk {
+		t.Fatal("minimized report not marked Shrunk")
+	}
+}
+
+// TestWorkloadValidation: unknown workloads and misdirected bugs are
+// reported, not silently ignored.
+func TestWorkloadValidation(t *testing.T) {
+	if rep := Run(Options{Seed: 1, Workload: "nope"}); !rep.Failed() {
+		t.Fatal("unknown workload not reported")
+	}
+	if rep := Run(Options{Seed: 1, Workload: "airline", Bug: BugDisableDedup}); !rep.Failed() {
+		t.Fatal("bank-only bug on airline workload not reported")
+	}
+}

@@ -1,0 +1,98 @@
+package dst
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Violation is one invariant breach found by a checker.
+type Violation struct {
+	// Invariant names the checker: "conservation", "exactly-once",
+	// "balance", "no-overbooking", "recovery", "setup".
+	Invariant string
+	// Detail is the human-readable evidence.
+	Detail string
+}
+
+// Report is the outcome of one simulated run: identity (seed, workload,
+// profile, bug), the fault schedule that ran, the violations found, and
+// workload/network counters for the experiment tables.
+type Report struct {
+	Seed     int64
+	Workload string
+	Profile  string
+	Bug      string
+	Schedule []Event
+	// Shrunk is true when Schedule was minimized after the original run
+	// failed.
+	Shrunk bool
+
+	Violations []Violation
+
+	// Workload counters: logical operations issued by clients, acked with
+	// a definite outcome, and abandoned (timeout/failure — outcome
+	// unknown).
+	OpsIssued int64
+	OpsAcked  int64
+	OpsFailed int64
+	// Retries counts re-send attempts beyond each call's first.
+	Retries int64
+
+	Net            netsim.Stats
+	VirtualElapsed time.Duration
+	RealElapsed    time.Duration
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Report) addViolation(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations,
+		Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// String renders the report; for a failed run it is the full failure
+// story: seed, violations, the (possibly minimized) schedule, and the
+// command line that reproduces it.
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if r.Failed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "dst %s seed=%d workload=%s profile=%s", status, r.Seed, r.Workload, r.Profile)
+	if r.Bug != "" {
+		fmt.Fprintf(&b, " bug=%s", r.Bug)
+	}
+	fmt.Fprintf(&b, "\n  ops: issued=%d acked=%d failed=%d retries=%d\n",
+		r.OpsIssued, r.OpsAcked, r.OpsFailed, r.Retries)
+	fmt.Fprintf(&b, "  net: sent=%d delivered=%d lost=%d dup=%d reordered=%d partition-dropped=%d\n",
+		r.Net.Sent, r.Net.Delivered, r.Net.Lost, r.Net.Duplicated, r.Net.Reordered, r.Net.Partition)
+	fmt.Fprintf(&b, "  time: %v virtual in %v real\n",
+		r.VirtualElapsed.Round(time.Millisecond), r.RealElapsed.Round(time.Millisecond))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %s: %s\n", v.Invariant, v.Detail)
+	}
+	if len(r.Schedule) > 0 {
+		label := "schedule"
+		if r.Shrunk {
+			label = "schedule (minimized)"
+		}
+		fmt.Fprintf(&b, "  %s:\n", label)
+		for _, ev := range r.Schedule {
+			fmt.Fprintf(&b, "    %s\n", ev)
+		}
+	}
+	if r.Failed() {
+		fmt.Fprintf(&b, "  reproduce: go test ./internal/dst -run 'TestSeed$' -dst.seed=%d -dst.workload=%s -dst.profile=%s",
+			r.Seed, r.Workload, r.Profile)
+		if r.Bug != "" {
+			fmt.Fprintf(&b, " -dst.bug=%s", r.Bug)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

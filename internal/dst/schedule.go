@@ -1,0 +1,137 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind classifies one fault-schedule event.
+type EventKind int
+
+// Fault-schedule event kinds.
+const (
+	// EvCrash kills a node: every guardian's processes die, volatile state
+	// is lost, the disk survives (guardian.Node.Crash).
+	EvCrash EventKind = iota
+	// EvRestart brings a crashed node back; guardians with Recover are
+	// re-created from the catalog and replay their stable logs.
+	EvRestart
+	// EvPartition splits the network into the event's groups.
+	EvPartition
+	// EvHeal removes any active partition.
+	EvHeal
+)
+
+// String returns the kind's schedule-trace name.
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
+	case EvPartition:
+		return "partition"
+	case EvHeal:
+		return "heal"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of a fault schedule: an action applied to the world
+// at a virtual-time offset from the run's start. A schedule is a pure
+// function of (seed, profile, node set), which is what makes a red run
+// reproducible: re-running the seed replays exactly these events at
+// exactly these virtual times.
+type Event struct {
+	// At is the virtual-time offset from the run's start.
+	At time.Duration
+	// Kind is the action.
+	Kind EventKind
+	// Node is the target of a crash/restart.
+	Node string
+	// Groups are the partition groups of an EvPartition.
+	Groups [][]string
+	// Pair links the two halves of a fault window (crash/restart,
+	// partition/heal) so the shrinker removes whole windows, never leaving
+	// a node down or a partition unhealed by accident.
+	Pair int
+}
+
+// String renders one schedule line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash, EvRestart:
+		return fmt.Sprintf("@%-8v %s %s", e.At, e.Kind, e.Node)
+	case EvPartition:
+		parts := make([]string, len(e.Groups))
+		for i, g := range e.Groups {
+			parts[i] = "{" + strings.Join(g, ",") + "}"
+		}
+		return fmt.Sprintf("@%-8v partition %s", e.At, strings.Join(parts, " | "))
+	default:
+		return fmt.Sprintf("@%-8v heal", e.At)
+	}
+}
+
+// sameSchedule reports whether two schedules are event-for-event equal —
+// the reproducibility assertion a re-run of a printed seed must satisfy.
+func sameSchedule(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// genSchedule derives the fault schedule from its own random stream:
+// Crashes crash→restart windows over the crashable nodes and Partitions
+// partition→heal windows over all nodes, placed inside the profile's
+// horizon and sorted by offset. Windows may overlap; application order at
+// equal times follows schedule order, and overlapping partitions resolve
+// to last-writer-wins (Heal removes every active partition), matching
+// netsim's semantics.
+func genSchedule(rng *rand.Rand, p Profile, crashable, all []string) []Event {
+	var evs []Event
+	pair := 0
+	h := p.Horizon
+	for i := 0; i < p.Crashes && len(crashable) > 0; i++ {
+		node := crashable[rng.Intn(len(crashable))]
+		at := time.Duration(float64(h) * (0.10 + 0.55*rng.Float64()))
+		down := time.Duration(float64(h) * (0.05 + 0.10*rng.Float64()))
+		evs = append(evs,
+			Event{At: at, Kind: EvCrash, Node: node, Pair: pair},
+			Event{At: at + down, Kind: EvRestart, Node: node, Pair: pair})
+		pair++
+	}
+	for i := 0; i < p.Partitions && len(all) > 1; i++ {
+		perm := rng.Perm(len(all))
+		cut := 1 + rng.Intn(len(all)-1)
+		groups := [][]string{{}, {}}
+		for j, idx := range perm {
+			side := 0
+			if j >= cut {
+				side = 1
+			}
+			groups[side] = append(groups[side], all[idx])
+		}
+		for _, g := range groups {
+			sort.Strings(g)
+		}
+		at := time.Duration(float64(h) * (0.10 + 0.55*rng.Float64()))
+		dur := time.Duration(float64(h) * (0.05 + 0.15*rng.Float64()))
+		evs = append(evs,
+			Event{At: at, Kind: EvPartition, Groups: groups, Pair: pair},
+			Event{At: at + dur, Kind: EvHeal, Pair: pair})
+		pair++
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}

@@ -1,0 +1,62 @@
+package dst
+
+// Shrink minimizes a failing run's fault schedule: it greedily removes one
+// fault window at a time (a crash with its paired restart, a partition
+// with its heal — never half a window) and keeps each removal whose re-run
+// still fails. The result is a new report for the minimized schedule, or
+// the original report when nothing could be removed or it did not fail.
+//
+// Because RunWithSchedule derives network and workload streams from the
+// seed exactly as Run does, each candidate re-run differs from the
+// original in the removed events ONLY — so the surviving schedule is a
+// true statement of which faults the violation needs.
+//
+// budget caps the number of re-runs; zero means one per fault window.
+func Shrink(opts Options, rep *Report, budget int) *Report {
+	if !rep.Failed() || len(rep.Schedule) == 0 {
+		return rep
+	}
+	pairs := pairOrder(rep.Schedule)
+	if budget <= 0 {
+		budget = len(pairs)
+	}
+	best := rep
+	for _, pair := range pairs {
+		if budget <= 0 {
+			break
+		}
+		cand := withoutPair(best.Schedule, pair)
+		if len(cand) == len(best.Schedule) {
+			continue // pair already removed by an earlier pass
+		}
+		budget--
+		if r := RunWithSchedule(opts, cand); r.Failed() {
+			r.Shrunk = true
+			best = r
+		}
+	}
+	return best
+}
+
+// pairOrder returns the distinct fault-window ids in schedule order.
+func pairOrder(evs []Event) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, ev := range evs {
+		if !seen[ev.Pair] {
+			seen[ev.Pair] = true
+			out = append(out, ev.Pair)
+		}
+	}
+	return out
+}
+
+func withoutPair(evs []Event, pair int) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Pair != pair {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/guardian"
+)
+
+// Node names shared by both workloads: one server node the schedule may
+// crash, one client node that never crashes (so client sessions — the
+// paper's "user" side — survive to observe outcomes).
+const (
+	serverNode  = "server"
+	clientsNode = "clients"
+)
+
+// workload is one application under test. An instance is built per run
+// and owns its ledgers; the run engine calls setup once, client
+// concurrently per session, and check after the world quiesces.
+type workload interface {
+	// crashNodes are the nodes the schedule generator may crash.
+	crashNodes() []string
+	// allNodes are the partition-eligible nodes.
+	allNodes() []string
+	// setup registers definitions and bootstraps the server guardian.
+	setup(w *guardian.World) error
+	// client runs session i to completion, drawing every decision from
+	// crng.
+	client(i int, crng *rand.Rand)
+	// check audits the final state; crashed tells it whether the schedule
+	// contained crash events (some invariants are volatile-state-based and
+	// only sound crash-free).
+	check(w *guardian.World, rep *Report, crashed bool)
+}
+
+// pace spreads a client's operations across roughly three quarters of the
+// profile horizon. Without it the whole workload drains in the first few
+// hundred virtual milliseconds and the fault windows — placed between 10 %
+// and 65 % of the horizon — fire into an idle network, testing nothing.
+// The gap is drawn from the client's own stream, so it stays a
+// deterministic function of the seed.
+func pace(pr *guardian.Process, crng *rand.Rand, opts Options) {
+	mean := opts.Profile.Horizon * 3 / 4 / time.Duration(opts.OpsPerClient+2)
+	if mean <= 0 {
+		return
+	}
+	pr.Pause(time.Duration(float64(mean) * (0.5 + crng.Float64())))
+}
+
+func newWorkload(opts Options) (workload, error) {
+	switch opts.Workload {
+	case "bank":
+		return newBankWorkload(opts), nil
+	case "airline":
+		if opts.Bug != "" {
+			return nil, fmt.Errorf("dst: bug %q is bank-only", opts.Bug)
+		}
+		return newAirlineWorkload(opts), nil
+	default:
+		return nil, fmt.Errorf("dst: unknown workload %q", opts.Workload)
+	}
+}

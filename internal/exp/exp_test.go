@@ -68,8 +68,8 @@ func TestScaleN(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("registry has %d experiments, want 10 (E1..E10)", len(all))
+	if len(all) != 11 {
+		t.Fatalf("registry has %d experiments, want 11 (E1..E11)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -168,5 +168,15 @@ func TestE10Smoke(t *testing.T) {
 	// Exactly-once through the layer is a correctness claim, and at 20%
 	// duplication even the smoke-scale bare arm over-applies with
 	// near-certain probability; both notes must hold.
+	assertHolds(t, res, false)
+}
+
+func TestE11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "dst")
+	// Both notes are correctness claims: the clean sweep must be green and
+	// the injected-bug control arm must be caught, at any scale.
 	assertHolds(t, res, false)
 }

@@ -67,6 +67,11 @@ func All() []Experiment {
 			Description: "at-most-once layer vs bare calls: exactly-once transfers under loss and duplication",
 			Run:         func(s Scale) (*Result, error) { return RunE10AMO(E10Defaults, s) },
 		},
+		{
+			ID: "dst", Paper: "§2.2/§2.3/§3.5 (extension)",
+			Description: "deterministic simulation: seeded fault sweep with invariant checkers and an injected-bug control",
+			Run:         func(s Scale) (*Result, error) { return RunE11DST(E11Defaults, s) },
+		},
 	}
 }
 

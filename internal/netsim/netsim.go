@@ -98,24 +98,38 @@ type Network struct {
 	group    map[Addr]int         // partition group; absent = group 0
 	parted   bool
 	stats    Stats
-	inflight sync.WaitGroup
+	inflight int        // packets accepted but not yet delivered or dropped
+	idle     *sync.Cond // broadcast when inflight returns to zero
 	closed   bool
 }
 
 type linkKey struct{ from, to Addr }
 
 // New creates a network with the given defaults. A zero Config gives
-// instant, perfectly reliable delivery.
+// instant, perfectly reliable delivery. All fate decisions are drawn from
+// a private source seeded with cfg.Seed, so a network built the same way
+// and sent the same packet sequence makes the same decisions.
 func New(clock vtime.Clock, cfg Config) *Network {
-	return &Network{
+	return NewWithRand(clock, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// NewWithRand is New with an injectable random source, for harnesses (such
+// as internal/dst) that derive every decision in a run — network fate,
+// fault schedule, workload — from one master seed. The network serializes
+// access to rng under its own lock; the caller must not draw from it after
+// handing it over.
+func NewWithRand(clock vtime.Clock, cfg Config, rng *rand.Rand) *Network {
+	n := &Network{
 		clock:    clock,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rng:      rng,
 		defaults: cfg,
 		nodes:    make(map[Addr]Handler),
 		links:    make(map[linkKey]*Config),
 		cut:      make(map[linkKey]struct{}),
 		group:    make(map[Addr]int),
 	}
+	n.idle = sync.NewCond(&n.mu)
+	return n
 }
 
 // Attach registers a handler to receive datagrams addressed to a. Attaching
@@ -202,10 +216,16 @@ func (n *Network) Stats() Stats {
 	return n.stats
 }
 
-// Quiesce blocks until every packet accepted so far has been delivered or
-// dropped. Useful at the end of tests running on the real clock.
+// Quiesce blocks until no packet is in flight. Deliveries may themselves
+// trigger new sends (a handler replying), so this is a counter + condition
+// variable rather than a WaitGroup: a send racing the wait simply extends
+// it, instead of tripping the WaitGroup reuse panic.
 func (n *Network) Quiesce() {
-	n.inflight.Wait()
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
 }
 
 // Send submits a datagram for best-effort delivery from from to to. It
@@ -287,6 +307,7 @@ func (n *Network) Send(from, to Addr, payload []byte) error {
 			corruptBit = n.rng.Intn(len(payload) * 8)
 		}
 	}
+	n.inflight += len(plan)
 	n.mu.Unlock()
 
 	for _, p := range plan {
@@ -295,14 +316,23 @@ func (n *Network) Send(from, to Addr, payload []byte) error {
 		if p.corrupt {
 			buf[corruptBit/8] ^= 1 << (corruptBit % 8)
 		}
-		n.inflight.Add(1)
 		go n.deliver(from, to, buf, p.delay)
 	}
 	return nil
 }
 
+// delivered retires one in-flight packet, waking Quiesce at zero.
+func (n *Network) delivered() {
+	n.mu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
+	n.mu.Unlock()
+}
+
 func (n *Network) deliver(from, to Addr, payload []byte, delay time.Duration) {
-	defer n.inflight.Done()
+	defer n.delivered()
 	if delay > 0 {
 		n.clock.Sleep(delay)
 	}

@@ -25,6 +25,7 @@ package repro
 
 import (
 	"repro/internal/amo"
+	"repro/internal/dst"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
 	"repro/internal/sendprim"
@@ -115,6 +116,17 @@ type (
 	AMOReply = amo.Reply
 	// AMOHealth tracks watchdog liveness events as a circuit breaker.
 	AMOHealth = amo.Health
+
+	// DSTOptions configures one deterministic simulation run.
+	DSTOptions = dst.Options
+	// DSTProfile is a named fault-injection profile.
+	DSTProfile = dst.Profile
+	// DSTReport is one run's verdict: violations, counters, schedule.
+	DSTReport = dst.Report
+	// DSTEvent is one scheduled fault (crash/restart/partition/heal).
+	DSTEvent = dst.Event
+	// DSTViolation is one invariant breach found by a checker.
+	DSTViolation = dst.Violation
 )
 
 // Constructors and helpers.
@@ -161,6 +173,16 @@ var (
 	NewSimClock = vtime.NewSim
 	// NewRingTracer creates a bounded event tracer.
 	NewRingTracer = guardian.NewRingTracer
+	// DSTRun executes one seeded simulation and checks its invariants.
+	DSTRun = dst.Run
+	// DSTSchedule derives the fault schedule a seed will execute.
+	DSTSchedule = dst.Schedule
+	// DSTShrink minimizes a failing run's fault schedule.
+	DSTShrink = dst.Shrink
+	// DSTProfiles lists the built-in fault profiles.
+	DSTProfiles = dst.Profiles
+	// DSTProfileByName resolves a fault profile by name.
+	DSTProfileByName = dst.ProfileByName
 )
 
 // Receive statuses.
@@ -177,6 +199,8 @@ const (
 	FailureCommand = guardian.FailureCommand
 	// AMOReqCommand is the envelope command of at-most-once requests.
 	AMOReqCommand = amo.ReqCommand
+	// DSTBugDisableDedup injects the known dedup-off bug as a harness check.
+	DSTBugDisableDedup = dst.BugDisableDedup
 	// AnyKind is the wildcard argument kind in message specs.
 	AnyKind = guardian.AnyKind
 )
