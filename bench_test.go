@@ -16,6 +16,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sendprim"
 	"repro/internal/tpc"
+	"repro/internal/transport"
 	"repro/internal/vtime"
 	"repro/internal/wire"
 	"repro/internal/xrep"
@@ -510,4 +511,73 @@ func BenchmarkE10AtMostOnceCall(b *testing.B) {
 			b.Fatalf("deposit: %s", rep.Command)
 		}
 	}
+}
+
+// --- E12 / transport: simulator adapter vs real UDP loopback ---
+
+// BenchmarkTransportLoopback measures one full guardian-level round trip —
+// no-wait send out, sink delivery, acknowledgment back — over the two
+// Transport implementations: the in-memory simulator adapter every test
+// uses and real UDP sockets through the kernel's loopback. The gap is the
+// cost of actual datagrams (syscalls, copies, scheduling) relative to the
+// simulator's direct dispatch; EXPERIMENTS.md E12 records it.
+func BenchmarkTransportLoopback(b *testing.B) {
+	run := func(b *testing.B, tr transport.Transport) {
+		w := guardian.NewWorld(guardian.Config{Transport: tr})
+		defer w.Close()
+		pt := guardian.NewPortType("echo").
+			Msg("ping", xrep.KindInt, xrep.KindPortName).
+			Replies("ping", "pong")
+		w.MustRegister(&guardian.GuardianDef{
+			TypeName:     "echo",
+			Provides:     []*guardian.PortType{pt},
+			PortCapacity: 1024,
+			Init: func(ctx *guardian.Ctx) {
+				guardian.NewReceiver(ctx.Ports[0]).
+					When("ping", func(pr *guardian.Process, m *guardian.Message) {
+						_ = pr.Send(m.Port(1), "pong", m.Int(0))
+					}).
+					Loop(ctx.Proc, nil)
+			},
+		})
+		srv := w.MustAddNode("srv")
+		created, err := srv.Bootstrap("echo")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli := w.MustAddNode("cli")
+		g, drv, err := cli.NewDriver("d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reply, err := g.NewPort(guardian.NewPortType("pong_port").Msg("pong", xrep.KindInt), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := drv.Send(created.Ports[0], "ping", i, reply.Name()); err != nil {
+				b.Fatal(err)
+			}
+			if _, st := drv.Receive(benchTimeout, reply); st != guardian.RecvOK {
+				b.Fatalf("round trip %d: receive status %v", i, st)
+			}
+		}
+	}
+
+	b.Run("netsim", func(b *testing.B) {
+		run(b, transport.NewSim(netsim.New(vtime.NewReal(), netsim.Config{})))
+	})
+	b.Run("udp", func(b *testing.B) {
+		udp, err := transport.NewUDP(transport.UDPConfig{
+			Peers: map[transport.Addr]string{
+				"srv": "127.0.0.1:0",
+				"cli": "127.0.0.1:0",
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, udp)
+	})
 }

@@ -1,0 +1,324 @@
+// Command node boots one guardian-model node as its own OS process, joined
+// to its peers by real UDP datagrams — the deployment shape the paper
+// assumes (one node, one machine) instead of the in-process simulator the
+// tests use. A node either hosts an application guardian (server mode) or
+// drives at-most-once calls against one (client mode, -call).
+//
+// Two-terminal bank demo:
+//
+//	terminal 1:
+//	  node -name branch -listen 127.0.0.1:9101 -host bank
+//	terminal 2:
+//	  node -name teller -peers branch=127.0.0.1:9101 \
+//	       -call branch/2/2 \
+//	       -op 'open alice' -op 'open bob' \
+//	       -op 'deposit alice 1000' -op 'transfer alice bob 250' \
+//	       -op 'balance alice' -op 'balance bob'
+//
+// The server prints its bound address and the global names of the hosted
+// guardian's ports ("port <type> <node/guardian/port>"); the -call value
+// is the amo port name printed in terminal 1. The -loss/-dup/-delay flags
+// wrap the socket in the same fault model the simulator uses, so the §3.5
+// at-most-once machinery can be watched surviving real packet abuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/airline"
+	"repro/internal/amo"
+	"repro/internal/bank"
+	"repro/internal/guardian"
+	"repro/internal/nameserv"
+	"repro/internal/transport"
+)
+
+// multiFlag collects repeated -op occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+type options struct {
+	name   string
+	listen string
+	peers  map[transport.Addr]string
+	host   string
+
+	// transport shape
+	mtu  int
+	pace time.Duration
+	recv int
+
+	// injected faults (both directions are outbound somewhere: run both
+	// processes with the same flags to fault the full round trip)
+	loss, dup     float64
+	delay, jitter time.Duration
+	seed          int64
+
+	// airline host parameters
+	flight, capacity int64
+	org              string
+
+	// client mode
+	call    string
+	ops     multiFlag
+	timeout time.Duration
+	retries int
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	o := &options{peers: make(map[transport.Addr]string)}
+	fs := flag.NewFlagSet("node", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.name, "name", "", "this node's name (required)")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "UDP address to bind")
+	peers := fs.String("peers", "", "comma-separated name=host:port routing entries")
+	fs.StringVar(&o.host, "host", "", "guardian to host: bank, airline or nameserv (server mode)")
+	fs.IntVar(&o.mtu, "mtu", 0, "maximum datagram size (0 = transport default)")
+	fs.DurationVar(&o.pace, "pace", 0, "minimum gap between datagrams to one peer")
+	fs.IntVar(&o.recv, "recv", 0, "receive workers per socket (0 = default)")
+	fs.Float64Var(&o.loss, "loss", 0, "injected outbound loss rate [0,1]")
+	fs.Float64Var(&o.dup, "dup", 0, "injected outbound duplication rate [0,1]")
+	fs.DurationVar(&o.delay, "delay", 0, "injected minimum outbound delay")
+	fs.DurationVar(&o.jitter, "jitter", 0, "injected additional random delay")
+	fs.Int64Var(&o.seed, "seed", 1, "fault injection seed")
+	fs.Int64Var(&o.flight, "flight", 12, "airline: flight number")
+	fs.Int64Var(&o.capacity, "capacity", 100, "airline: seat capacity")
+	fs.StringVar(&o.org, "org", airline.OrgMonitor, "airline: internal organization")
+	fs.StringVar(&o.call, "call", "", "client mode: target port as node/guardian/port")
+	fs.Var(&o.ops, "op", "client mode: operation to run, e.g. 'transfer alice bob 25' (repeatable)")
+	fs.DurationVar(&o.timeout, "timeout", 250*time.Millisecond, "client: per-attempt reply timeout")
+	fs.IntVar(&o.retries, "retries", 40, "client: retransmissions before giving up")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.name == "" {
+		return nil, fmt.Errorf("node: -name is required")
+	}
+	if (o.host == "") == (o.call == "") {
+		return nil, fmt.Errorf("node: exactly one of -host (server) or -call (client) is required")
+	}
+	for _, entry := range strings.Split(*peers, ",") {
+		if entry = strings.TrimSpace(entry); entry == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(entry, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("node: bad -peers entry %q: want name=host:port", entry)
+		}
+		o.peers[transport.Addr(name)] = addr
+	}
+	return o, nil
+}
+
+// buildWorld assembles the transport stack and an empty world around it.
+func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper, error) {
+	o.peers[transport.Addr(o.name)] = o.listen
+	udp, err := transport.NewUDP(transport.UDPConfig{
+		Peers:       o.peers,
+		MTU:         o.mtu,
+		PaceMinGap:  o.pace,
+		RecvWorkers: o.recv,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var tr transport.Transport = udp
+	var wrap *transport.Wrapper
+	if o.loss > 0 || o.dup > 0 || o.delay > 0 || o.jitter > 0 {
+		wrap = transport.Wrap(udp, transport.WrapperConfig{
+			Seed:     o.seed,
+			LossRate: o.loss,
+			DupRate:  o.dup,
+			Delay:    o.delay,
+			Jitter:   o.jitter,
+		})
+		tr = wrap
+	}
+	w := guardian.NewWorld(guardian.Config{Transport: tr})
+	w.MustRegister(bank.BranchDef())
+	w.MustRegister(airline.FlightDef())
+	w.MustRegister(nameserv.Def())
+	return w, udp, wrap, nil
+}
+
+func serve(o *options, stdout io.Writer) error {
+	w, udp, wrap, err := buildWorld(o)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	n, err := w.AddNode(o.name)
+	if err != nil {
+		return err
+	}
+
+	var def string
+	var bootArgs []any
+	switch o.host {
+	case "bank":
+		def = bank.BranchDefName
+	case "airline":
+		def = airline.FlightDefName
+		bootArgs = []any{o.flight, o.capacity, o.org, int64(0)}
+	case "nameserv":
+		def = nameserv.DefName
+	default:
+		return fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
+	}
+	created, err := n.Bootstrap(def, bootArgs...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
+	var provides []*guardian.PortType
+	switch o.host {
+	case "bank":
+		provides = bank.BranchDef().Provides
+	case "airline":
+		provides = airline.FlightDef().Provides
+	case "nameserv":
+		provides = nameserv.Def().Provides
+	}
+	for i, p := range created.Ports {
+		label := fmt.Sprintf("port%d", i)
+		if i < len(provides) {
+			label = provides[i].Name()
+		}
+		fmt.Fprintf(stdout, "port %s %s\n", label, nameserv.FormatPort(p))
+	}
+	fmt.Fprintln(stdout, "ready")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	// Shutdown report: transport accounting, injected faults, and — for a
+	// bank branch — the applies counter an exactly-once audit needs.
+	if wrap != nil {
+		wrap.Quiesce()
+		ws := wrap.InjectedStats()
+		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
+			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+	}
+	st := udp.Stats()
+	fmt.Fprintf(stdout, "stats sent=%d delivered=%d dropped=%d bytes_sent=%d bytes_recv=%d\n",
+		st.Sent, st.Delivered, st.Dropped, st.BytesSent, st.BytesRecv)
+	if o.host == "bank" {
+		if g, ok := n.GuardianByID(created.GuardianID); ok {
+			if applies, err := bank.Applies(g); err == nil {
+				fmt.Fprintf(stdout, "applies %d\n", applies)
+			}
+		}
+	}
+	return w.Close()
+}
+
+// parseOp turns "transfer alice bob 25" into a command plus typed args:
+// integer-looking tokens travel as ints, everything else as strings —
+// matching the positional vocabularies of the hosted guardians' amo ports.
+func parseOp(op string) (string, []any, error) {
+	fields := strings.Fields(op)
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("node: empty -op")
+	}
+	args := make([]any, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+			args = append(args, n)
+		} else {
+			args = append(args, f)
+		}
+	}
+	return fields[0], args, nil
+}
+
+func client(o *options, stdout io.Writer) error {
+	target, err := nameserv.ParsePort(o.call)
+	if err != nil {
+		return err
+	}
+	if _, ok := o.peers[transport.Addr(target.Node)]; !ok {
+		return fmt.Errorf("node: no -peers route to target node %q", target.Node)
+	}
+	w, _, wrap, err := buildWorld(o)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	n, err := w.AddNode(o.name)
+	if err != nil {
+		return err
+	}
+	_, proc, err := n.NewDriver("cli")
+	if err != nil {
+		return err
+	}
+	caller, err := amo.NewCaller(proc, amo.CallerOptions{
+		Timeout: o.timeout,
+		Retries: o.retries,
+		Backoff: amo.BackoffPolicy{Base: o.timeout / 10, Jitter: 0.5},
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, op := range o.ops {
+		cmd, args, err := parseOp(op)
+		if err != nil {
+			return err
+		}
+		r, err := caller.Call(target, cmd, args...)
+		if err != nil {
+			return fmt.Errorf("node: op %q: %w", op, err)
+		}
+		line := r.Command
+		for _, a := range r.Args {
+			line += fmt.Sprintf(" %v", a)
+		}
+		fmt.Fprintf(stdout, "op %q: %s\n", op, line)
+	}
+	if wrap != nil {
+		wrap.Quiesce()
+		ws := wrap.InjectedStats()
+		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
+			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if o.host != "" {
+		err = serve(o, stdout)
+	} else {
+		err = client(o, stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

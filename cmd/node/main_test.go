@@ -1,0 +1,174 @@
+package main
+
+// The acceptance test for the real-transport tentpole: two separate OS
+// processes — a branch server and a teller client — exchange actual UDP
+// datagrams on loopback, both wrapped in a 20% loss + 20% duplication
+// fault model, and every transfer the client's replies confirm is applied
+// exactly once by the branch. The audit reads the server's shutdown
+// "applies" line: it must equal the number of mutating operations the
+// client issued, no matter how many datagrams the wrappers ate or cloned.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildNode compiles this package once per test binary invocation.
+func buildNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "node")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/node")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestBankTransferAcrossProcessesOverLossyUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildNode(t)
+	faults := []string{"-loss", "0.2", "-dup", "0.2"}
+
+	srv := exec.Command(bin, append([]string{
+		"-name", "branch", "-listen", "127.0.0.1:0", "-host", "bank", "-seed", "7",
+	}, faults...)...)
+	srvOut, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// Read the server's banner: bound address, port names, ready marker.
+	sc := bufio.NewScanner(srvOut)
+	var addr, amoPort string
+	deadline := time.AfterFunc(10*time.Second, func() { srv.Process.Kill() })
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "port amo_req_port "); ok {
+			amoPort = rest
+		}
+		if line == "ready" {
+			break
+		}
+	}
+	deadline.Stop()
+	if addr == "" || amoPort == "" {
+		t.Fatalf("server banner incomplete: addr=%q amoPort=%q", addr, amoPort)
+	}
+
+	// The client is its own OS process with its own fault wrapper, so both
+	// directions of every call cross a lossy, duplicating wire.
+	const transfers = 25
+	ops := []string{
+		"-op", "open alice", "-op", "open bob",
+		"-op", "deposit alice 1000",
+	}
+	for i := 0; i < transfers; i++ {
+		ops = append(ops, "-op", fmt.Sprintf("transfer alice bob %d", 1+i%7))
+	}
+	ops = append(ops, "-op", "balance alice", "-op", "balance bob")
+	args := append([]string{
+		"-name", "teller", "-peers", "branch=" + addr, "-call", amoPort, "-seed", "11",
+		"-timeout", "250ms", "-retries", "60",
+	}, faults...)
+	cli := exec.Command(bin, append(args, ops...)...)
+	cliBytes, err := cli.CombinedOutput()
+	cliOut := string(cliBytes)
+	if err != nil {
+		t.Fatalf("client: %v\n%s", err, cliOut)
+	}
+
+	// Every reply the client accepted must be the ok outcome, and the
+	// final balances must reflect each transfer exactly once.
+	var moved int
+	for i := 0; i < transfers; i++ {
+		moved += 1 + i%7
+	}
+	for _, want := range []string{
+		`op "open alice": ok`,
+		`op "deposit alice 1000": ok`,
+		fmt.Sprintf(`op "balance alice": balance_is %d`, 1000-moved),
+		fmt.Sprintf(`op "balance bob": balance_is %d`, moved),
+	} {
+		if !strings.Contains(cliOut, want) {
+			t.Errorf("client output missing %q\n%s", want, cliOut)
+		}
+	}
+	if strings.Count(cliOut, ": ok") != 3+transfers {
+		t.Errorf("want %d ok replies\n%s", 3+transfers, cliOut)
+	}
+
+	// Stop the server and read its shutdown audit.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	for sc.Scan() {
+		tail = append(tail, sc.Text())
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server exit: %v\n%s", err, strings.Join(tail, "\n"))
+	}
+	srvTail := strings.Join(tail, "\n")
+
+	applies := regexp.MustCompile(`(?m)^applies (\d+)$`).FindStringSubmatch(srvTail)
+	if applies == nil {
+		t.Fatalf("server printed no applies line:\n%s", srvTail)
+	}
+	// open+open+deposit+transfers, each exactly once. More means a
+	// duplicate got through the at-most-once layer; fewer means a
+	// confirmed op never executed.
+	if want := fmt.Sprint(3 + transfers); applies[1] != want {
+		t.Fatalf("server applies=%s, want %s (exactly-once violated)\n%s\n%s",
+			applies[1], want, cliOut, srvTail)
+	}
+
+	// The run is only meaningful if the fault injectors actually fired on
+	// both sides.
+	injected := regexp.MustCompile(`injected sent=(\d+) lost=(\d+) duplicated=(\d+)`)
+	for side, out := range map[string]string{"client": cliOut, "server": srvTail} {
+		m := injected.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("%s printed no injected-faults line:\n%s", side, out)
+		}
+		if m[2] == "0" && m[3] == "0" {
+			t.Errorf("%s injected no faults (sent=%s): loss/dup idle", side, m[1])
+		}
+	}
+	t.Logf("client:\n%s\nserver tail:\n%s", cliOut, srvTail)
+}

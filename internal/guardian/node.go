@@ -6,8 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/netsim"
 	"repro/internal/stable"
+	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/xrep"
 )
@@ -93,21 +93,31 @@ func (n *Node) SetCreatePolicy(f func(srcNode string, srcGuardian uint64, defNam
 	n.allowCreate = f
 }
 
-// start brings the node up for the first time.
-func (n *Node) start() {
+// start brings the node up for the first time. Attaching can fail on a
+// real transport (e.g. the configured UDP port is taken), in which case
+// the node never comes up.
+func (n *Node) start() error {
 	n.mu.Lock()
 	n.alive = true
 	n.epoch++
 	n.mu.Unlock()
-	n.world.net.Attach(netsim.Addr(n.name), n.handlePacket)
+	if err := n.world.tr.Attach(transport.Addr(n.name), n.handlePacket); err != nil {
+		n.mu.Lock()
+		n.alive = false
+		n.mu.Unlock()
+		return err
+	}
 	n.spawnPrimordial()
+	return nil
 }
 
 // Crash simulates a node failure: every guardian's processes are killed,
 // all volatile state (port queues, guardian objects) is lost, and the node
-// detaches from the network. The disk survives.
+// detaches from the transport — on the simulator its traffic is discarded
+// at delivery; on UDP its socket closes and the kernel discards instead.
+// The disk survives.
 func (n *Node) Crash() {
-	n.world.net.Detach(netsim.Addr(n.name))
+	n.world.tr.Detach(transport.Addr(n.name))
 	n.mu.Lock()
 	if !n.alive {
 		n.mu.Unlock()
@@ -148,7 +158,12 @@ func (n *Node) Restart() error {
 	}
 	n.mu.Unlock()
 
-	n.world.net.Attach(netsim.Addr(n.name), n.handlePacket)
+	if err := n.world.tr.Attach(transport.Addr(n.name), n.handlePacket); err != nil {
+		n.mu.Lock()
+		n.alive = false
+		n.mu.Unlock()
+		return fmt.Errorf("guardian: reattaching node %s: %w", n.name, err)
+	}
 	n.spawnPrimordial()
 	n.world.trace(EvRestart, n.name, "node restarted")
 
@@ -280,8 +295,11 @@ func (n *Node) instantiate(def *GuardianDef, args xrep.Seq, meta *guardianMeta, 
 }
 
 // handlePacket is the node's network attachment: reassemble, verify,
-// dispatch. Runs on netsim delivery goroutines.
-func (n *Node) handlePacket(from netsim.Addr, payload []byte) {
+// dispatch. Runs on the transport's delivery (or socket receive-loop)
+// goroutines. from is the transport-level source — the logical node name
+// on the simulator, an observed "ip:port" on UDP — used only to key
+// fragment reassembly; everything else comes from the frame.
+func (n *Node) handlePacket(from transport.Addr, payload []byte) {
 	if !n.Alive() {
 		return
 	}
@@ -306,6 +324,9 @@ func (n *Node) handlePacket(from netsim.Addr, payload []byte) {
 		n.world.stats.DiscardBadFrame.Add(1)
 		return
 	}
+	// A verified frame names its sender; teach the transport where that
+	// name was observed so replies route without static configuration.
+	n.world.tr.Learn(transport.Addr(f.SrcNode), from)
 	n.dispatchFrame(f)
 }
 
@@ -405,9 +426,9 @@ func (n *Node) routeFrame(f *wire.Frame) error {
 		return err
 	}
 	for _, pkt := range pkts {
-		// Best-effort: network errors below MTU level mean the node is
+		// Best-effort: transport errors below MTU level mean the node is
 		// detached; the message is simply lost, as the paper allows.
-		if err := n.world.net.Send(netsim.Addr(n.name), netsim.Addr(f.Dest.Node), pkt); err != nil {
+		if err := n.world.tr.Send(transport.Addr(n.name), transport.Addr(f.Dest.Node), pkt); err != nil {
 			return nil
 		}
 	}

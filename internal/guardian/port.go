@@ -92,6 +92,23 @@ func (p *Port) deliver(m *Message) bool {
 	return true
 }
 
+// claimQueued atomically claims w and pops the oldest queued message.
+// It returns nil if the queue is empty or w was already claimed — in the
+// latter case a deliver has handed (or is handing) a message to w.ch.
+func (p *Port) claimQueued(w *waiter) *Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil
+	}
+	if !w.claimed.CompareAndSwap(false, true) {
+		return nil
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	return m
+}
+
 // tryDequeue pops the oldest queued message, if any.
 func (p *Port) tryDequeue() *Message {
 	p.mu.Lock()

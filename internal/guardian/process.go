@@ -160,6 +160,16 @@ func (pr *Process) Receive(timeout time.Duration, ports ...*Port) (*Message, Rec
 			p.removeWaiter(w)
 		}
 	}()
+	// Re-scan after registering: a message delivered between the fast-path
+	// scan and addWaiter saw no waiters and went to the buffer, where it
+	// would sit for the full timeout while this process sleeps. Claiming
+	// our own waiter closes the window; if a deliver claimed it first, the
+	// select below completes immediately from w.ch.
+	for _, p := range ports {
+		if m := p.claimQueued(w); m != nil {
+			return m, RecvOK
+		}
+	}
 
 	var timeoutC <-chan time.Time
 	if timeout > 0 {

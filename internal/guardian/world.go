@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/transport"
 	"repro/internal/vtime"
 	"repro/internal/xrep"
 )
@@ -17,8 +18,14 @@ import (
 type Config struct {
 	// Clock drives all timeouts and the network. Nil means the wall clock.
 	Clock vtime.Clock
-	// Net is the fault/delay model of the underlying network.
+	// Net is the fault/delay model of the simulated network built when no
+	// Transport is supplied.
 	Net netsim.Config
+	// Transport, when non-nil, carries the world's packets instead of a
+	// simulator built from Net — e.g. a transport.UDP for nodes running
+	// as separate OS processes, or a transport.Wrapper injecting faults
+	// around one. The world takes ownership: Close shuts it down.
+	Transport transport.Transport
 	// Limits are the system-wide type invariants enforced at send time.
 	// The zero value means DefaultLimits.
 	Limits xrep.Limits
@@ -75,7 +82,10 @@ type Stats struct {
 type World struct {
 	cfg   Config
 	clock vtime.Clock
-	net   *netsim.Network
+	tr    transport.Transport
+	// sim is the simulator network when the transport is (or wraps) one;
+	// nil for worlds on a real transport.
+	sim *netsim.Network
 
 	mu    sync.Mutex
 	nodes map[string]*Node
@@ -105,16 +115,27 @@ func NewWorld(cfg Config) *World {
 		nodes: make(map[string]*Node),
 		defs:  make(map[string]*GuardianDef),
 	}
-	w.net = netsim.New(cfg.Clock, cfg.Net)
+	if cfg.Transport != nil {
+		w.tr = cfg.Transport
+	} else {
+		w.tr = transport.NewSim(netsim.New(cfg.Clock, cfg.Net))
+	}
+	if src, ok := w.tr.(interface{ Network() *netsim.Network }); ok {
+		w.sim = src.Network()
+	}
 	return w
 }
 
 // Clock returns the world's clock.
 func (w *World) Clock() vtime.Clock { return w.clock }
 
-// Net exposes the underlying network for fault injection in tests and
-// experiments.
-func (w *World) Net() *netsim.Network { return w.net }
+// Net exposes the simulator network for fault injection in tests and
+// experiments. It is nil when the world runs on a non-simulated transport
+// (e.g. UDP); fault-inject such worlds through a transport.Wrapper.
+func (w *World) Net() *netsim.Network { return w.sim }
+
+// Transport returns the transport carrying the world's packets.
+func (w *World) Transport() transport.Transport { return w.tr }
 
 // Stats returns the world's runtime counters.
 func (w *World) Stats() *Stats { return &w.stats }
@@ -170,7 +191,12 @@ func (w *World) AddNode(name string) (*Node, error) {
 	n := newNode(w, name)
 	w.nodes[name] = n
 	w.mu.Unlock()
-	n.start()
+	if err := n.start(); err != nil {
+		w.mu.Lock()
+		delete(w.nodes, name)
+		w.mu.Unlock()
+		return nil, fmt.Errorf("guardian: starting node %s: %w", name, err)
+	}
 	return n, nil
 }
 
@@ -206,6 +232,13 @@ func (w *World) Nodes() []string {
 	return names
 }
 
-// Quiesce waits for all in-flight network packets to land. Tests call it
-// before asserting on delivery counts.
-func (w *World) Quiesce() { w.net.Quiesce() }
+// Quiesce waits for all in-flight network packets to land, where the
+// transport can know that (the simulator can; a real network returns
+// immediately). Tests call it before asserting on delivery counts.
+func (w *World) Quiesce() { w.tr.Quiesce() }
+
+// Close shuts the world's transport down: every node detaches, receive
+// loops drain, and further sends are discarded. Worlds on the default
+// simulator never need this; worlds on real sockets should Close to
+// release them.
+func (w *World) Close() error { return w.tr.Close() }

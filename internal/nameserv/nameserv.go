@@ -13,6 +13,9 @@
 package nameserv
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -298,3 +301,37 @@ type Error struct{ Outcome string }
 
 // Error implements error.
 func (e *Error) Error() string { return "nameserv: " + e.Outcome }
+
+// FormatPort renders a port's global name as "node/guardian/port" — the
+// textual form ports cross process boundaries in when no name service is
+// reachable yet (configuration files, command lines, log output). It is
+// the bootstrap complement of the name service: something has to name the
+// name service's own port.
+func FormatPort(p xrep.PortName) string {
+	return fmt.Sprintf("%s/%d/%d", p.Node, p.Guardian, p.Port)
+}
+
+// ParsePort is FormatPort's inverse. Node names containing '/' are not
+// representable; the runtime never generates them.
+func ParsePort(s string) (xrep.PortName, error) {
+	i := strings.LastIndexByte(s, '/')
+	if i < 0 {
+		return xrep.PortName{}, fmt.Errorf("nameserv: port name %q: want node/guardian/port", s)
+	}
+	j := strings.LastIndexByte(s[:i], '/')
+	if j <= 0 {
+		return xrep.PortName{}, fmt.Errorf("nameserv: port name %q: want node/guardian/port", s)
+	}
+	g, err := strconv.ParseUint(s[j+1:i], 10, 64)
+	if err != nil {
+		return xrep.PortName{}, fmt.Errorf("nameserv: port name %q: bad guardian id: %w", s, err)
+	}
+	p, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil {
+		return xrep.PortName{}, fmt.Errorf("nameserv: port name %q: bad port id: %w", s, err)
+	}
+	if g == 0 || p == 0 {
+		return xrep.PortName{}, fmt.Errorf("nameserv: port name %q: ids start at 1", s)
+	}
+	return xrep.PortName{Node: s[:j], Guardian: g, Port: p}, nil
+}

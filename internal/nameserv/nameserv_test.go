@@ -248,3 +248,25 @@ func TestEndToEndDiscovery(t *testing.T) {
 		t.Fatalf("discovered service: %v %v", st, m)
 	}
 }
+
+func TestFormatParsePort(t *testing.T) {
+	cases := []xrep.PortName{
+		{Node: "alpha", Guardian: 1, Port: 1},
+		{Node: "branch-east", Guardian: 42, Port: 7},
+		{Node: "a/b", Guardian: 2, Port: 3}, // '/' in node: parse still splits on the LAST two
+	}
+	for _, want := range cases {
+		got, err := ParsePort(FormatPort(want))
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: %v != %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "alpha", "alpha/1", "/1/2", "alpha/x/2", "alpha/1/y", "alpha/0/1", "alpha/1/0"} {
+		if _, err := ParsePort(bad); err == nil {
+			t.Fatalf("ParsePort(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package transport is the seam between the guardian runtime and whatever
+// carries its datagrams. The paper assumes only "an underlying network
+// which provides for the transmission of messages" with no delivery
+// guarantee; everything above that line (framing, fragmentation,
+// corruption detection, at-most-once calls) is the system's job. This
+// package pins that line down as an interface with two implementations:
+//
+//   - Sim wraps internal/netsim, the deterministic in-memory simulator
+//     every test and the DST harness run on; and
+//   - UDP carries the same MTU-bounded datagrams over real net.UDPConn
+//     sockets, so guardians can run as separate OS processes.
+//
+// A Wrapper composes loss/duplication/delay injection around any
+// Transport, letting the real UDP path be soak-tested with the same fault
+// profiles the simulator uses.
+package transport
+
+import "errors"
+
+// Addr names a node on the network. Addresses are opaque strings: logical
+// node names for attached peers, transport-specific observed addresses
+// (e.g. "127.0.0.1:9001") for senders not yet known by name.
+type Addr string
+
+// Handler receives a datagram. Handlers are invoked on the transport's
+// delivery or receive-loop goroutines and must return promptly; a blocking
+// handler stalls only the goroutine that called it.
+type Handler func(from Addr, payload []byte)
+
+// Transport carries best-effort datagrams between named nodes. Messages
+// may be lost, duplicated, reordered or garbled; nothing above this
+// interface may assume otherwise.
+type Transport interface {
+	// Attach registers a handler to receive datagrams addressed to a,
+	// binding whatever underlying resource (simulator slot, socket) the
+	// address needs. Attaching an already-attached address replaces its
+	// handler.
+	Attach(a Addr, h Handler) error
+	// Detach removes a from the network: its resources are released and
+	// traffic addressed to it is silently discarded, exactly as for a
+	// dead node. Used to model (or implement) node crashes.
+	Detach(a Addr)
+	// Attached reports whether a currently has a handler.
+	Attached(a Addr) bool
+	// Send submits one datagram from the attached address from to to. It
+	// returns once the datagram's local fate is decided; delivery is
+	// best-effort and errors beyond local ones are never reported.
+	Send(from, to Addr, payload []byte) error
+	// Learn tells the transport that the node named name was observed
+	// sending from the transport-level address via, so later Sends to
+	// name can be routed without static configuration. Transports whose
+	// addresses are already logical names ignore it.
+	Learn(name, via Addr)
+	// Stats returns a snapshot of the packet accounting.
+	Stats() Stats
+	// Quiesce blocks until no packet is in flight, where the transport
+	// can know that (the simulator can; a real network cannot, and
+	// returns immediately).
+	Quiesce()
+	// Close shuts the transport down: all addresses detach, receive
+	// loops drain, and further Sends fail with ErrClosed.
+	Close() error
+}
+
+// Stats aggregates transport-wide packet accounting. All counts are since
+// the transport was created.
+type Stats struct {
+	Sent       int64 // datagrams accepted by Send
+	Delivered  int64 // handler invocations (includes duplicates)
+	Dropped    int64 // known-dropped: loss model, dead destination, failed write
+	Duplicated int64 // extra deliveries from a duplication model
+	BytesSent  int64
+	BytesRecv  int64
+	RecvErrors int64 // datagrams discarded by the receive path
+}
+
+// Errors reported by transports. Only local problems are ever reported;
+// anything that happens after a datagram leaves is silence, as the paper
+// requires.
+var (
+	ErrClosed       = errors.New("transport: closed")
+	ErrTooLarge     = errors.New("transport: datagram exceeds MTU")
+	ErrNotAttached  = errors.New("transport: sender not attached")
+	ErrUnknownPeer  = errors.New("transport: no address known for peer")
+	ErrEmptyPayload = errors.New("transport: empty payload")
+)

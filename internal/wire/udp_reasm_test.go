@@ -1,0 +1,220 @@
+package wire
+
+// Reassembly hygiene under a real receiver: these tests push fragments
+// through actual UDP sockets on loopback and feed whatever the kernel
+// hands back into a Reassembler, keyed by the observed source address —
+// exactly what a node's network attachment does on the UDP transport. The
+// interesting properties are the ones pre-split in-memory buffers cannot
+// exercise: datagrams truncated in flight, two senders sharing a msgID
+// space distinguished only by source address, and partial messages that
+// must be evicted rather than retained forever.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// udpPair is a receiver socket plus n sender sockets on loopback.
+type udpPair struct {
+	recv    *net.UDPConn
+	senders []*net.UDPConn
+}
+
+func newUDPPair(t *testing.T, senders int) *udpPair {
+	t.Helper()
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recv.Close() })
+	p := &udpPair{recv: recv}
+	for i := 0; i < senders; i++ {
+		s, err := net.DialUDP("udp", nil, recv.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		p.senders = append(p.senders, s)
+	}
+	return p
+}
+
+// read returns the next datagram and its observed source, or fails after
+// the deadline.
+func (p *udpPair) read(t *testing.T) (string, []byte) {
+	t.Helper()
+	buf := make([]byte, 65536)
+	_ = p.recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, src, err := p.recv.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("udp read: %v", err)
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return src.String(), out
+}
+
+func TestUDPReassemblyStalePartialEviction(t *testing.T) {
+	p := newUDPPair(t, 1)
+	ra := NewReassembler()
+
+	frame := bytes.Repeat([]byte("stale?"), 200)
+	pkts, err := Fragment(9, frame, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 3 {
+		t.Fatalf("want >=3 fragments, got %d", len(pkts))
+	}
+	// All but the last fragment arrive; the last is "lost in flight".
+	start := time.Unix(1000, 0)
+	for _, pkt := range pkts[:len(pkts)-1] {
+		if _, err := p.senders[0].Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+		src, got := p.read(t)
+		frameBytes, err := ra.Add(src, got, start)
+		if err != nil {
+			t.Fatalf("fragment rejected: %v", err)
+		}
+		if frameBytes != nil {
+			t.Fatal("incomplete message delivered")
+		}
+	}
+	if ra.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", ra.Pending())
+	}
+	// Too young to evict; then old enough.
+	if dropped := ra.Sweep(start.Add(time.Second), 30*time.Second); dropped != 0 {
+		t.Fatalf("young partial evicted: %d", dropped)
+	}
+	if dropped := ra.Sweep(start.Add(31*time.Second), 30*time.Second); dropped != 1 {
+		t.Fatalf("stale partial not evicted: %d", dropped)
+	}
+	if ra.Pending() != 0 {
+		t.Fatalf("pending %d after sweep", ra.Pending())
+	}
+	// A straggler fragment of the evicted message starts a fresh (and
+	// forever-incomplete) partial rather than crashing or completing.
+	if _, err := p.senders[0].Write(pkts[len(pkts)-1]); err != nil {
+		t.Fatal(err)
+	}
+	src, got := p.read(t)
+	if frameBytes, err := ra.Add(src, got, start.Add(32*time.Second)); err != nil || frameBytes != nil {
+		t.Fatalf("straggler: frame=%v err=%v", frameBytes != nil, err)
+	}
+}
+
+func TestUDPReassemblyInterleavedSendersSharedMsgIDs(t *testing.T) {
+	p := newUDPPair(t, 2)
+	ra := NewReassembler()
+
+	// Both senders use msgID 7 — per-node id spaces overlap freely; only
+	// the observed source address separates their fragment streams.
+	frameA := bytes.Repeat([]byte("AAAA"), 300)
+	frameB := bytes.Repeat([]byte("BBBB"), 300)
+	pktsA, err := Fragment(7, frameA, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pktsB, err := Fragment(7, frameB, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pktsA) < 2 || len(pktsB) < 2 {
+		t.Fatalf("want multi-fragment messages, got %d/%d", len(pktsA), len(pktsB))
+	}
+	// Strictly interleave the two fragment trains on the wire.
+	n := len(pktsA)
+	if len(pktsB) > n {
+		n = len(pktsB)
+	}
+	sent := 0
+	for i := 0; i < n; i++ {
+		if i < len(pktsA) {
+			if _, err := p.senders[0].Write(pktsA[i]); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		if i < len(pktsB) {
+			if _, err := p.senders[1].Write(pktsB[i]); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	now := time.Unix(2000, 0)
+	var gotA, gotB []byte
+	for i := 0; i < sent; i++ {
+		src, pkt := p.read(t)
+		frame, err := ra.Add(src, pkt, now)
+		if err != nil {
+			t.Fatalf("fragment %d rejected: %v", i, err)
+		}
+		if frame == nil {
+			continue
+		}
+		switch src {
+		case p.senders[0].LocalAddr().String():
+			gotA = frame
+		case p.senders[1].LocalAddr().String():
+			gotB = frame
+		default:
+			t.Fatalf("frame from unexpected source %s", src)
+		}
+	}
+	if !bytes.Equal(gotA, frameA) {
+		t.Fatalf("sender A's message corrupted or lost (%d bytes)", len(gotA))
+	}
+	if !bytes.Equal(gotB, frameB) {
+		t.Fatalf("sender B's message corrupted or lost (%d bytes)", len(gotB))
+	}
+	if ra.Pending() != 0 {
+		t.Fatalf("pending %d after both completed", ra.Pending())
+	}
+}
+
+func TestUDPReassemblyTruncatedDatagramRejected(t *testing.T) {
+	p := newUDPPair(t, 1)
+	ra := NewReassembler()
+	now := time.Unix(3000, 0)
+
+	pkts, err := Fragment(3, bytes.Repeat([]byte("x"), 400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := pkts[0]
+	for _, cut := range []int{1, 4, len(pkt) / 2, len(pkt) - 1} {
+		if _, err := p.senders[0].Write(pkt[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		src, got := p.read(t)
+		if len(got) != cut {
+			t.Fatalf("kernel reshaped datagram: wrote %d read %d", cut, len(got))
+		}
+		frame, err := ra.Add(src, got, now)
+		if frame != nil || err == nil {
+			t.Fatalf("truncated datagram (%d of %d bytes) accepted", cut, len(pkt))
+		}
+		if !errors.Is(err, ErrBadPacket) && !errors.Is(err, ErrPacketCRC) {
+			t.Fatalf("unexpected rejection: %v", err)
+		}
+	}
+	// Truncation leaves no partial state behind...
+	if ra.Pending() != 0 {
+		t.Fatalf("pending %d after rejects", ra.Pending())
+	}
+	// ...and the intact datagram still goes through afterward.
+	if _, err := p.senders[0].Write(pkt); err != nil {
+		t.Fatal(err)
+	}
+	src, got := p.read(t)
+	frame, err := ra.Add(src, got, now)
+	if err != nil || frame == nil {
+		t.Fatalf("intact datagram rejected: %v", err)
+	}
+}

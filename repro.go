@@ -29,6 +29,7 @@ import (
 	"repro/internal/guardian"
 	"repro/internal/netsim"
 	"repro/internal/sendprim"
+	"repro/internal/transport"
 	"repro/internal/vtime"
 	"repro/internal/xrep"
 )
@@ -76,6 +77,25 @@ type (
 	NetConfig = netsim.Config
 	// Clock abstracts time (real or simulated).
 	Clock = vtime.Clock
+
+	// Transport carries a world's packets between nodes.
+	Transport = transport.Transport
+	// TransportAddr is a node's transport-level name.
+	TransportAddr = transport.Addr
+	// TransportStats is a transport's delivery accounting.
+	TransportStats = transport.Stats
+	// UDPTransport carries packets over real UDP sockets.
+	UDPTransport = transport.UDP
+	// UDPConfig configures a UDPTransport.
+	UDPConfig = transport.UDPConfig
+	// SimTransport adapts the in-memory simulator to the Transport seam.
+	SimTransport = transport.Sim
+	// FaultWrapper injects loss/duplication/delay around any Transport.
+	FaultWrapper = transport.Wrapper
+	// FaultWrapperConfig is the injected fault model.
+	FaultWrapperConfig = transport.WrapperConfig
+	// FaultWrapperStats counts the faults a FaultWrapper injected.
+	FaultWrapperStats = transport.WrapperStats
 
 	// Value is a node of the external representation model (§3.3).
 	Value = xrep.Value
@@ -167,6 +187,12 @@ var (
 	AMOErrFailed = amo.ErrFailed
 	// AMOErrBusy: a Caller carries one call at a time.
 	AMOErrBusy = amo.ErrBusy
+	// NewUDPTransport creates a real-socket transport for a world.
+	NewUDPTransport = transport.NewUDP
+	// NewSimTransport adapts a simulator network to the Transport seam.
+	NewSimTransport = transport.NewSim
+	// WrapTransport composes a fault model around any transport.
+	WrapTransport = transport.Wrap
 	// NewRealClock returns the wall clock.
 	NewRealClock = vtime.NewReal
 	// NewSimClock returns a deterministic simulated clock.
