@@ -1,0 +1,172 @@
+// Command guardianlint checks the repository against the linguistic
+// invariants of Liskov's guardian model (SOSP 1979) that Go will not
+// enforce for us: no object addresses in messages (transmissible), no
+// storage shared across guardians (confinement), complete and consistent
+// encode/decode pairs for every external rep (xreppair), and receive
+// statements that own a failure or timeout arm (recvhygiene).
+//
+// Two modes share the passes:
+//
+//	guardianlint [packages]      standalone: analyze the packages (default
+//	                             ./...) in one process, including the
+//	                             whole-program xreppair directions and a
+//	                             staleness report for //lint:allow
+//	                             directives; exit 1 on findings.
+//
+//	go vet -vettool=$(which guardianlint) ./...
+//	                             vet driver: cmd/go invokes the binary per
+//	                             package with a config file; diagnostics
+//	                             integrate with vet's output and cache.
+//
+// Findings are suppressed by a `//lint:allow <pass> <reason>` comment on
+// the flagged line or the line above; the reason is mandatory and unused
+// directives are themselves reported (standalone mode only, which sees
+// every direction of every pass).
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/passes/confinement"
+	"repro/internal/analysis/passes/recvhygiene"
+	"repro/internal/analysis/passes/transmissible"
+	"repro/internal/analysis/passes/xreppair"
+	"repro/internal/analysis/unit"
+)
+
+var analyzers = []*analysis.Analyzer{
+	transmissible.Analyzer,
+	confinement.Analyzer,
+	xreppair.Analyzer,
+	recvhygiene.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The go vet -vettool protocol probes with flag queries, then hands a
+	// single JSON config file per package.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			unit.PrintFlags(os.Stdout)
+			return
+		case strings.HasPrefix(args[0], "-V"):
+			unit.PrintVersion(os.Stdout, "guardianlint")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unit.Run(args[0], analyzers))
+		}
+	}
+	for _, a := range args {
+		if a == "-h" || a == "-help" || a == "--help" {
+			usage()
+			return
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Println("usage: guardianlint [packages]")
+	fmt.Println()
+	fmt.Println("Analyzes the given Go packages (default ./...) against the guardian")
+	fmt.Println("model's invariants. Also usable as go vet -vettool=guardianlint.")
+	fmt.Println()
+	fmt.Println("Passes:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Suppress a finding with `//lint:allow <pass> <reason>` on the flagged")
+	fmt.Println("line or the line above it.")
+}
+
+// standalone analyzes patterns in one process: every target package through
+// every pass, then the whole-program xreppair directions, then the allow
+// staleness report.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, order, err := load.List(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "guardianlint: %v\n", err)
+		return 1
+	}
+	for _, id := range order {
+		if p := pkgs[id]; p.Error != nil && !p.DepOnly {
+			fmt.Fprintf(os.Stderr, "guardianlint: %s: %s\n", id, p.Error.Err)
+			return 1
+		}
+	}
+
+	// One file set across all units so whole-program positions resolve; one
+	// export map since go list already built every dependency.
+	fset := token.NewFileSet()
+	exports := load.PackageFiles(pkgs)
+	prog := analysis.NewProgram()
+	var findings []unit.Finding
+	var allows []*analysis.Allow
+	for _, p := range load.Targets(pkgs, order) {
+		u, err := load.CheckListed(fset, p, exports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guardianlint: %v\n", err)
+			return 1
+		}
+		ua := analysis.CollectAllows(fset, u.Files)
+		findings = append(findings, unit.Analyze(u, analyzers, prog, ua)...)
+		allows = append(allows, ua...)
+	}
+
+	// Whole-program directions, filtered through the full allow inventory.
+	for _, d := range xreppair.Finish(prog) {
+		suppressed := false
+		for _, al := range allows {
+			if al.Suppresses(fset, xreppair.Analyzer.Name, d.Pos) {
+				al.Used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			findings = append(findings, unit.Finding{Diagnostic: d, Pass: xreppair.Analyzer.Name})
+		}
+	}
+
+	// Allow hygiene: a used directive must say why; an unused one is stale.
+	findings = append(findings, unit.ReasonlessAllows(allows)...)
+	for _, al := range allows {
+		if !al.Used {
+			findings = append(findings, unit.Finding{
+				Diagnostic: analysis.Diagnostic{Pos: al.Pos,
+					Message: fmt.Sprintf("//lint:allow %s suppresses nothing — remove the stale directive", al.Pass)},
+				Pass: "lint",
+			})
+		}
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].Pos), fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Pass)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

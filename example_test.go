@@ -27,6 +27,10 @@ func Example() {
 						_ = pr.Send(m.ReplyTo, "greeting", "hello, "+m.Str(0))
 					}
 				}).
+				// The receive statement's implicit failure arm (§3.4):
+				// discarded messages naming this port as replyto report
+				// here. Dropping them is a decision, not an accident.
+				WhenFailure(func(_ *repro.Process, _ string, _ *repro.Message) {}).
 				Loop(ctx.Proc, nil)
 		},
 	})
@@ -106,6 +110,9 @@ func ExampleNode_Crash() {
 					_ = pr.Send(m.ReplyTo, "value", last)
 				}
 			}).
+			// §3.4 failure arm: the store's state is already permanent, so
+			// a failure report needs no compensation.
+			WhenFailure(func(_ *repro.Process, _ string, _ *repro.Message) {}).
 			Loop(ctx.Proc, nil)
 	}
 	w.MustRegister(&repro.GuardianDef{

@@ -48,6 +48,11 @@ func main() {
 						_ = pr.Send(m.ReplyTo, "echoed", m.Str(0)+" (from "+who+")")
 					}
 				}).
+				WhenFailure(func(_ *guardian.Process, text string, _ *guardian.Message) {
+					// §3.4: a discarded message named this port as its
+					// replyto. Log it; clients retry on their own timeout.
+					log.Printf("%s: failure report: %s", who, text)
+				}).
 				Loop(ctx.Proc, nil)
 		},
 	})

@@ -43,6 +43,12 @@ func main() {
 					_ = repro.Acknowledge(pr, m)
 					_ = pr.Send(m.Port(1), "done", m.Str(0))
 				}).
+				WhenFailure(func(_ *repro.Process, text string, _ *repro.Message) {
+					// §3.4: a discarded message named this port as its
+					// replyto; the failure report lands here. Log and
+					// continue — the sender's timeout owns the recovery.
+					log.Printf("server: failure report: %s", text)
+				}).
 				Loop(ctx.Proc, nil)
 		},
 	})

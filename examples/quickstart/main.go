@@ -47,6 +47,12 @@ func main() {
 						_ = pr.Send(m.ReplyTo, "greeting", "hello, "+m.Str(0)+"!")
 					}
 				}).
+				// The implicit failure arm (§3.4): if a message naming this
+				// port as its replyto is thrown away, the system's failure
+				// report lands here. Note it instead of dropping it silently.
+				WhenFailure(func(_ *repro.Process, text string, _ *repro.Message) {
+					log.Printf("greeter: failure report: %s", text)
+				}).
 				Loop(ctx.Proc, nil)
 		},
 	})

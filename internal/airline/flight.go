@@ -368,6 +368,11 @@ func flightMain(ctx *guardian.Ctx) {
 				_ = pr.Send(m.ReplyTo, "info", seq)
 			}
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded message named this port as its
+			// replyto. Reservation state is already settled; the at-most-
+			// once layer re-answers a retry from its duplicate table.
+		}).
 		Loop(ctx.Proc, nil)
 }
 

@@ -259,6 +259,11 @@ func regionalMain(ctx *guardian.Ctx, recovering bool) {
 			st.acl.Allow(guardian.Principal{Node: m.Str(0), Guardian: uint64(m.Int(1))}, "list_passengers")
 			reply("granted")
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a forward of ours named this port as its
+			// replyto and was thrown away. The client's retry (or its own
+			// timeout) owns recovery; the regional keeps no call state.
+		}).
 		Loop(ctx.Proc, nil)
 }
 

@@ -104,6 +104,11 @@ func uiMain(ctx *guardian.Ctx) {
 			})
 			_ = pr.Send(clerk, "trans", transPort.Name())
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded message named this port as its
+			// replyto. Nothing to undo at the front desk; the transaction
+			// process owns its own conversation with the clerk.
+		}).
 		Loop(ctx.Proc, nil)
 }
 
@@ -216,6 +221,13 @@ func doTrans(q *guardian.Process, st *uiState, transPort *guardian.Port, clerk x
 			}
 			report("trans_done", reserves, cancels)
 			finished = true // "this terminates the process"
+		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a clerk request named the transaction port
+			// as its replyto and was discarded — or the clerk's own port
+			// vanished. Abandon the transaction; its saved cancels die with
+			// it, exactly as an unfinished paper transaction would.
+			finished = true
 		})
 
 	for !finished {

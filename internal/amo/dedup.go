@@ -106,7 +106,14 @@ func (d *Dedup) Hook(h Handler) func(pr *guardian.Process, m *guardian.Message) 
 // traffic. Guardians that mix amo with native commands use Hook on their
 // own Receiver instead.
 func (d *Dedup) Serve(pr *guardian.Process, h Handler, ports ...*guardian.Port) {
-	guardian.NewReceiver(ports...).Intercept(d.Hook(h), ReqCommand).Loop(pr, nil)
+	guardian.NewReceiver(ports...).
+		Intercept(d.Hook(h), ReqCommand).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded message named a serving port as
+			// its replyto. The duplicate table already holds the outcome;
+			// the client's retry re-fetches it, so drop the report.
+		}).
+		Loop(pr, nil)
 }
 
 // ParseRequest decodes an amo_req envelope. The returned ack is the

@@ -1,0 +1,12 @@
+package confinement_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/confinement"
+)
+
+func TestConfinement(t *testing.T) {
+	analysistest.Run(t, confinement.Analyzer, "a")
+}

@@ -1,0 +1,131 @@
+// Package guardianapi centralizes what the analysis passes know about the
+// repro API surface: package paths, callee resolution (including the
+// root-package facade, whose exported functions are variables aliasing the
+// internal ones), and lookups for the xrep interfaces that define
+// transmissibility.
+package guardianapi
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Paths of the packages whose APIs the passes key on.
+const (
+	Facade   = "repro"
+	Xrep     = "repro/internal/xrep"
+	Guardian = "repro/internal/guardian"
+	Sendprim = "repro/internal/sendprim"
+	Amo      = "repro/internal/amo"
+	Airline  = "repro/internal/airline"
+)
+
+// Callee resolves who a call invokes: the defining package path, the
+// receiver's named type ("" for package-level functions and facade
+// variables), and the function or variable name. All empty when the callee
+// is not a simple named function, method, or package-level var.
+func Callee(info *types.Info, call *ast.CallExpr) (pkg, recv, name string) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return "", "", ""
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", ""
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = namedName(sig.Recv().Type())
+		}
+		return o.Pkg().Path(), recv, o.Name()
+	case *types.Var:
+		// Facade-style function variables (repro.SyncSend = sendprim.SyncSend).
+		return o.Pkg().Path(), "", o.Name()
+	}
+	return "", "", ""
+}
+
+// namedName returns the name of t's named type, through one pointer.
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// FindPackage locates a package by path among root and its transitive
+// imports (export data records the full import graph).
+func FindPackage(root *types.Package, path string) *types.Package {
+	if root == nil {
+		return nil
+	}
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if hit := walk(imp); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// Iface returns the named interface type path.name reachable from root, or
+// nil when the package is not in the import graph.
+func Iface(root *types.Package, path, name string) *types.Interface {
+	p := FindPackage(root, path)
+	if p == nil {
+		return nil
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// IsNamed reports whether t (through one pointer) is the named type
+// path.name.
+func IsNamed(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// DeclaredIn reports whether t's named type is declared in pkg path (the
+// xrep value model itself is exempt from structural scrutiny: its types
+// are the external rep).
+func DeclaredIn(t types.Type, path string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == path
+}

@@ -1,0 +1,12 @@
+package recvhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/recvhygiene"
+)
+
+func TestRecvHygiene(t *testing.T) {
+	analysistest.Run(t, recvhygiene.Analyzer, "a")
+}

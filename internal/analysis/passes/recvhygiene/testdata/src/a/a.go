@@ -1,0 +1,74 @@
+// Package a is the golden input for the recvhygiene pass.
+package a
+
+import (
+	"time"
+
+	"repro/internal/guardian"
+)
+
+func loops(ctx *guardian.Ctx) {
+	// Neither arm: lost messages and failure reports go unseen.
+	guardian.NewReceiver(ctx.Ports[0]). // want `neither a failure arm`
+						When("m", func(pr *guardian.Process, m *guardian.Message) {}).
+						Loop(ctx.Proc, nil)
+
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("m", func(pr *guardian.Process, m *guardian.Message) {}).
+		WhenFailure(func(pr *guardian.Process, text string, m *guardian.Message) {}).
+		Loop(ctx.Proc, nil)
+
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("m", func(pr *guardian.Process, m *guardian.Message) {}).
+		WhenTimeout(time.Second, func(pr *guardian.Process) {}).
+		Loop(ctx.Proc, nil)
+}
+
+func assigned(ctx *guardian.Ctx) {
+	armless := guardian.NewReceiver(ctx.Ports[0]). // want `neither a failure arm`
+							When("m", func(pr *guardian.Process, m *guardian.Message) {})
+	armless.Loop(ctx.Proc, nil)
+
+	// Arms added through the variable, chained on a call result.
+	armed := guardian.NewReceiver(ctx.Ports[0]).
+		When("m", func(pr *guardian.Process, m *guardian.Message) {})
+	armed.WhenFailure(func(pr *guardian.Process, text string, m *guardian.Message) {}).
+		WhenTimeout(time.Second, func(pr *guardian.Process) {})
+	armed.Loop(ctx.Proc, nil)
+
+	// The receiver escapes; arms may be added elsewhere.
+	fugitive := guardian.NewReceiver(ctx.Ports[0])
+	arm(fugitive)
+	fugitive.Loop(ctx.Proc, nil)
+}
+
+func arm(r *guardian.Receiver) {
+	r.WhenFailure(func(pr *guardian.Process, text string, m *guardian.Message) {})
+}
+
+func allowed(ctx *guardian.Ctx) {
+	//lint:allow recvhygiene golden: lossless in-memory world drives this loop
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("m", func(pr *guardian.Process, m *guardian.Message) {}).
+		Loop(ctx.Proc, nil)
+}
+
+// block waits forever and never looks at failure: a lost message wedges
+// the process for good.
+func block(pr *guardian.Process, p *guardian.Port) {
+	m, _ := pr.Receive(guardian.Infinite, p) // want `Infinite timeout and no failure handling`
+	_ = m
+}
+
+// blockChecked waits forever but routes failure reports.
+func blockChecked(pr *guardian.Process, p *guardian.Port) {
+	m, st := pr.Receive(guardian.Infinite, p)
+	if st == guardian.RecvOK && m.IsFailure() {
+		return
+	}
+}
+
+// bounded carries the timeout arm in the call itself.
+func bounded(pr *guardian.Process, p *guardian.Port) {
+	_, _ = pr.Receive(time.Second, p)
+}

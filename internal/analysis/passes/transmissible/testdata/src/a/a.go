@@ -1,0 +1,60 @@
+// Package a is the golden input for the transmissible pass.
+package a
+
+import (
+	"sync"
+
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// coords is a complete transmittable pair: its encode operation governs
+// what crosses the wire, so sending it is sanctioned.
+type coords struct{ X, Y int64 }
+
+func (coords) XTypeName() string { return "coords" }
+
+func (c coords) EncodeX() (xrep.Value, error) {
+	return xrep.Seq{xrep.Int(c.X), xrep.Int(c.Y)}, nil
+}
+
+// holder nests an address one field deep.
+type holder struct {
+	Label string
+	Ref   *int
+}
+
+func send(pr *guardian.Process, g *guardian.Guardian, to xrep.PortName, tok xrep.Token) {
+	v := 7
+	_ = pr.Send(to, "ok", int64(1), "s", []byte{1}, 3.5, true)
+	_ = pr.Send(to, "tok", tok)          // sealed token: possession gives no access
+	_ = pr.Send(to, "abs", coords{1, 2}) // Transmittable: its encoder governs
+	_ = pr.Send(to, "name", to)          // port names are xrep values
+
+	_ = pr.Send(to, "ptr", &v)              // want `address-bearing value in message passed to Send: pointer \*int`
+	_ = pr.Send(to, "ch", make(chan int))   // want `channel chan int`
+	_ = pr.Send(to, "fn", func() {})        // want `code addresses cannot cross guardian boundaries`
+	_ = pr.Send(to, "mp", map[string]int{}) // want `maps alias shared storage`
+	_ = pr.Send(to, "mu", sync.Mutex{})     // want `sync.Mutex`
+	_ = pr.Send(to, "u64", uint64(1))       // want `no external rep`
+	_ = pr.Send(to, "nest", holder{})       // want `field Ref: pointer \*int`
+
+	_ = pr.SendReplyTo(to, to, "r", &v) // want `pointer \*int`
+
+	_, _ = g.Create("def", make(chan int)) // want `channel chan int`
+
+	// Elements of a []any literal are checked individually.
+	_ = pr.Send(to, "lit", []any{int64(1), make(chan int)}) // want `channel chan int`
+
+	// A spread []any hides its elements; nothing to check statically.
+	args := []any{int64(1)}
+	_ = pr.Send(to, "spread", args...)
+
+	//lint:allow transmissible golden: deliberate pointer smuggling under test
+	_ = pr.Send(to, "allowed", &v)
+}
+
+func encode(v int) {
+	_, _ = xrep.Encode(&v) // want `pointer \*int`
+	_, _ = xrep.Encode(xrep.Int(3))
+}

@@ -1,0 +1,285 @@
+// Package transmissible enforces the paper's central linguistic
+// guarantee: "object addresses can never appear in messages" (§2.1). In
+// CLU this falls out of the type system — ports carry values of
+// transmissible type only. In Go, any value fits through a `...any` send
+// parameter and the violation surfaces (at best) as a runtime encode
+// error, or (at worst, for a same-node xrep.Value wrapper around a
+// pointer) as silently shared storage between guardians.
+//
+// The pass walks every argument reaching a send/encode sink — the
+// guardian send family, guardian/bootstrap creation args, the sendprim
+// and amo call layers, and xrep.Encode itself — and flags:
+//
+//   - address-bearing types: pointers, channels, funcs, maps, uintptr,
+//     unsafe.Pointer, and anything in package sync, however deeply nested
+//     in struct fields, arrays, or slices;
+//   - types with no external rep: values xrep.Encode would reject at
+//     runtime (uint64, []int, plain structs, ...), reported with a hint
+//     to implement xrep.Transmittable.
+//
+// Sanctioned capabilities pass freely: xrep.Token (the paper's sealed
+// token — "possession of a token gives no access"), every type of the
+// xrep value model, any type implementing xrep.Transmittable (its encode
+// operation governs what crosses the wire), and user types implementing
+// xrep.Value with address-free structure. Other deliberate exceptions
+// take a //lint:allow transmissible directive with a reason.
+package transmissible
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/guardianapi"
+)
+
+// Analyzer is the pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "transmissible",
+	Doc:  "flag address-bearing or rep-less values passed into port sends and xrep encoding",
+	Run:  run,
+}
+
+// sink is one API through which values enter messages. argStart is the
+// index of the first payload argument.
+type sink struct {
+	pkg, recv, name string
+	argStart        int
+}
+
+var sinks = []sink{
+	{guardianapi.Guardian, "Process", "Send", 2},
+	{guardianapi.Guardian, "Process", "SendReplyTo", 3},
+	{guardianapi.Guardian, "Process", "SendChecked", 3},
+	{guardianapi.Guardian, "Process", "SendCheckedReplyTo", 4},
+	{guardianapi.Guardian, "Guardian", "Create", 1},
+	{guardianapi.Guardian, "Node", "Bootstrap", 1},
+	{guardianapi.Sendprim, "", "SyncSend", 4},
+	{guardianapi.Sendprim, "", "Call", 5},
+	{guardianapi.Amo, "Caller", "Call", 2},
+	{guardianapi.Airline, "Agent", "Admin", 3},
+	{guardianapi.Xrep, "", "Encode", 0},
+	{guardianapi.Xrep, "", "MustEncode", 0},
+	{guardianapi.Xrep, "", "EncodeAll", 0},
+	// The root facade re-exports the call layers as function variables.
+	{guardianapi.Facade, "", "SyncSend", 4},
+	{guardianapi.Facade, "", "Call", 5},
+	{guardianapi.Facade, "", "Encode", 0},
+}
+
+func run(pass *analysis.Pass) error {
+	value := guardianapi.Iface(pass.Pkg, guardianapi.Xrep, "Value")
+	transmittable := guardianapi.Iface(pass.Pkg, guardianapi.Xrep, "Transmittable")
+	if value == nil || transmittable == nil {
+		// The package does not reach xrep; nothing can enter a message.
+		return nil
+	}
+	ck := &checker{pass: pass, value: value, transmittable: transmittable}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, recv, name := guardianapi.Callee(pass.TypesInfo, call)
+			for _, s := range sinks {
+				if s.pkg == pkg && s.recv == recv && s.name == name {
+					ck.checkCall(call, s)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass          *analysis.Pass
+	value         *types.Interface
+	transmittable *types.Interface
+}
+
+func (ck *checker) checkCall(call *ast.CallExpr, s sink) {
+	if s.argStart >= len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args[s.argStart:] {
+		t := ck.pass.TypesInfo.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		// A []any literal shows its elements; check each one precisely
+		// instead of passing the opaque interface slice through.
+		if lit, ok := ast.Unparen(arg).(*ast.CompositeLit); ok && isAnySlice(t) {
+			for _, el := range lit.Elts {
+				if et := ck.pass.TypesInfo.Types[el].Type; et != nil {
+					ck.report(el.Pos(), s, et)
+				}
+			}
+			continue
+		}
+		// A spread `xs...` forwards a slice whose element type is what
+		// crosses the wire.
+		if call.Ellipsis.IsValid() && s.argStart+i == len(call.Args)-1 {
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				t = sl.Elem()
+			}
+		}
+		ck.report(arg.Pos(), s, t)
+	}
+}
+
+// report flags t at pos if it violates transmissibility.
+func (ck *checker) report(pos token.Pos, s sink, t types.Type) {
+	p := ck.classify(t, make(map[types.Type]bool), false)
+	if p == nil {
+		return
+	}
+	kind := "not transmissible"
+	if p.hard {
+		kind = "address-bearing value in message"
+	}
+	ck.pass.Reportf(pos, "%s passed to %s: %s", kind, s.name, p.detail)
+}
+
+func isAnySlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := sl.Elem().Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// problem describes why a type must not enter a message.
+type problem struct {
+	// hard means address-bearing — the paper's invariant itself. Soft
+	// problems are types xrep.Encode rejects at runtime (no external rep).
+	hard   bool
+	detail string
+}
+
+func hard(format string, args ...any) *problem {
+	return &problem{hard: true, detail: fmt.Sprintf(format, args...)}
+}
+
+func soft(format string, args ...any) *problem {
+	return &problem{detail: fmt.Sprintf(format, args...)}
+}
+
+// classify walks t's structure. valueImpl marks that we are inside a type
+// implementing xrep.Value, where only address-bearing guts are an offense
+// (the wire model itself is made of interfaces and slices).
+func (ck *checker) classify(t types.Type, seen map[types.Type]bool, valueImpl bool) *problem {
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+
+	// Sanctioned carriers first: the xrep value model, sealed tokens
+	// (xrep.Token is declared in xrep), and abstract types with their own
+	// encode operation. For a Value implementor we still audit the guts
+	// for addresses — a Kind() method on a pointer wrapper must not smuggle
+	// shared storage across guardians.
+	if guardianapi.DeclaredIn(t, guardianapi.Xrep) {
+		return nil
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+			return hard("sync.%s (synchronization state must stay inside one guardian)", named.Obj().Name())
+		}
+	}
+	if types.Implements(t, ck.transmittable) {
+		return nil
+	}
+	if types.Implements(t, ck.value) {
+		if p := ck.structural(t, seen, true); p != nil && p.hard {
+			return p
+		}
+		return nil
+	}
+	return ck.structural(t, seen, valueImpl)
+}
+
+func (ck *checker) structural(t types.Type, seen map[types.Type]bool, valueImpl bool) *problem {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.String, types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Float32, types.Float64,
+			types.UntypedBool, types.UntypedInt, types.UntypedFloat, types.UntypedString,
+			types.UntypedRune, types.UntypedNil:
+			return nil
+		case types.Uintptr:
+			return hard("uintptr (an object address)")
+		case types.UnsafePointer:
+			return hard("unsafe.Pointer (an object address)")
+		default:
+			if !valueImpl {
+				return soft("%s has no external rep (xrep.Encode rejects it)", t)
+			}
+			return nil
+		}
+	case *types.Pointer:
+		return hard("pointer %s — object addresses can never appear in messages", t)
+	case *types.Chan:
+		return hard("channel %s — channels are in-computer plumbing, not transmissible values", t)
+	case *types.Signature:
+		return hard("func %s — code addresses cannot cross guardian boundaries", t)
+	case *types.Map:
+		return hard("map %s — maps alias shared storage", t)
+	case *types.Interface:
+		// Unknown dynamic content; the runtime model handles it.
+		return nil
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return nil
+		}
+		if iface, ok := u.Elem().Underlying().(*types.Interface); ok && iface.Empty() {
+			return nil
+		}
+		if p := ck.classify(u.Elem(), seen, valueImpl); p != nil {
+			p.detail = fmt.Sprintf("element of %s: %s", t, p.detail)
+			return p
+		}
+		if !valueImpl {
+			return soft("%s has no external rep (only []byte, []any and xrep.Seq cross the wire)", t)
+		}
+		return nil
+	case *types.Array:
+		if p := ck.classify(u.Elem(), seen, valueImpl); p != nil {
+			p.detail = fmt.Sprintf("element of %s: %s", t, p.detail)
+			return p
+		}
+		if !valueImpl {
+			return soft("%s has no external rep (xrep.Encode rejects arrays)", t)
+		}
+		return nil
+	case *types.Struct:
+		var first *problem
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := ck.classify(f.Type(), seen, valueImpl); p != nil {
+				p.detail = fmt.Sprintf("field %s: %s", f.Name(), p.detail)
+				if p.hard {
+					return p
+				}
+				if first == nil {
+					first = p
+				}
+			}
+		}
+		if !valueImpl {
+			return soft("%s has no external rep (implement xrep.Transmittable or send its fields as values)", t)
+		}
+		return first
+	default:
+		if !valueImpl {
+			return soft("%s has no external rep", t)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,12 @@
+package transmissible_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/transmissible"
+)
+
+func TestTransmissible(t *testing.T) {
+	analysistest.Run(t, transmissible.Analyzer, "a")
+}

@@ -1,0 +1,10 @@
+// Package b declares an encoder whose external rep no node can decode.
+package b
+
+import "repro/internal/xrep"
+
+type orphan struct{ id int64 }
+
+func (orphan) XTypeName() string { return "orphan" } // want `has an encoder but no node registers a decode`
+
+func (o orphan) EncodeX() (xrep.Value, error) { return xrep.Int(o.id), nil }

@@ -1,0 +1,10 @@
+// Package c registers a decode for an external rep nothing produces.
+package c
+
+import "repro/internal/xrep"
+
+func decodeGhost(v xrep.Value) (any, error) { return v, nil }
+
+func install(r *xrep.Registry) {
+	r.Register("ghost", decodeGhost) // want `no type's XTypeName produces it`
+}

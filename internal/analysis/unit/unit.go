@@ -1,0 +1,182 @@
+// Package unit implements the go vet -vettool driver protocol (the
+// "unitchecker" protocol): cmd/go invokes the tool once per package with a
+// JSON config file argument, and expects flag metadata, a version string,
+// diagnostics on stderr, and a facts file written per package.
+//
+// The protocol, as spoken by cmd/go:
+//
+//	tool -flags             → JSON [{Name,Bool,Usage}...] flag metadata
+//	tool -V=full            → one line of version output, used as cache key
+//	tool path/to/vet.cfg    → analyze one package
+//
+// Diagnostics are printed "file:line:col: message [pass]" to stderr and
+// the exit status is 2 when any finding survives suppression, matching
+// x/tools unitchecker behavior so `go vet -vettool=guardianlint` fails the
+// build exactly like vet itself.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Config is the JSON schema cmd/go writes for each package. Field names
+// are fixed by the protocol.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintFlags emits the flag-metadata JSON the driver asks for first. The
+// suite defines no tool-level flags.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// PrintVersion emits the cache-key line for -V=full. The executable's own
+// content hash is included so a rebuilt tool invalidates vet's cache.
+func PrintVersion(w io.Writer, name string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+		}
+	}
+	fmt.Fprintf(w, "%s version dev buildID=%s\n", name, id)
+}
+
+// Run analyzes the single package described by cfgPath with the given
+// passes and returns the process exit code.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "guardianlint: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "guardianlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver expects a facts file per package regardless; the suite
+	// carries no cross-package facts under vet (whole-program directions
+	// run only in standalone mode), so an empty one satisfies it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+			fmt.Fprintf(os.Stderr, "guardianlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	u, err := load.Check(fset, cfg.ID, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "guardianlint: %v\n", err)
+		return 1
+	}
+
+	diags := RunAnalyzers(u, analyzers, nil)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", u.Fset.Position(d.Pos), d.Message, d.Pass)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// Finding is a diagnostic with its originating pass attached.
+type Finding struct {
+	analysis.Diagnostic
+	// Pass names the analyzer that reported it.
+	Pass string
+}
+
+// RunAnalyzers applies every pass to one unit and filters the results
+// through the unit's //lint:allow directives. Directives with an empty
+// reason are themselves reported (an exemption from a paper invariant must
+// say why). The shared prog is nil under vet (per-process packages);
+// standalone callers pass one to enable whole-program directions.
+func RunAnalyzers(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Program) []Finding {
+	allows := analysis.CollectAllows(u.Fset, u.Files)
+	out := Analyze(u, analyzers, prog, allows)
+	out = append(out, ReasonlessAllows(allows)...)
+	return out
+}
+
+// Analyze applies every pass to one unit, suppressing findings through the
+// given directives (marking the ones that fire as Used). Callers that need
+// the allow inventory afterwards — the standalone driver's whole-program
+// filtering and staleness report — use this instead of RunAnalyzers.
+func Analyze(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Program, allows []*analysis.Allow) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Program:   prog,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			for _, al := range allows {
+				if al.Suppresses(u.Fset, a.Name, d.Pos) {
+					al.Used = true
+					return
+				}
+			}
+			out = append(out, Finding{Diagnostic: d, Pass: a.Name})
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, Finding{
+				Diagnostic: analysis.Diagnostic{Pos: token.NoPos, Message: fmt.Sprintf("internal error: %v", err)},
+				Pass:       a.Name,
+			})
+		}
+	}
+	return out
+}
+
+// ReasonlessAllows reports every used directive that carries no reason.
+func ReasonlessAllows(allows []*analysis.Allow) []Finding {
+	var out []Finding
+	for _, al := range allows {
+		if al.Used && al.Reason == "" {
+			out = append(out, Finding{
+				Diagnostic: analysis.Diagnostic{Pos: al.Pos, Message: fmt.Sprintf("//lint:allow %s needs a reason", al.Pass)},
+				Pass:       "lint",
+			})
+		}
+	}
+	return out
+}

@@ -387,6 +387,11 @@ func branchMain(ctx *guardian.Ctx) {
 			}
 			_ = pr.Send(m.ReplyTo, "audit_info", int64(len(st.accounts)), total)
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded transfer_in named this port as
+			// its replyto — the peer branch's port vanished or overflowed.
+			// The at-most-once retry loop re-sends until acknowledged.
+		}).
 		Loop(ctx.Proc, nil)
 }
 

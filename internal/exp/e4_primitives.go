@@ -79,6 +79,11 @@ func e4SecondaryDef() *guardian.GuardianDef {
 						_ = pr.Send(m.ReplyTo, "resp", m.Str(0))
 					}
 				}).
+				WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+					// §3.4 failure arm: a discarded message named this port
+					// as its replyto. The measuring client counts losses by
+					// timeout, so the report is dropped — deliberately.
+				}).
 				Loop(ctx.Proc, nil)
 		},
 	}
@@ -133,6 +138,11 @@ func e4PrimaryDef(secondary xrep.PortName) *guardian.GuardianDef {
 					// Pass the requester's reply port along; the secondary
 					// answers the requester directly.
 					_ = pr.SendReplyTo(secondary, m.ReplyTo, "handoff", m.Str(0))
+				}).
+				WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+					// §3.4 failure arm: a discarded message named this port
+					// as its replyto. The measuring client counts losses by
+					// timeout, so the report is dropped — deliberately.
 				}).
 				When("fwd_sync", func(pr *guardian.Process, m *guardian.Message) {
 					_ = sendprim.Acknowledge(pr, m)

@@ -48,6 +48,10 @@ func e5SinkDef(drain bool) *guardian.GuardianDef {
 			}
 			guardian.NewReceiver(ctx.Ports[0]).
 				When("data", func(pr *guardian.Process, m *guardian.Message) {}).
+				WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+					// The sink never sends, so no failure report can target
+					// it; the arm records that this is by design (§3.4).
+				}).
 				Loop(ctx.Proc, nil)
 		},
 	}
@@ -144,6 +148,10 @@ func runE5LossCell(p E5Params, loss float64) (arrived int, reorderedPairs int, e
 			guardian.NewReceiver(ctx.Ports[0]).
 				When("data", func(pr *guardian.Process, m *guardian.Message) {
 					seen <- m.Int(0)
+				}).
+				WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+					// The collector never sends; nothing to do. This cell
+					// measures loss on the data path only (§3.4).
 				}).
 				Loop(ctx.Proc, nil)
 		},

@@ -64,6 +64,11 @@ func brokenLedgerDef() *guardian.GuardianDef {
 					_ = pr.Send(m.ReplyTo, "value", count)
 				}
 			}).
+			WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+				// §3.4 failure arm: a discarded message named this port as
+				// its replyto. The count already moved and is logged;
+				// clients re-ask on timeout, so the report is dropped.
+			}).
 			Loop(ctx.Proc, nil)
 	}
 	return &guardian.GuardianDef{
@@ -114,6 +119,11 @@ func ledgerDef() *guardian.GuardianDef {
 				if !m.ReplyTo.IsZero() {
 					_ = pr.Send(m.ReplyTo, "value", count)
 				}
+			}).
+			WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+				// §3.4 failure arm: a discarded message named this port as
+				// its replyto. The append is logged and permanent either
+				// way; the client re-asks on timeout.
 			}).
 			Loop(ctx.Proc, nil)
 	}

@@ -112,6 +112,11 @@ func primordialMain(ctx *Ctx) {
 				_ = pr.Send(m.ReplyTo, "pong")
 			}
 		}).
+		WhenFailure(func(_ *Process, _ string, _ *Message) {
+			// §3.4 failure arm: a discarded message named the primordial
+			// port as its replyto. Creation already happened (or didn't);
+			// the creator's own timeout covers the lost answer.
+		}).
 		Loop(ctx.Proc, nil)
 }
 

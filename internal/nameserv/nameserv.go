@@ -193,6 +193,11 @@ func Def() *guardian.GuardianDef {
 				st.mu.Unlock()
 				reply(pr, m, "bindings", out)
 			}).
+			WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+				// §3.4 failure arm: a discarded message named this port as
+				// its replyto. Bindings are already durable; the caller's
+				// timeout owns recovery, so the report is dropped.
+			}).
 			Loop(ctx.Proc, nil)
 	}
 	return &guardian.GuardianDef{

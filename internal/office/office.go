@@ -205,5 +205,10 @@ func divisionMain(ctx *guardian.Ctx) {
 		When("count_docs", func(pr *guardian.Process, m *guardian.Message) {
 			reply(pr, m, "doc_count", int64(len(st.docs)))
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded message named this port as its
+			// replyto. Documents are keyed by sealed token, so a lost reply
+			// costs the client one re-ask; drop the report.
+		}).
 		Loop(ctx.Proc, nil)
 }

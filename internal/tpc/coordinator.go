@@ -189,6 +189,12 @@ func CoordinatorDef() *guardian.GuardianDef {
 					runTx(q, log, st, d, client)
 				})
 			}).
+			WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+				// §3.4 failure arm: a discarded message named the begin
+				// port as its replyto. Per-transaction processes talk to
+				// participants on their own ports and handle their own
+				// failures; nothing to settle here.
+			}).
 			Loop(ctx.Proc, nil)
 	}
 	return &guardian.GuardianDef{

@@ -234,6 +234,11 @@ func NewParticipantDef(typeName string, factory func() Resource) *guardian.Guard
 					reply(pr, m, "ack_abort", txid)
 				}
 			}).
+			WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+				// §3.4 failure arm: a discarded message named this port as
+				// its replyto. Votes and acks are idempotent re-replies;
+				// the coordinator re-asks until settled, so drop it.
+			}).
 			Loop(ctx.Proc, nil)
 	}
 	return &guardian.GuardianDef{

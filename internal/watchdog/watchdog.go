@@ -139,6 +139,11 @@ func watchdogMain(ctx *guardian.Ctx) {
 			st.mu.Unlock()
 			reply(pr, m, "subscribed")
 		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a discarded message named the control port
+			// as its replyto (e.g. an event to a dead subscriber sent with
+			// replyto for diagnostics). Probing state is unaffected.
+		}).
 		Loop(ctx.Proc, nil)
 }
 

@@ -78,6 +78,30 @@ func (r *Registry) Types() []string {
 	return names
 }
 
+// Range calls fn for each registered type in sorted name order, stopping
+// early when fn returns false. It iterates over a snapshot taken under the
+// lock, so fn may itself call back into the registry (including Register).
+// Tooling iterates registrations this way — e.g. to audit a node's decode
+// coverage against the encoders the program declares.
+func (r *Registry) Range(fn func(name string, dec DecodeFunc) bool) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.decoders))
+	for n := range r.decoders {
+		names = append(names, n)
+	}
+	decs := make(map[string]DecodeFunc, len(names))
+	for _, n := range names {
+		decs[n] = r.decoders[n]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(n, decs[n]) {
+			return
+		}
+	}
+}
+
 // Decode maps an external-rep record back to this node's internal
 // representation using the registered decode operation.
 func (r *Registry) Decode(v Value) (any, error) {
