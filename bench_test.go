@@ -5,12 +5,14 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/airline"
 	"repro/internal/amo"
 	"repro/internal/bank"
+	"repro/internal/durable"
 	"repro/internal/exp"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
@@ -584,3 +586,39 @@ func BenchmarkTransportLoopback(b *testing.B) {
 		run(b, udp)
 	})
 }
+
+// --- E13 / durable: group commit vs naive log-then-ack ---
+
+// benchE13 measures concurrent AppendSync throughput on a real on-disk
+// WAL. With group commit (the default) concurrent committers coalesce
+// into one fsync per batch; the control arm forces one serialized fsync
+// per call — the naive log-then-ack discipline. The reported fsyncs/op
+// is the coalescing factor's inverse: well below 1.0 under concurrency
+// for group commit, exactly 1.0 for the naive arm.
+func benchE13(b *testing.B, noGroup bool) {
+	store, err := durable.OpenWAL(b.TempDir(), durable.WALConfig{NoGroupCommit: noGroup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	log, err := store.OpenLog("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make([]byte, 128)
+	// Force many concurrent committers even on a single-CPU runner:
+	// coalescing only happens when callers pile up behind an in-flight
+	// fsync, and fsync parks the goroutine, not the CPU.
+	b.SetParallelism(8 * runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			log.AppendSync(rec)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(store.SyncCount())/float64(b.N), "fsyncs/op")
+}
+
+func BenchmarkE13GroupCommit(b *testing.B) { benchE13(b, false) }
+func BenchmarkE13NaiveSync(b *testing.B)   { benchE13(b, true) }

@@ -28,17 +28,21 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/airline"
 	"repro/internal/amo"
 	"repro/internal/bank"
+	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/nameserv"
 	"repro/internal/transport"
+	"repro/internal/xrep"
 )
 
 // multiFlag collects repeated -op occurrences.
@@ -67,6 +71,11 @@ type options struct {
 	delay, jitter time.Duration
 	seed          int64
 
+	// durable storage
+	data    string
+	cpevery int
+	crash   *crashSpec
+
 	// airline host parameters
 	flight, capacity int64
 	org              string
@@ -89,6 +98,10 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.mtu, "mtu", 0, "maximum datagram size (0 = transport default)")
 	fs.DurationVar(&o.pace, "pace", 0, "minimum gap between datagrams to one peer")
 	fs.IntVar(&o.recv, "recv", 0, "receive workers per socket (0 = default)")
+	fs.StringVar(&o.data, "data", "", "directory for on-disk WAL storage (empty = volatile in-memory disk)")
+	fs.IntVar(&o.cpevery, "cpevery", 0, "bank: checkpoint every N mutations (0 = never)")
+	crash := fs.String("crash", "", "crash injection: POINT:N exits the process at the Nth firing of "+
+		"a WAL crash point (before-sync, after-sync or mid-checkpoint); needs -data")
 	fs.Float64Var(&o.loss, "loss", 0, "injected outbound loss rate [0,1]")
 	fs.Float64Var(&o.dup, "dup", 0, "injected outbound duplication rate [0,1]")
 	fs.DurationVar(&o.delay, "delay", 0, "injected minimum outbound delay")
@@ -107,6 +120,16 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	if o.name == "" {
 		return nil, fmt.Errorf("node: -name is required")
 	}
+	if *crash != "" {
+		if o.data == "" {
+			return nil, fmt.Errorf("node: -crash needs -data")
+		}
+		spec, err := parseCrashSpec(*crash)
+		if err != nil {
+			return nil, err
+		}
+		o.crash = spec
+	}
 	if (o.host == "") == (o.call == "") {
 		return nil, fmt.Errorf("node: exactly one of -host (server) or -call (client) is required")
 	}
@@ -121,6 +144,45 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 		o.peers[transport.Addr(name)] = addr
 	}
 	return o, nil
+}
+
+// crashSpec kills the process — os.Exit, as abrupt as SIGKILL from the
+// WAL's point of view — at the Nth firing of one WAL crash point, so a
+// test can park a real OS process exactly inside a durability window.
+type crashSpec struct {
+	point string
+	n     int64
+	count atomic.Int64
+}
+
+func parseCrashSpec(s string) (*crashSpec, error) {
+	point, nStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("node: bad -crash %q: want POINT:N", s)
+	}
+	switch point {
+	case "before-sync", "after-sync", "mid-checkpoint":
+	default:
+		return nil, fmt.Errorf("node: bad -crash point %q: want before-sync, after-sync or mid-checkpoint", point)
+	}
+	n, err := strconv.ParseInt(nStr, 10, 64)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("node: bad -crash count %q: want a positive integer", nStr)
+	}
+	return &crashSpec{point: point, n: n}, nil
+}
+
+// hook returns the WALHooks callback for one crash point.
+func (c *crashSpec) hook(point string) func(string) {
+	if c == nil || c.point != point {
+		return nil
+	}
+	return func(log string) {
+		if c.count.Add(1) == c.n {
+			fmt.Fprintf(os.Stderr, "crash injected at %s %d (log %s)\n", point, c.n, log)
+			os.Exit(137)
+		}
+	}
 }
 
 // buildWorld assembles the transport stack and an empty world around it.
@@ -147,7 +209,19 @@ func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper
 		})
 		tr = wrap
 	}
-	w := guardian.NewWorld(guardian.Config{Transport: tr})
+	cfg := guardian.Config{Transport: tr}
+	if o.data != "" {
+		cfg.Store = func(node string) (durable.Store, error) {
+			return durable.OpenWAL(filepath.Join(o.data, node), durable.WALConfig{
+				Hooks: durable.WALHooks{
+					BeforeSync:    o.crash.hook("before-sync"),
+					AfterSync:     o.crash.hook("after-sync"),
+					MidCheckpoint: o.crash.hook("mid-checkpoint"),
+				},
+			})
+		}
+	}
+	w := guardian.NewWorld(cfg)
 	w.MustRegister(bank.BranchDef())
 	w.MustRegister(airline.FlightDef())
 	w.MustRegister(nameserv.Def())
@@ -167,33 +241,69 @@ func serve(o *options, stdout io.Writer) error {
 
 	var def string
 	var bootArgs []any
-	switch o.host {
-	case "bank":
-		def = bank.BranchDefName
-	case "airline":
-		def = airline.FlightDefName
-		bootArgs = []any{o.flight, o.capacity, o.org, int64(0)}
-	case "nameserv":
-		def = nameserv.DefName
-	default:
-		return fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
-	}
-	created, err := n.Bootstrap(def, bootArgs...)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
 	var provides []*guardian.PortType
 	switch o.host {
 	case "bank":
+		def = bank.BranchDefName
 		provides = bank.BranchDef().Provides
+		if o.cpevery > 0 {
+			bootArgs = append(bootArgs, o.cpevery)
+		}
 	case "airline":
+		def = airline.FlightDefName
 		provides = airline.FlightDef().Provides
+		bootArgs = []any{o.flight, o.capacity, o.org, int64(0)}
 	case "nameserv":
+		def = nameserv.DefName
 		provides = nameserv.Def().Provides
+	default:
+		return fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
 	}
-	for i, p := range created.Ports {
+
+	// On a -data restart the node's catalog already re-created the hosted
+	// guardian (same id, same port names), so booting a second one would
+	// split the state; serve the recovered instance instead.
+	var hosted *guardian.Guardian
+	var ports []xrep.PortName
+	for _, id := range n.Guardians() {
+		if g, ok := n.GuardianByID(id); ok && g.DefName() == def {
+			hosted = g
+			for _, p := range g.ProvidedPorts() {
+				ports = append(ports, p.Name())
+			}
+			break
+		}
+	}
+	recovered := hosted != nil
+	if !recovered {
+		created, err := n.Bootstrap(def, bootArgs...)
+		if err != nil {
+			return err
+		}
+		hosted, _ = n.GuardianByID(created.GuardianID)
+		ports = created.Ports
+	}
+
+	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
+	if recovered {
+		fmt.Fprintf(stdout, "recovered %s guardian %d from catalog\n", def, hosted.ID())
+	}
+	// What open-time scanning of the durable store found: a torn tail is
+	// the legitimate residue of a crash mid-write (truncated, not
+	// replayed); skipped records are stale residue of a crash between
+	// checkpoint install and compaction. Either is worth a line — silent
+	// repair is how recovery bugs hide.
+	if rep, ok := n.Store().(durable.Reporter); ok {
+		for _, name := range n.Store().LogNames() {
+			r, scanned := rep.Report(name)
+			if !scanned || (!r.TornTail && r.Skipped == 0) {
+				continue
+			}
+			fmt.Fprintf(stdout, "recovery %s records=%d skipped=%d torn_tail=%v torn_bytes=%d\n",
+				name, r.Records, r.Skipped, r.TornTail, r.TornBytes)
+		}
+	}
+	for i, p := range ports {
 		label := fmt.Sprintf("port%d", i)
 		if i < len(provides) {
 			label = provides[i].Name()
@@ -217,11 +327,9 @@ func serve(o *options, stdout io.Writer) error {
 	st := udp.Stats()
 	fmt.Fprintf(stdout, "stats sent=%d delivered=%d dropped=%d bytes_sent=%d bytes_recv=%d\n",
 		st.Sent, st.Delivered, st.Dropped, st.BytesSent, st.BytesRecv)
-	if o.host == "bank" {
-		if g, ok := n.GuardianByID(created.GuardianID); ok {
-			if applies, err := bank.Applies(g); err == nil {
-				fmt.Fprintf(stdout, "applies %d\n", applies)
-			}
+	if o.host == "bank" && hosted != nil {
+		if applies, err := bank.Applies(hosted); err == nil {
+			fmt.Fprintf(stdout, "applies %d\n", applies)
 		}
 	}
 	return w.Close()

@@ -5,8 +5,8 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/guardian"
-	"repro/internal/stable"
 	"repro/internal/wire"
 	"repro/internal/xrep"
 )
@@ -44,7 +44,7 @@ type DedupOptions struct {
 	// Log, when non-nil, persists every executed request's reply — the
 	// §2.2 log-then-reply protocol — so Recover can rebuild the table and
 	// at-most-once survives a crash.
-	Log *stable.Log
+	Log durable.Log
 	// Metrics receives the filter's counters. Nil means Default.
 	Metrics *Metrics
 }
@@ -288,7 +288,7 @@ func (d *Dedup) Recover() (int, error) {
 		return 0, nil
 	}
 	_, records, err := d.opts.Log.Recover()
-	if err != nil && err != stable.ErrNoCheckpoint {
+	if err != nil && err != durable.ErrNoCheckpoint {
 		return 0, err
 	}
 	d.mu.Lock()
@@ -323,4 +323,87 @@ func (d *Dedup) Recover() (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// Snapshot captures the dedup table as a value suitable for inclusion in
+// a guardian's checkpoint state, so the log records already folded into
+// the table can be compacted away. Clients and seqs are emitted in sorted
+// order: the same table always snapshots to the same bytes.
+func (d *Dedup) Snapshot() xrep.Value {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clients := make([]string, 0, len(d.sessions))
+	for c := range d.sessions {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	out := make(xrep.Seq, 0, len(clients))
+	for _, c := range clients {
+		s := d.sessions[c]
+		seqs := make([]int64, 0, len(s.replies))
+		for seq := range s.replies {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		entries := make(xrep.Seq, 0, len(seqs))
+		for _, seq := range seqs {
+			r := s.replies[seq]
+			args := r.args
+			if args == nil {
+				args = xrep.Seq{}
+			}
+			entries = append(entries, xrep.Seq{xrep.Int(seq), xrep.Str(r.outcome), args})
+		}
+		out = append(out, xrep.Rec{Name: "amo/session", Fields: xrep.Seq{
+			xrep.Str(c), xrep.Int(s.pruned), entries,
+		}})
+	}
+	return out
+}
+
+// Restore rebuilds the table from a Snapshot value, replacing the current
+// contents. A recovering guardian calls Restore with the checkpoint's
+// snapshot first, then Recover to fold in the log records written after
+// the checkpoint was taken.
+func (d *Dedup) Restore(v xrep.Value) error {
+	seq, ok := v.(xrep.Seq)
+	if !ok {
+		return fmt.Errorf("amo: restore: not a snapshot sequence")
+	}
+	sessions := make(map[string]*session, len(seq))
+	for _, sv := range seq {
+		rec, ok := sv.(xrep.Rec)
+		if !ok || rec.Name != "amo/session" || len(rec.Fields) != 3 {
+			return fmt.Errorf("amo: restore: malformed session record")
+		}
+		client, ok0 := rec.Fields[0].(xrep.Str)
+		pruned, ok1 := rec.Fields[1].(xrep.Int)
+		entries, ok2 := rec.Fields[2].(xrep.Seq)
+		if !ok0 || !ok1 || !ok2 {
+			return fmt.Errorf("amo: restore: malformed session record")
+		}
+		s := &session{
+			pruned:    int64(pruned),
+			replies:   make(map[int64]cached),
+			executing: make(map[int64]bool),
+		}
+		for _, ev := range entries {
+			e, ok := ev.(xrep.Seq)
+			if !ok || len(e) != 3 {
+				return fmt.Errorf("amo: restore: malformed reply entry")
+			}
+			rseq, ok0 := e[0].(xrep.Int)
+			outcome, ok1 := e[1].(xrep.Str)
+			args, ok2 := e[2].(xrep.Seq)
+			if !ok0 || !ok1 || !ok2 {
+				return fmt.Errorf("amo: restore: malformed reply entry")
+			}
+			s.replies[int64(rseq)] = cached{outcome: string(outcome), args: args}
+		}
+		sessions[string(client)] = s
+	}
+	d.mu.Lock()
+	d.sessions = sessions
+	d.mu.Unlock()
+	return nil
 }

@@ -3,6 +3,7 @@ package a
 
 import (
 	"sync"
+	"unsafe"
 
 	"repro/internal/guardian"
 	"repro/internal/xrep"
@@ -57,4 +58,27 @@ func send(pr *guardian.Process, g *guardian.Guardian, to xrep.PortName, tok xrep
 func encode(v int) {
 	_, _ = xrep.Encode(&v) // want `pointer \*int`
 	_, _ = xrep.Encode(xrep.Int(3))
+}
+
+// wordBag launders addresses as integers: the classic unsafe escape the
+// paper's invariant exists to forbid.
+type wordBag struct {
+	Tag   string
+	Words []uintptr
+}
+
+func addresses(pr *guardian.Process, to xrep.PortName) {
+	v := 7
+	up := unsafe.Pointer(&v)
+	_ = pr.Send(to, "up", up)                         // want `unsafe\.Pointer \(an object address\)`
+	_ = pr.Send(to, "word", uintptr(42))              // want `uintptr \(an object address\)`
+	_ = pr.Send(to, "words", []uintptr{1, 2})         // want `element of \[\]uintptr: uintptr \(an object address\)`
+	_ = pr.Send(to, "ups", []unsafe.Pointer{up})      // want `element of \[\]unsafe\.Pointer: unsafe\.Pointer`
+	_ = pr.Send(to, "bag", wordBag{})                 // want `field Words: element of \[\]uintptr: uintptr`
+	_ = pr.Send(to, "lit", []any{"ok", uintptr(1)})   // want `uintptr \(an object address\)`
+	_ = pr.SendReplyTo(to, to, "r", [2]uintptr{1, 2}) // want `element of \[2\]uintptr: uintptr`
+
+	// Negative: a byte slice is raw data, not addresses, however
+	// address-like its contents; sending it stays sanctioned.
+	_ = pr.Send(to, "raw", []byte{0xde, 0xad})
 }

@@ -14,9 +14,11 @@ package bank
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/amo"
+	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/stable"
 	"repro/internal/wire"
@@ -82,9 +84,14 @@ type branchState struct {
 // The branch serves two ports: its native idempotent port (every mutating
 // message carries an op_id) and an at-most-once port, where the amo layer
 // supplies the duplicate suppression instead and commands carry NO op_id.
-// Creation argument "raw" disables the at-most-once filter on the second
-// port — the control arm experiment E10 uses to demonstrate double
-// application under duplication.
+// Creation arguments, in any order:
+//
+//   - the string "raw" disables the at-most-once filter on the second
+//     port — the control arm experiment E10 uses to demonstrate double
+//     application under duplication;
+//   - an integer N > 0 makes the branch checkpoint its state (accounts,
+//     applied-op table, dedup snapshot) every N mutating messages,
+//     compacting the log — without it the log only ever grows.
 func BranchDef() *guardian.GuardianDef {
 	return &guardian.GuardianDef{
 		TypeName: BranchDefName,
@@ -133,6 +140,87 @@ func decodeOpRecord(data []byte) (kind, acct string, amount int64, opID string, 
 		return "", "", 0, "", false
 	}
 	return string(k), string(a), int64(n), string(id), true
+}
+
+// checkpointRec names the record a branch's checkpoint state marshals to.
+const checkpointRec = "bank/checkpoint"
+
+// encodeCheckpoint marshals the branch's whole durable state — accounts,
+// the applied-op table, and the dedup filter's snapshot — so the log
+// records it folds in can be compacted away. Maps are emitted in sorted
+// order: the same state always checkpoints to the same bytes.
+func encodeCheckpoint(st *branchState, dedup *amo.Dedup) []byte {
+	accts := make([]string, 0, len(st.accounts))
+	for a := range st.accounts {
+		accts = append(accts, a)
+	}
+	sort.Strings(accts)
+	accounts := make(xrep.Seq, 0, len(accts))
+	for _, a := range accts {
+		accounts = append(accounts, xrep.Seq{xrep.Str(a), xrep.Int(st.accounts[a])})
+	}
+	ops := make([]string, 0, len(st.applied))
+	for id := range st.applied {
+		ops = append(ops, id)
+	}
+	sort.Strings(ops)
+	applied := make(xrep.Seq, 0, len(ops))
+	for _, id := range ops {
+		applied = append(applied, xrep.Seq{xrep.Str(id), xrep.Str(st.applied[id])})
+	}
+	var dsnap xrep.Value = xrep.Seq{}
+	if dedup != nil {
+		dsnap = dedup.Snapshot()
+	}
+	rec := xrep.Rec{Name: checkpointRec, Fields: xrep.Seq{accounts, applied, dsnap}}
+	buf, err := wire.MarshalValue(rec)
+	if err != nil {
+		panic(fmt.Errorf("bank: marshal checkpoint: %v", err))
+	}
+	return buf
+}
+
+// decodeCheckpoint is encodeCheckpoint's inverse: it loads accounts and
+// applied ops into st and returns the dedup snapshot for the amo layer.
+func decodeCheckpoint(data []byte, st *branchState) (dedupSnap xrep.Value, err error) {
+	v, err := wire.UnmarshalValue(data)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := v.(xrep.Rec)
+	if !ok || rec.Name != checkpointRec || len(rec.Fields) != 3 {
+		return nil, fmt.Errorf("not a %s record", checkpointRec)
+	}
+	accounts, ok0 := rec.Fields[0].(xrep.Seq)
+	applied, ok1 := rec.Fields[1].(xrep.Seq)
+	if !ok0 || !ok1 {
+		return nil, fmt.Errorf("malformed %s record", checkpointRec)
+	}
+	for _, av := range accounts {
+		pair, ok := av.(xrep.Seq)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("malformed account entry")
+		}
+		name, ok0 := pair[0].(xrep.Str)
+		bal, ok1 := pair[1].(xrep.Int)
+		if !ok0 || !ok1 {
+			return nil, fmt.Errorf("malformed account entry")
+		}
+		st.accounts[string(name)] = int64(bal)
+	}
+	for _, ov := range applied {
+		pair, ok := ov.(xrep.Seq)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("malformed applied-op entry")
+		}
+		id, ok0 := pair[0].(xrep.Str)
+		outcome, ok1 := pair[1].(xrep.Str)
+		if !ok0 || !ok1 {
+			return nil, fmt.Errorf("malformed applied-op entry")
+		}
+		st.applied[string(id)] = string(outcome)
+	}
+	return rec.Fields[2], nil
 }
 
 // ReplayAccounts rebuilds a branch's account table by replaying durable
@@ -200,17 +288,84 @@ func branchMain(ctx *guardian.Ctx) {
 	}
 	ctx.G.SetState(st)
 	log := ctx.G.Log()
+
+	raw := false
+	cpEvery := 0
+	for _, a := range ctx.Args {
+		switch v := a.(type) {
+		case xrep.Str:
+			if string(v) == "raw" {
+				raw = true
+			}
+		case xrep.Int:
+			cpEvery = int(v)
+		}
+	}
+
+	var dedup *amo.Dedup
+	if !raw {
+		// The dedup table shares the guardian's own log: its log-then-reply
+		// sync is what commits the volatile op records appendOp leaves
+		// behind, making op and dedup record durable atomically (one forced
+		// write).
+		dedup = amo.NewDedup(amo.DedupOptions{Log: log})
+	}
+
 	if ctx.Recovering {
-		_, recs, _ := log.Recover()
+		cp, recs, err := log.Recover()
+		if err != nil && err != durable.ErrNoCheckpoint {
+			// Fail-stop: running a bank on recovery data known to be
+			// damaged would silently forget acknowledged money movements.
+			panic(fmt.Errorf("bank: branch %d: unrecoverable log: %w", ctx.G.ID(), err))
+		}
+		var cpDedup xrep.Value
+		if len(cp) > 0 {
+			snap, derr := decodeCheckpoint(cp, st)
+			if derr != nil {
+				panic(fmt.Errorf("bank: branch %d: bad checkpoint: %w", ctx.G.ID(), derr))
+			}
+			cpDedup = snap
+		}
 		for _, r := range recs {
 			if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
 				st.apply(kind, acct, amount, opID)
 			}
 		}
+		if dedup != nil {
+			if cpDedup != nil {
+				if err := dedup.Restore(cpDedup); err != nil {
+					panic(fmt.Errorf("bank: branch %d: bad dedup snapshot: %w", ctx.G.ID(), err))
+				}
+			}
+			// Fold in dedup records written after the checkpoint was taken.
+			if _, err := dedup.Recover(); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// maybeCheckpoint folds the branch's whole state into a checkpoint
+	// every cpEvery mutating messages. It MUST run at handler entry, when
+	// the volatile tail is provably empty (every handler path ends in a
+	// sync): a checkpoint taken mid-handler would capture effects whose
+	// dedup records are not durable yet, and a crash would then let a
+	// client retry re-execute an effect the checkpoint already holds.
+	opsSinceCP := 0
+	maybeCheckpoint := func() {
+		if cpEvery <= 0 {
+			return
+		}
+		opsSinceCP++
+		if opsSinceCP < cpEvery {
+			return
+		}
+		opsSinceCP = 0
+		log.Checkpoint(encodeCheckpoint(st, dedup), log.LastDurableSeq())
 	}
 
 	// mutate logs then applies (log-then-ack) and reports the outcome.
 	mutate := func(pr *guardian.Process, m *guardian.Message, kind, acct string, amount int64, opID string, replyTo xrep.PortName) string {
+		maybeCheckpoint()
 		// Duplicate of an applied op: answer from memory without relogging.
 		if opID != "" {
 			if prev, dup := st.applied[opID]; dup {
@@ -226,13 +381,6 @@ func branchMain(ctx *guardian.Ctx) {
 			_ = pr.Send(replyTo, outcome)
 		}
 		return outcome
-	}
-
-	raw := false
-	if len(ctx.Args) > 0 {
-		if s, ok := ctx.Args[0].(xrep.Str); ok && string(s) == "raw" {
-			raw = true
-		}
 	}
 
 	// appendOp makes one amo-port op record durable. With the dedup filter
@@ -273,6 +421,7 @@ func branchMain(ctx *guardian.Ctx) {
 			return 0
 		}
 		simple := func(kind string) (string, xrep.Seq) {
+			maybeCheckpoint()
 			appendOp(opRecord(kind, str(0), num(1), ""))
 			outcome := st.apply(kind, str(0), num(1), "")
 			if outcome == OutcomeOK {
@@ -286,6 +435,7 @@ func branchMain(ctx *guardian.Ctx) {
 		case "transfer":
 			// Intra-branch move: both legs or neither, so the sufficiency
 			// check precedes any logging.
+			maybeCheckpoint()
 			from, to, amount := str(0), str(1), num(2)
 			bal, ok := st.accounts[from]
 			if !ok {
@@ -324,15 +474,6 @@ func branchMain(ctx *guardian.Ctx) {
 			return true
 		}, amo.ReqCommand)
 	} else {
-		// The dedup table shares the guardian's own log: its log-then-reply
-		// sync is what commits the volatile op records appendOp left behind,
-		// making op and dedup record durable atomically (one forced write).
-		dedup := amo.NewDedup(amo.DedupOptions{Log: log})
-		if ctx.Recovering {
-			if _, err := dedup.Recover(); err != nil {
-				panic(err)
-			}
-		}
 		recv.Intercept(dedup.Hook(amoExec), amo.ReqCommand)
 	}
 

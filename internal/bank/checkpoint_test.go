@@ -1,0 +1,191 @@
+package bank
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/durable"
+	"repro/internal/guardian"
+)
+
+// walBankWorld builds a world whose branch node keeps its storage in an
+// on-disk WAL under root, so closing the world and opening a second one
+// over the same root models killing and restarting the hosting OS process.
+// The teller node stays on a simulated disk: it is a stateless client, and
+// a persistent store would advance its guardian-id catalog across restarts
+// (ids are never reused), breaking the deterministic client identity the
+// dedup test below relies on.
+func walBankWorld(t *testing.T, root string) *guardian.World {
+	t.Helper()
+	w := guardian.NewWorld(guardian.Config{
+		Store: func(node string) (durable.Store, error) {
+			if node != "branch" {
+				return nil, nil
+			}
+			return durable.OpenWAL(filepath.Join(root, node), durable.WALConfig{})
+		},
+	})
+	if err := w.Register(BranchDef()); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestCheckpointCompactsAndRecoversAcrossProcessDeath drives a branch
+// created with a checkpoint cadence, verifies the log actually compacts,
+// then restarts the whole world over the same data directory and checks
+// that both the account table and the idempotency memory come back — the
+// applied-op table must be restored FROM THE CHECKPOINT, because the
+// records it folded in are gone from the log.
+func TestCheckpointCompactsAndRecoversAcrossProcessDeath(t *testing.T) {
+	root := t.TempDir()
+
+	w1 := walBankWorld(t, root)
+	nb := w1.MustAddNode("branch")
+	nt := w1.MustAddNode("teller-node")
+	created, err := nb.Bootstrap(BranchDefName, 3) // checkpoint every 3 mutations
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := created.Ports[0]
+	c := newClient(t, nt)
+
+	c.call(t, a, "open", "alice")
+	c.call(t, a, "deposit", "alice", int64(100), "d1")
+	// This withdraw fails. After the later deposits a re-execution WOULD
+	// succeed, so its replayed outcome discriminates a restored applied-op
+	// table from a lost one.
+	if m := c.call(t, a, "withdraw", "alice", int64(250), "w-big"); m.Command != OutcomeInsufficient {
+		t.Fatalf("withdraw: %v", m.Command)
+	}
+	c.call(t, a, "deposit", "alice", int64(400), "d2")
+	c.call(t, a, "deposit", "alice", int64(50), "d3")
+
+	// Five mutations at cadence 3: a checkpoint fired, folding the early
+	// records away. Without it the log would hold all five op records plus
+	// the open.
+	bg, ok := nb.GuardianByID(created.GuardianID)
+	if !ok {
+		t.Fatal("branch guardian vanished")
+	}
+	log := bg.Log()
+	cp, _, err := log.Recover()
+	if err != nil {
+		t.Fatalf("live recover: %v", err)
+	}
+	if len(cp) == 0 {
+		t.Fatal("no checkpoint taken after 5 mutations at cadence 3")
+	}
+	if n := log.DurableLen(); n > 3 {
+		t.Fatalf("log holds %d records after checkpoint, want <= 3 (not compacted?)", n)
+	}
+
+	if err := w1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// "Restart the process": a fresh world over the same directories. The
+	// node catalog re-creates the branch (same id, same ports, same
+	// checkpoint cadence) and its recovery replays checkpoint + tail.
+	w2 := walBankWorld(t, root)
+	defer w2.Close()
+	w2.MustAddNode("branch")
+	nt2 := w2.MustAddNode("teller-node")
+	c2 := newClient(t, nt2)
+
+	if m := c2.call(t, a, "balance", "alice"); m.Command != "balance_is" || m.Int(0) != 550 {
+		t.Fatalf("recovered balance: %v %v", m.Command, m.Args)
+	}
+	// The failed withdraw's op id must replay its ORIGINAL outcome even
+	// though the balance now covers it; OutcomeOK here means the applied-op
+	// table the checkpoint carried was lost.
+	if m := c2.call(t, a, "withdraw", "alice", int64(250), "w-big"); m.Command != OutcomeInsufficient {
+		t.Fatalf("replayed w-big: %v, want %v", m.Command, OutcomeInsufficient)
+	}
+	if m := c2.call(t, a, "balance", "alice"); m.Int(0) != 550 {
+		t.Fatalf("balance moved to %d after replayed op", m.Int(0))
+	}
+	// And the recovered branch still takes new ops.
+	if m := c2.call(t, a, "withdraw", "alice", int64(50), "w-new"); m.Command != OutcomeOK {
+		t.Fatalf("fresh withdraw: %v", m.Command)
+	}
+	if m := c2.call(t, a, "balance", "alice"); m.Int(0) != 500 {
+		t.Fatalf("final balance: %d", m.Int(0))
+	}
+}
+
+// TestCheckpointCoversDedupSnapshot checks the subtlest piece of branch
+// checkpointing: the at-most-once filter's cached-reply table rides in the
+// checkpoint. After a checkpoint folds a dedup record away and the process
+// dies, a duplicate of that request must STILL be answered from the cache
+// — the only place it can come from is the checkpoint's snapshot.
+func TestCheckpointCoversDedupSnapshot(t *testing.T) {
+	root := t.TempDir()
+	callerOpts := amo.CallerOptions{
+		Timeout: 200 * time.Millisecond,
+		Retries: 10,
+	}
+
+	w1 := walBankWorld(t, root)
+	nb := w1.MustAddNode("branch")
+	nt := w1.MustAddNode("teller-node")
+	created, err := nb.Bootstrap(BranchDefName, 1) // checkpoint at every handler entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, amoPort := created.Ports[0], created.Ports[1]
+
+	// The caller's at-most-once client id is derived from its node,
+	// guardian, and reply-port ids. Re-creating the driver and caller in
+	// the same order in the second world yields the SAME client id with its
+	// sequence numbers starting over — a deliberate stand-in for a client
+	// that retries a request across the server's death.
+	c := newClient(t, nt)
+	caller, err := amo.NewCaller(c.proc, callerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.call(t, a, "open", "alice")
+	r, err := caller.Call(amoPort, "deposit", "alice", int64(100))
+	if err != nil || r.Command != OutcomeOK {
+		t.Fatalf("amo deposit: %v %v", r, err)
+	}
+	// One more native mutation so the cadence-1 checkpoint at its entry
+	// folds the deposit's dedup record out of the log.
+	c.call(t, a, "deposit", "alice", int64(50), "d-extra")
+
+	if err := w1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := walBankWorld(t, root)
+	defer w2.Close()
+	w2.MustAddNode("branch")
+	nt2 := w2.MustAddNode("teller-node")
+	c2 := newClient(t, nt2)
+	caller2, err := amo.NewCaller(c2.proc, callerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caller2.Client() != caller.Client() {
+		t.Fatalf("caller identity drifted: %s vs %s — test setup no longer deterministic", caller2.Client(), caller.Client())
+	}
+
+	// Same client, same seq 1, DIFFERENT command: at-most-once means the
+	// cached reply of the original deposit comes back and the withdraw is
+	// never executed. If the snapshot was lost, the withdraw runs and the
+	// balance drops.
+	r2, err := caller2.Call(amoPort, "withdraw", "alice", int64(100))
+	if err != nil {
+		t.Fatalf("replayed call: %v", err)
+	}
+	if r2.Command != OutcomeOK {
+		t.Fatalf("replayed call outcome: %v", r2.Command)
+	}
+	if m := c2.call(t, a, "balance", "alice"); m.Int(0) != 150 {
+		t.Fatalf("balance = %d: duplicate executed after recovery (dedup snapshot lost)", m.Int(0))
+	}
+}

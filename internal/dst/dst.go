@@ -30,13 +30,16 @@ package dst
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
+	"repro/internal/stable"
 	"repro/internal/vtime"
 )
 
@@ -142,6 +145,17 @@ type Options struct {
 	// Bug optionally disables a protection (see the Bug* constants), as a
 	// harness self-test: the checkers must catch it.
 	Bug string
+	// StorageFaults, when non-nil, injects storage faults under every
+	// node: each node's simulated disk is wrapped in a durable.Wrapper
+	// with the given rates. Each node's fate stream is seeded by
+	// Seed^hash(node) — derived, not drawn from the master stream, so
+	// enabling storage faults does not perturb the network or workload
+	// streams of the same seed. A faulted node is fail-stopped before
+	// the sync returns (no acknowledgment of unsynced state can escape)
+	// and restarted a moment later, driving the recovery path through
+	// the damage. The config's Seed and OnFault fields are owned by the
+	// harness and overwritten.
+	StorageFaults *durable.WrapperConfig
 	// AttemptTimeout bounds each call attempt (virtual time). Zero means
 	// 25ms.
 	AttemptTimeout time.Duration
@@ -225,7 +239,7 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 
 	p := opts.Profile
 	clock := vtime.NewSim(time.Unix(0, 0))
-	w := guardian.NewWorld(guardian.Config{
+	cfg := guardian.Config{
 		Clock: clock,
 		Net: netsim.Config{
 			Seed:        netSeed,
@@ -235,7 +249,45 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 			DupRate:     p.Dup,
 			ReorderRate: p.Reorder,
 		},
-	})
+	}
+
+	// Storage fault injection: every node's simulated disk goes behind a
+	// seeded durable.Wrapper. A fault fail-stops the node before its Sync
+	// returns — no acknowledgment of unsynced state can escape — and a
+	// restart a moment later forces recovery through the damage. The
+	// per-node fate seed is derived (Seed^hash(node)), never drawn from
+	// the master stream, so the network and workload streams of a seed
+	// are identical with and without storage faults.
+	var (
+		w        *guardian.World
+		storeMu  sync.Mutex
+		wrappers = make(map[string]*durable.Wrapper)
+	)
+	if sf := opts.StorageFaults; sf != nil {
+		cfg.Store = func(node string) (durable.Store, error) {
+			wcfg := *sf
+			wcfg.Seed = opts.Seed ^ fnv64a(node)
+			wcfg.OnFault = func(log, fault string) {
+				n, err := w.Node(node)
+				if err != nil || !n.Alive() {
+					return
+				}
+				n.Crash()
+				go func() {
+					clock.Sleep(15 * time.Millisecond)
+					if !n.Alive() {
+						_ = n.Restart()
+					}
+				}()
+			}
+			wr := durable.Wrap(durable.NewSim(stable.NewDisk(clock, stable.DiskConfig{})), wcfg)
+			storeMu.Lock()
+			wrappers[node] = wr
+			storeMu.Unlock()
+			return wr, nil
+		}
+	}
+	w = guardian.NewWorld(cfg)
 
 	start := clock.Now()
 	realStart := time.Now()
@@ -293,11 +345,33 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 		time.Sleep(2 * time.Millisecond)
 		rep.VirtualElapsed = clock.Since(start)
 		rep.Net = w.Net().Stats()
+		storeMu.Lock()
+		for _, wr := range wrappers {
+			s := wr.InjectedStats()
+			rep.Storage.Syncs += s.Syncs
+			rep.Storage.SyncsFailed += s.SyncsFailed
+			rep.Storage.ShortWrites += s.ShortWrites
+			rep.Storage.CorruptedTails += s.CorruptedTails
+			rep.Storage.RecordsDropped += s.RecordsDropped
+		}
+		storeMu.Unlock()
+		// A storage fault fail-stops its node outside the schedule; the
+		// volatile-counter audits must treat that as a crash too.
+		if rep.Storage.SyncsFailed+rep.Storage.ShortWrites+rep.Storage.CorruptedTails > 0 {
+			crashed = true
+		}
 		wl.check(w, rep, crashed)
 	}()
 	clock.Drive(done.Load, vtime.DriveOptions{Settle: opts.Settle})
 	rep.RealElapsed = time.Since(realStart)
 	return rep
+}
+
+// fnv64a hashes a node name for its storage fate seed.
+func fnv64a(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64())
 }
 
 // applyEvent performs one schedule event against the world. Crashing a

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/netsim"
 )
 
@@ -41,7 +42,10 @@ type Report struct {
 	// Retries counts re-send attempts beyond each call's first.
 	Retries int64
 
-	Net            netsim.Stats
+	Net netsim.Stats
+	// Storage aggregates injected storage-fault counters across all
+	// nodes; zero unless Options.StorageFaults was set.
+	Storage        durable.WrapperStats
 	VirtualElapsed time.Duration
 	RealElapsed    time.Duration
 }
@@ -71,6 +75,11 @@ func (r *Report) String() string {
 		r.OpsIssued, r.OpsAcked, r.OpsFailed, r.Retries)
 	fmt.Fprintf(&b, "  net: sent=%d delivered=%d lost=%d dup=%d reordered=%d partition-dropped=%d\n",
 		r.Net.Sent, r.Net.Delivered, r.Net.Lost, r.Net.Duplicated, r.Net.Reordered, r.Net.Partition)
+	if r.Storage.Syncs > 0 {
+		fmt.Fprintf(&b, "  storage: syncs=%d sync-failed=%d short-writes=%d corrupted-tails=%d records-dropped=%d\n",
+			r.Storage.Syncs, r.Storage.SyncsFailed, r.Storage.ShortWrites,
+			r.Storage.CorruptedTails, r.Storage.RecordsDropped)
+	}
 	fmt.Fprintf(&b, "  time: %v virtual in %v real\n",
 		r.VirtualElapsed.Round(time.Millisecond), r.RealElapsed.Round(time.Millisecond))
 	for _, v := range r.Violations {

@@ -1,0 +1,38 @@
+package durable
+
+import "repro/internal/stable"
+
+// Sim adapts the in-memory simulated disk to the Store seam — the
+// default backend, exactly as transport.Sim adapts netsim. It survives
+// simulated Node.Crash calls but not process death, and Persistent is
+// accordingly false: the guardian runtime keeps re-creation metadata in
+// process memory for it, just as it always has.
+type Sim struct {
+	disk *stable.Disk
+}
+
+// NewSim wraps a simulated disk.
+func NewSim(disk *stable.Disk) *Sim { return &Sim{disk: disk} }
+
+// Disk unwraps to the simulated device, for tests and experiments that
+// reach past the seam (mirroring transport.Sim's Network unwrap).
+func (s *Sim) Disk() *stable.Disk { return s.disk }
+
+// OpenLog implements Store. The simulated log is the interface's
+// reference implementation; opening cannot fail.
+func (s *Sim) OpenLog(name string) (Log, error) { return s.disk.OpenLog(name), nil }
+
+// LogNames implements Store.
+func (s *Sim) LogNames() []string { return s.disk.LogNames() }
+
+// Persistent implements Store: simulated storage dies with the process.
+func (s *Sim) Persistent() bool { return false }
+
+// Crash implements Store.
+func (s *Sim) Crash() { s.disk.Crash() }
+
+// SyncCount implements Store.
+func (s *Sim) SyncCount() int64 { return s.disk.SyncCount() }
+
+// Close implements Store: the simulated disk holds no OS resources.
+func (s *Sim) Close() error { return nil }

@@ -1,0 +1,312 @@
+package durable
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// WrapperConfig is the storage fault model a Wrapper injects around an
+// inner Store — the disk counterpart of transport.WrapperConfig. Fates
+// are a pure function of the seed and the sync order, so a failing run
+// reproduces from its seed.
+type WrapperConfig struct {
+	// Seed initializes the fate source.
+	Seed int64
+	// SyncFailRate is the probability in [0,1] that a Sync loses its
+	// entire batch: the fsync "succeeded" from the device's point of
+	// view never happened. Models a power cut before the platter write.
+	SyncFailRate float64
+	// ShortWriteRate is the probability that only a strict prefix of
+	// the batch reaches the device and the torn remainder is detected
+	// and discarded at recovery.
+	ShortWriteRate float64
+	// CorruptTailRate is the probability that the batch reaches the
+	// device but is damaged in place, so recovery's checksum scan
+	// rejects the whole batch.
+	CorruptTailRate float64
+	// OnFault, when non-nil, is called (outside the wrapper's lock)
+	// after a fault is applied, before Sync returns to the caller. A
+	// harness uses it to fail-stop the faulted node immediately — the
+	// post-fsyncgate discipline: a storage error must crash the process
+	// BEFORE any acknowledgment escapes, or acked-implies-durable is
+	// lost.
+	OnFault func(log, fault string)
+}
+
+// Fault names passed to OnFault.
+const (
+	FaultSyncFail    = "sync_fail"
+	FaultShortWrite  = "short_write"
+	FaultCorruptTail = "corrupt_tail"
+)
+
+// WrapperStats counts the faults a Wrapper has injected.
+type WrapperStats struct {
+	Syncs          int64 // Sync calls observed
+	SyncsFailed    int64 // whole batches lost
+	ShortWrites    int64 // batches committed only as a prefix
+	CorruptedTails int64 // batches committed then damaged
+	RecordsDropped int64 // records recovery will never see
+}
+
+// Wrapper injects storage faults around any Store. It owns each log's
+// volatile tail (so a failed sync can lose a whole batch, exactly as
+// the WAL's batch atomicity would) and remembers which committed
+// records it damaged, excluding them from Recover — presenting callers
+// with precisely the post-scan view a real WAL recovery would produce:
+// torn and corrupted batches are dropped and reported, never replayed.
+//
+// Under faults the sequence numbers returned by Append are advisory:
+// records that survive are renumbered by the inner store when
+// committed. Recover's records carry the inner numbering, which is what
+// LastDurableSeq and Checkpoint watermarks speak as well, so the
+// log-checkpoint-replay contract is unaffected.
+type Wrapper struct {
+	inner Store
+	cfg   WrapperConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats WrapperStats
+	logs  map[string]*wrapLog
+}
+
+// Wrap composes the fault model around inner.
+func Wrap(inner Store, cfg WrapperConfig) *Wrapper {
+	return &Wrapper{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		logs:  make(map[string]*wrapLog),
+	}
+}
+
+// Inner returns the wrapped store.
+func (w *Wrapper) Inner() Store { return w.inner }
+
+// OpenLog implements Store.
+func (w *Wrapper) OpenLog(name string) (Log, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if l, ok := w.logs[name]; ok {
+		return l, nil
+	}
+	inner, err := w.inner.OpenLog(name)
+	if err != nil {
+		return nil, err
+	}
+	l := &wrapLog{w: w, name: name, inner: inner, tainted: make(map[uint64]bool)}
+	w.logs[name] = l
+	return l, nil
+}
+
+// LogNames implements Store.
+func (w *Wrapper) LogNames() []string { return w.inner.LogNames() }
+
+// Persistent implements Store.
+func (w *Wrapper) Persistent() bool { return w.inner.Persistent() }
+
+// Crash implements Store: pending batches die with the node. The
+// wrapper lock is released before any log lock is taken — Sync holds a
+// log lock while drawing its fate under the wrapper lock, so nesting
+// them here would invert the order.
+func (w *Wrapper) Crash() {
+	w.mu.Lock()
+	logs := make([]*wrapLog, 0, len(w.logs))
+	for _, l := range w.logs {
+		logs = append(logs, l)
+	}
+	w.mu.Unlock()
+	for _, l := range logs {
+		l.mu.Lock()
+		l.pending = nil
+		l.mu.Unlock()
+	}
+	w.inner.Crash()
+}
+
+// SyncCount implements Store.
+func (w *Wrapper) SyncCount() int64 { return w.inner.SyncCount() }
+
+// Close implements Store.
+func (w *Wrapper) Close() error { return w.inner.Close() }
+
+// InjectedStats reports the faults injected so far.
+func (w *Wrapper) InjectedStats() WrapperStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Report implements Reporter for opened logs.
+func (w *Wrapper) Report(name string) (RecoveryReport, bool) {
+	w.mu.Lock()
+	l, ok := w.logs[name]
+	w.mu.Unlock()
+	if !ok {
+		return RecoveryReport{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rep := RecoveryReport{
+		TornTail:  len(l.tainted) > 0,
+		TornBytes: l.taintedBytes,
+	}
+	_, recs, _ := l.inner.Recover()
+	for _, r := range recs {
+		if !l.tainted[r.Seq] {
+			rep.Records++
+		}
+	}
+	return rep, true
+}
+
+// wrapLog is one log under fault injection.
+type wrapLog struct {
+	w     *Wrapper
+	name  string
+	inner Log
+
+	mu      sync.Mutex
+	nextAdv uint64   // advisory sequence for Append's return value
+	pending [][]byte // the volatile tail, owned here so faults can drop it
+	// tainted marks inner sequence numbers recovery must reject: they
+	// were committed but then torn or damaged on the device.
+	tainted      map[uint64]bool
+	taintedBytes int
+}
+
+// Append implements Log; the returned sequence number is advisory
+// under faults (see Wrapper).
+func (l *wrapLog) Append(data []byte) uint64 {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = append(l.pending, buf)
+	l.nextAdv = l.inner.LastDurableSeq() + uint64(len(l.pending))
+	return l.nextAdv
+}
+
+// Sync implements Log, deciding the batch's fate from the seed: commit
+// clean, lose it whole, commit a torn prefix, or commit then damage it.
+// Damaged records are committed to the inner store (they occupy disk)
+// but marked so Recover drops them, as a checksum scan would.
+func (l *wrapLog) Sync() {
+	l.mu.Lock()
+	batch := l.pending
+	l.pending = nil
+
+	w := l.w
+	w.mu.Lock()
+	w.stats.Syncs++
+	fault := ""
+	cut := len(batch)
+	if len(batch) > 0 {
+		switch f := w.rng.Float64(); {
+		case f < w.cfg.SyncFailRate:
+			fault = FaultSyncFail
+			cut = 0
+			w.stats.SyncsFailed++
+			w.stats.RecordsDropped += int64(len(batch))
+		case f < w.cfg.SyncFailRate+w.cfg.ShortWriteRate:
+			fault = FaultShortWrite
+			cut = w.rng.Intn(len(batch)) // strict prefix, possibly empty
+			w.stats.ShortWrites++
+			w.stats.RecordsDropped += int64(len(batch))
+		case f < w.cfg.SyncFailRate+w.cfg.ShortWriteRate+w.cfg.CorruptTailRate:
+			fault = FaultCorruptTail
+			w.stats.CorruptedTails++
+			w.stats.RecordsDropped += int64(len(batch))
+		}
+	}
+	w.mu.Unlock()
+
+	// Commit what reaches the device. For a short write the surviving
+	// prefix is also tainted: it is part of a batch whose frame checksum
+	// can no longer verify, so recovery rejects the batch whole —
+	// preserving the Sync batch as the atomicity unit.
+	commit := batch[:cut]
+	if fault == FaultCorruptTail {
+		commit = batch
+	}
+	taintCommitted := fault == FaultCorruptTail || fault == FaultShortWrite
+	for _, data := range commit {
+		seq := l.inner.Append(data)
+		if taintCommitted {
+			l.tainted[seq] = true
+			l.taintedBytes += len(data)
+		}
+	}
+	l.inner.Sync()
+	l.mu.Unlock()
+
+	if fault != "" && w.cfg.OnFault != nil {
+		w.cfg.OnFault(l.name, fault)
+	}
+}
+
+// AppendSync implements Log.
+func (l *wrapLog) AppendSync(data []byte) uint64 {
+	seq := l.Append(data)
+	l.Sync()
+	return seq
+}
+
+// Checkpoint implements Log. Tainted records folded under the
+// watermark are discarded by the inner store and forgotten here.
+func (l *wrapLog) Checkpoint(state []byte, upTo uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Checkpoint(state, upTo)
+	for seq := range l.tainted {
+		if seq <= upTo {
+			delete(l.tainted, seq)
+		}
+	}
+}
+
+// Recover implements Log, presenting the post-scan view: committed
+// records minus the tainted ones a checksum scan would reject.
+func (l *wrapLog) Recover() (checkpoint []byte, records []Record, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp, recs, err := l.inner.Recover()
+	if err != nil && err != ErrNoCheckpoint {
+		return nil, nil, err
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if !l.tainted[r.Seq] {
+			kept = append(kept, r)
+		}
+	}
+	return cp, kept, err
+}
+
+// DurableLen implements Log, counting records recovery would replay.
+func (l *wrapLog) DurableLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.inner.DurableLen() - len(l.tainted)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// VolatileLen implements Log.
+func (l *wrapLog) VolatileLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
+
+// LastDurableSeq implements Log (inner numbering; tainted records still
+// advance it, exactly as torn bytes still occupy the tail of a real
+// log until truncated).
+func (l *wrapLog) LastDurableSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.LastDurableSeq()
+}

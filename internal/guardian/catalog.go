@@ -1,0 +1,189 @@
+package guardian
+
+import (
+	"fmt"
+
+	"repro/internal/durable"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// The durable catalog. A node's in-memory meta map is enough to re-create
+// recoverable guardians across a simulated Crash/Restart, because the
+// process — and with it the map — survives. A node on persistent storage
+// must also survive death of the OS process itself, so the same catalog
+// records are additionally written to a well-known log in the node's
+// store: one record per creation, a tombstone per self-destruct. Node
+// startup replays this log and re-instantiates every surviving guardian
+// whose definition provides a Recover process, exactly as Restart does
+// from memory.
+
+// catalogLogName is the reserved log holding the node's catalog. The
+// leading underscore keeps it clear of guardian logs, which are always
+// named "<type>-<id>".
+const catalogLogName = "_catalog"
+
+// Catalog record names.
+const (
+	catalogCreateRec  = "catalog/create"
+	catalogDestroyRec = "catalog/destroy"
+)
+
+// catalogLog opens the node's catalog log. Failure is fail-stop: a node
+// that cannot read its own catalog must not run, or guardians it promised
+// to recover would silently vanish.
+func (n *Node) catalogLog() durable.Log {
+	l, err := n.store.OpenLog(catalogLogName)
+	if err != nil {
+		panic(fmt.Errorf("guardian: opening catalog of node %s: %w", n.name, err))
+	}
+	return l
+}
+
+// catalogCreate persists one guardian's catalog record, forcing it to
+// disk before returning — creation must be durable before the guardian's
+// first process runs.
+func (n *Node) catalogCreate(m *guardianMeta) {
+	ports := make(xrep.Seq, len(m.portIDs))
+	for i, pid := range m.portIDs {
+		ports[i] = xrep.Int(pid)
+	}
+	args := m.args
+	if args == nil {
+		args = xrep.Seq{}
+	}
+	rec := xrep.Rec{Name: catalogCreateRec, Fields: xrep.Seq{
+		xrep.Int(m.id), xrep.Str(m.defName), args, ports,
+	}}
+	buf, err := wire.MarshalValue(rec)
+	if err != nil {
+		panic(fmt.Errorf("guardian: marshal catalog record: %w", err))
+	}
+	n.catalogLog().AppendSync(buf)
+}
+
+// catalogDestroy persists a tombstone: the guardian is gone for good and
+// must not be recovered by any future incarnation of the node.
+func (n *Node) catalogDestroy(id uint64) {
+	rec := xrep.Rec{Name: catalogDestroyRec, Fields: xrep.Seq{xrep.Int(id)}}
+	buf, err := wire.MarshalValue(rec)
+	if err != nil {
+		panic(fmt.Errorf("guardian: marshal catalog tombstone: %w", err))
+	}
+	n.catalogLog().AppendSync(buf)
+}
+
+// recoverCatalog replays the node's on-disk catalog after process death,
+// re-creating recoverable guardians with their original identities and
+// port names. Mirrors Restart, with the log standing in for the meta map.
+// Guardians whose definition has vanished from the library or provides no
+// Recover process are forgotten, like the paper's transaction processes
+// (§3.5). Corruption anywhere — in the catalog itself or in a surviving
+// guardian's own log — refuses startup rather than recovering wrongly.
+func (n *Node) recoverCatalog() error {
+	log, err := n.store.OpenLog(catalogLogName)
+	if err != nil {
+		return fmt.Errorf("opening catalog: %w", err)
+	}
+	_, recs, err := log.Recover()
+	if err != nil && err != durable.ErrNoCheckpoint {
+		return fmt.Errorf("reading catalog: %w", err)
+	}
+
+	metas := make(map[uint64]*guardianMeta)
+	var order []uint64
+	var maxID uint64
+	for _, r := range recs {
+		v, err := wire.UnmarshalValue(r.Data)
+		if err != nil {
+			return fmt.Errorf("catalog record %d: %w", r.Seq, err)
+		}
+		rec, ok := v.(xrep.Rec)
+		if !ok {
+			return fmt.Errorf("catalog record %d: not a record", r.Seq)
+		}
+		switch rec.Name {
+		case catalogCreateRec:
+			m, err := parseCatalogCreate(rec)
+			if err != nil {
+				return fmt.Errorf("catalog record %d: %w", r.Seq, err)
+			}
+			if _, dup := metas[m.id]; !dup {
+				order = append(order, m.id)
+			}
+			metas[m.id] = m
+			if m.id > maxID {
+				maxID = m.id
+			}
+		case catalogDestroyRec:
+			if len(rec.Fields) != 1 {
+				return fmt.Errorf("catalog record %d: malformed tombstone", r.Seq)
+			}
+			id, ok := rec.Fields[0].(xrep.Int)
+			if !ok {
+				return fmt.Errorf("catalog record %d: malformed tombstone", r.Seq)
+			}
+			delete(metas, uint64(id))
+		default:
+			return fmt.Errorf("catalog record %d: unknown kind %q", r.Seq, rec.Name)
+		}
+	}
+
+	// Ids are never reused, even across process death: a port name minted
+	// before the crash must not come to denote a different guardian after.
+	n.mu.Lock()
+	if n.nextGID < maxID {
+		n.nextGID = maxID
+	}
+	n.mu.Unlock()
+
+	for _, id := range order {
+		m, ok := metas[id]
+		if !ok {
+			continue // destroyed
+		}
+		def, err := n.world.lookupDef(m.defName)
+		if err != nil || def.Recover == nil {
+			continue // forgotten, as Restart forgets it
+		}
+		// The guardian's own log must open cleanly before its Recover
+		// process runs: interior corruption there means its recovery data
+		// cannot be trusted, and the node refuses to start rather than
+		// resurrect a guardian with silently missing effects.
+		if _, err := n.store.OpenLog(guardianLogName(m.defName, m.id)); err != nil {
+			return fmt.Errorf("opening log of %s/%d: %w", m.defName, m.id, err)
+		}
+		n.mu.Lock()
+		n.meta[id] = m
+		n.mu.Unlock()
+		if _, err := n.instantiate(def, m.args, m, true); err != nil {
+			return fmt.Errorf("recovering %s/%d: %w", m.defName, id, err)
+		}
+		n.world.stats.GuardiansRecovered.Add(1)
+		n.world.trace(EvRecover, n.name, "recovered %s (guardian %d) from the catalog", m.defName, id)
+	}
+	return nil
+}
+
+// parseCatalogCreate decodes one creation record.
+func parseCatalogCreate(rec xrep.Rec) (*guardianMeta, error) {
+	if len(rec.Fields) != 4 {
+		return nil, fmt.Errorf("malformed creation record")
+	}
+	id, ok0 := rec.Fields[0].(xrep.Int)
+	defName, ok1 := rec.Fields[1].(xrep.Str)
+	args, ok2 := rec.Fields[2].(xrep.Seq)
+	ports, ok3 := rec.Fields[3].(xrep.Seq)
+	if !ok0 || !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("malformed creation record")
+	}
+	m := &guardianMeta{id: uint64(id), defName: string(defName), args: args}
+	for _, p := range ports {
+		pid, ok := p.(xrep.Int)
+		if !ok {
+			return nil, fmt.Errorf("malformed creation record")
+		}
+		m.portIDs = append(m.portIDs, uint64(pid))
+	}
+	return m, nil
+}

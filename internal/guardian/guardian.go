@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/stable"
+	"repro/internal/durable"
 	"repro/internal/xrep"
 )
 
@@ -143,6 +143,9 @@ func (g *Guardian) SelfDestruct() {
 	delete(g.node.guardians, g.id)
 	delete(g.node.meta, g.id)
 	g.node.mu.Unlock()
+	if g.node.store.Persistent() {
+		g.node.catalogDestroy(g.id)
+	}
 	g.kill()
 }
 
@@ -271,10 +274,29 @@ func (n *Node) metaPortIDs(id uint64) []uint64 {
 	return nil
 }
 
-// Log returns the guardian's named log on its node's disk — the stable
-// storage in which it records recovery data for permanence of effect.
-func (g *Guardian) Log() *stable.Log {
-	return g.node.disk.OpenLog(fmt.Sprintf("%s-%d", g.def.TypeName, g.id))
+// Log returns the guardian's named log on its node's stable storage — the
+// place it records recovery data for permanence of effect. On the default
+// simulated backend opening cannot fail; on a real backend a failure to
+// open (corrupt storage) is fail-stop, because a guardian running without
+// its recovery data would silently forget acknowledged effects.
+func (g *Guardian) Log() durable.Log {
+	l, err := g.node.store.OpenLog(guardianLogName(g.def.TypeName, g.id))
+	if err != nil {
+		if !g.Alive() {
+			// A straggling process of a killed guardian raced a store
+			// shutdown. Its writes were volatile the moment the guardian
+			// died, so an inert log that discards them is the correct —
+			// and deliberately NOT fail-stop — answer.
+			return durable.Null()
+		}
+		panic(fmt.Errorf("guardian: opening log for %s/%d: %w", g.def.TypeName, g.id, err))
+	}
+	return l
+}
+
+// guardianLogName names a guardian's log in its node's store.
+func guardianLogName(defName string, id uint64) string {
+	return fmt.Sprintf("%s-%d", defName, id)
 }
 
 // --- Tokens: sealed capabilities (§2.1) ---

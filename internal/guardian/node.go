@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/stable"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -19,7 +20,7 @@ import (
 type Node struct {
 	world *World
 	name  string
-	disk  *stable.Disk
+	store durable.Store
 	reg   *xrep.Registry
 
 	msgID atomic.Uint64
@@ -53,16 +54,27 @@ type guardianMeta struct {
 	portIDs []uint64
 }
 
-func newNode(w *World, name string) *Node {
+func newNode(w *World, name string) (*Node, error) {
+	var store durable.Store
+	if w.cfg.Store != nil {
+		s, err := w.cfg.Store(name)
+		if err != nil {
+			return nil, fmt.Errorf("guardian: opening storage for node %s: %w", name, err)
+		}
+		store = s
+	}
+	if store == nil {
+		store = durable.NewSim(stable.NewDisk(w.clock, stable.DiskConfig{}))
+	}
 	return &Node{
 		world:     w,
 		name:      name,
-		disk:      stable.NewDisk(w.clock, stable.DiskConfig{}),
+		store:     store,
 		reg:       xrep.NewRegistry(),
 		guardians: make(map[uint64]*Guardian),
 		meta:      make(map[uint64]*guardianMeta),
 		reasm:     wire.NewReassembler(),
-	}
+	}, nil
 }
 
 // Name returns the node's network address.
@@ -71,8 +83,19 @@ func (n *Node) Name() string { return n.name }
 // World returns the world this node belongs to.
 func (n *Node) World() *World { return n.world }
 
-// Disk returns the node's crash-surviving storage.
-func (n *Node) Disk() *stable.Disk { return n.disk }
+// Store returns the node's crash-surviving storage backend.
+func (n *Node) Store() durable.Store { return n.store }
+
+// Disk unwraps the node's storage to the simulated disk, for tests and
+// experiments that reach past the seam (fault schedules, direct log
+// inspection). It is nil when the node runs on a non-simulated backend
+// (e.g. an on-disk WAL); such nodes are inspected through Store.
+func (n *Node) Disk() *stable.Disk {
+	if s, ok := n.store.(interface{ Disk() *stable.Disk }); ok {
+		return s.Disk()
+	}
+	return nil
+}
 
 // Registry returns the node's decode registry for abstract types. Nodes
 // may register different representations of the same type (§3.3).
@@ -93,9 +116,12 @@ func (n *Node) SetCreatePolicy(f func(srcNode string, srcGuardian uint64, defNam
 	n.allowCreate = f
 }
 
-// start brings the node up for the first time. Attaching can fail on a
-// real transport (e.g. the configured UDP port is taken), in which case
-// the node never comes up.
+// start brings the node up for the first time in this process. Attaching
+// can fail on a real transport (e.g. the configured UDP port is taken), in
+// which case the node never comes up. On a persistent store "first time"
+// is relative to the process only: the catalog on disk is replayed so
+// guardians created by a previous incarnation recover — the cross-process
+// analog of Restart.
 func (n *Node) start() error {
 	n.mu.Lock()
 	n.alive = true
@@ -108,6 +134,12 @@ func (n *Node) start() error {
 		return err
 	}
 	n.spawnPrimordial()
+	if n.store.Persistent() {
+		if err := n.recoverCatalog(); err != nil {
+			n.Crash()
+			return fmt.Errorf("guardian: recovering node %s from its catalog: %w", n.name, err)
+		}
+	}
 	return nil
 }
 
@@ -135,7 +167,7 @@ func (n *Node) Crash() {
 	for _, g := range gs {
 		g.kill()
 	}
-	n.disk.Crash()
+	n.store.Crash()
 }
 
 // Restart brings a crashed node back up. The primordial guardian is
@@ -271,10 +303,20 @@ func (n *Node) instantiate(def *GuardianDef, args xrep.Seq, meta *guardianMeta, 
 	}
 	g.providedIDs = portIDs
 	n.guardians[id] = g
-	if meta == nil {
-		n.meta[id] = &guardianMeta{id: id, defName: def.TypeName, args: args, portIDs: portIDs}
+	fresh := meta == nil
+	if fresh {
+		meta = &guardianMeta{id: id, defName: def.TypeName, args: args, portIDs: portIDs}
+		n.meta[id] = meta
 	}
 	n.mu.Unlock()
+
+	// Creation must reach stable storage before the guardian's Init runs:
+	// if the guardian took effect (sent messages, acknowledged calls) and
+	// the process then died with the catalog record still volatile,
+	// recovery would have no idea the guardian ever existed.
+	if fresh && n.store.Persistent() {
+		n.catalogCreate(meta)
+	}
 
 	n.world.stats.GuardiansCreated.Add(1)
 	if !recovering {

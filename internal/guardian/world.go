@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/netsim"
 	"repro/internal/transport"
 	"repro/internal/vtime"
@@ -26,6 +27,15 @@ type Config struct {
 	// as separate OS processes, or a transport.Wrapper injecting faults
 	// around one. The world takes ownership: Close shuts it down.
 	Transport transport.Transport
+	// Store, when non-nil, builds each node's stable storage — e.g.
+	// durable.OpenWAL for a node that must survive process death, or a
+	// durable.Wrapper injecting storage faults. Nil (or a factory
+	// returning a nil Store for some node) means a fresh simulated disk
+	// per node, as always. The world takes ownership:
+	// Close closes every node's store. When the store reports
+	// Persistent(), node startup replays the on-disk catalog, recovering
+	// guardians created by a previous OS process.
+	Store func(node string) (durable.Store, error)
 	// Limits are the system-wide type invariants enforced at send time.
 	// The zero value means DefaultLimits.
 	Limits xrep.Limits
@@ -188,13 +198,24 @@ func (w *World) AddNode(name string) (*Node, error) {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNodeExists, name)
 	}
-	n := newNode(w, name)
+	w.mu.Unlock()
+	n, err := newNode(w, name)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if _, dup := w.nodes[name]; dup {
+		w.mu.Unlock()
+		n.store.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNodeExists, name)
+	}
 	w.nodes[name] = n
 	w.mu.Unlock()
 	if err := n.start(); err != nil {
 		w.mu.Lock()
 		delete(w.nodes, name)
 		w.mu.Unlock()
+		n.store.Close()
 		return nil, fmt.Errorf("guardian: starting node %s: %w", name, err)
 	}
 	return n, nil
@@ -237,8 +258,40 @@ func (w *World) Nodes() []string {
 // immediately). Tests call it before asserting on delivery counts.
 func (w *World) Quiesce() { w.tr.Quiesce() }
 
-// Close shuts the world's transport down: every node detaches, receive
-// loops drain, and further sends are discarded. Worlds on the default
-// simulator never need this; worlds on real sockets should Close to
-// release them.
-func (w *World) Close() error { return w.tr.Close() }
+// Close shuts the world down, modeling the death of the hosting process:
+// the transport closes first (every node detaches, receive loops drain,
+// further sends are discarded), then every guardian is killed, then each
+// node's store closes — so nothing that matters can touch a closed log,
+// and any straggling process that does is provably writing volatile
+// state. Worlds on the default simulator and in-memory disks never need
+// this; worlds on real sockets or on-disk WALs should Close to release
+// them.
+func (w *World) Close() error {
+	err := w.tr.Close()
+	w.mu.Lock()
+	nodes := make([]*Node, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		nodes = append(nodes, n)
+	}
+	w.mu.Unlock()
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.alive = false
+		gs := make([]*Guardian, 0, len(n.guardians))
+		for _, g := range n.guardians {
+			gs = append(gs, g)
+		}
+		n.guardians = make(map[uint64]*Guardian)
+		n.primordial = nil
+		n.mu.Unlock()
+		for _, g := range gs {
+			g.kill()
+		}
+	}
+	for _, n := range nodes {
+		if cerr := n.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -188,3 +188,75 @@ func TestTableAccessors(t *testing.T) {
 		t.Fatalf("Cell = %q", tab.Cell(0, 0))
 	}
 }
+
+func TestTableRenderEmpty(t *testing.T) {
+	tab := NewTable("Empty", "col_a", "b")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // title, header, rule — no row lines
+		t.Fatalf("empty table rendered %d lines:\n%s", len(lines), buf.String())
+	}
+	// With no rows, columns are exactly header-wide.
+	if lines[1] != "col_a  b" {
+		t.Fatalf("header line = %q, want %q", lines[1], "col_a  b")
+	}
+	if lines[2] != "-----  -" {
+		t.Fatalf("rule line = %q, want %q", lines[2], "-----  -")
+	}
+
+	// Untitled and empty: just the header block, no "==" banner.
+	buf.Reset()
+	NewTable("", "x").Render(&buf)
+	if strings.Contains(buf.String(), "==") {
+		t.Fatalf("untitled table printed a title banner:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	tab.CSV(&buf)
+	if buf.String() != "col_a,b\n" {
+		t.Fatalf("empty CSV = %q, want header only", buf.String())
+	}
+}
+
+func TestTableRenderSingleRow(t *testing.T) {
+	tab := NewTable("One", "name", "n")
+	tab.AddRow("x", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // title, header, rule, the row
+		t.Fatalf("single-row table rendered %d lines:\n%s", len(lines), buf.String())
+	}
+	// The narrow cells pad out to their headers' widths.
+	if lines[3] != "x     7" {
+		t.Fatalf("row line = %q, want %q", lines[3], "x     7")
+	}
+}
+
+func TestTableWidthClamping(t *testing.T) {
+	// A cell wider than its header stretches the whole column; cells
+	// beyond the header count are clamped — appended bare, not padded,
+	// and never a panic.
+	tab := NewTable("", "a", "b")
+	tab.AddRow("wide-cell-one", 1, "overflow")
+	tab.AddRow("x", 22222, "spill")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if strings.TrimRight(lines[0], " ") != "a              b" {
+		t.Fatalf("header not stretched to widest cell: %q", lines[0])
+	}
+	if lines[1] != "-------------  -----" {
+		t.Fatalf("rule = %q", lines[1])
+	}
+	if lines[2] != "wide-cell-one  1      overflow" {
+		t.Fatalf("row 0 = %q", lines[2])
+	}
+	if lines[3] != "x              22222  spill" {
+		t.Fatalf("row 1 = %q", lines[3])
+	}
+}

@@ -28,6 +28,13 @@ type DiskConfig struct {
 	// SyncDelay is charged (by sleeping on the clock) per Sync call,
 	// modeling the latency of a forced write. Zero means instant.
 	SyncDelay time.Duration
+	// MidCheckpoint, when set, is called during Checkpoint after the new
+	// checkpoint is durably installed but before the records it
+	// supersedes are truncated — the crash window every
+	// write-new-then-rename implementation has. A hook that panics
+	// models dying inside that window: the checkpoint is on disk, the
+	// stale records are too.
+	MidCheckpoint func(log string)
 }
 
 // Disk is one node's crash-surviving storage device.
@@ -165,6 +172,11 @@ func (l *Log) Checkpoint(state []byte, upTo uint64) {
 	l.checkpoint = buf
 	l.checkpointAt = upTo
 	l.hasCP = true
+	if hook := l.disk.cfg.MidCheckpoint; hook != nil {
+		l.mu.Unlock()
+		hook(l.name)
+		l.mu.Lock()
+	}
 	kept := l.durableRecs[:0]
 	for _, r := range l.durableRecs {
 		if r.Seq > upTo {
@@ -186,15 +198,21 @@ func (l *Log) Checkpoint(state []byte, upTo uint64) {
 
 // Recover returns the checkpoint (or ErrNoCheckpoint) and every durable
 // record after it, in sequence order. This is what a guardian's recovery
-// process reads after a crash.
+// process reads after a crash. Records at or below the checkpoint's
+// watermark are filtered out: a crash between checkpoint install and log
+// truncation leaves such records on disk, and replaying them on top of
+// the checkpoint that already contains their effects would double-apply.
 func (l *Log) Recover() (checkpoint []byte, records []Record, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	records = make([]Record, len(l.durableRecs))
-	for i, r := range l.durableRecs {
+	records = make([]Record, 0, len(l.durableRecs))
+	for _, r := range l.durableRecs {
+		if l.hasCP && r.Seq <= l.checkpointAt {
+			continue
+		}
 		data := make([]byte, len(r.Data))
 		copy(data, r.Data)
-		records[i] = Record{Seq: r.Seq, Data: data}
+		records = append(records, Record{Seq: r.Seq, Data: data})
 	}
 	if !l.hasCP {
 		return nil, records, ErrNoCheckpoint

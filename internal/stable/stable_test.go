@@ -269,3 +269,48 @@ func TestPermanenceAcrossEveryCrashPoint(t *testing.T) {
 		}
 	}
 }
+
+// TestRecoverAfterMidCheckpointCrash covers the window every
+// write-new-then-rename checkpoint implementation has: the process dies
+// after the new checkpoint is durably installed but before the records
+// it folded in are truncated. Recovery then sees both the checkpoint
+// and stale records at or below its watermark on disk — and must filter
+// the stale records out, or their effects apply twice.
+func TestRecoverAfterMidCheckpointCrash(t *testing.T) {
+	died := false
+	d := NewDisk(vtime.NewReal(), DiskConfig{
+		MidCheckpoint: func(log string) {
+			if log != "acct" {
+				t.Errorf("hook fired for log %q, want acct", log)
+			}
+			died = true
+			panic("crash between checkpoint install and truncation")
+		},
+	})
+	l := d.OpenLog("acct")
+	for i := 1; i <= 5; i++ {
+		l.AppendSync([]byte(fmt.Sprintf("rec%d", i)))
+	}
+
+	func() {
+		defer func() { recover() }() // the modeled process death
+		l.Checkpoint([]byte("state@3"), 3)
+	}()
+	if !died {
+		t.Fatal("mid-checkpoint hook never fired")
+	}
+	if l.DurableLen() != 5 {
+		t.Fatalf("truncation ran despite the crash: %d durable records", l.DurableLen())
+	}
+
+	cp, recs, err := l.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if string(cp) != "state@3" {
+		t.Fatalf("checkpoint = %q, want the installed state", cp)
+	}
+	if len(recs) != 2 || recs[0].Seq != 4 || recs[1].Seq != 5 {
+		t.Fatalf("Recover returned %d records %v; want only seqs 4,5 above the watermark", len(recs), recs)
+	}
+}

@@ -26,6 +26,7 @@ package repro
 import (
 	"repro/internal/amo"
 	"repro/internal/dst"
+	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
 	"repro/internal/sendprim"
@@ -96,6 +97,27 @@ type (
 	FaultWrapperConfig = transport.WrapperConfig
 	// FaultWrapperStats counts the faults a FaultWrapper injected.
 	FaultWrapperStats = transport.WrapperStats
+
+	// Store is a node's crash-surviving storage backend (§2.2).
+	Store = durable.Store
+	// DurableLog is one guardian's append-only recovery log.
+	DurableLog = durable.Log
+	// WAL is the on-disk write-ahead log that survives kill -9.
+	WAL = durable.WAL
+	// WALConfig tunes a WAL (segment size, group commit, crash hooks).
+	WALConfig = durable.WALConfig
+	// WALHooks expose the WAL's crash windows to fault injection.
+	WALHooks = durable.WALHooks
+	// SimStore adapts the in-memory simulated disk to the Store seam.
+	SimStore = durable.Sim
+	// StoreFaultWrapper injects seeded storage faults around any Store.
+	StoreFaultWrapper = durable.Wrapper
+	// StoreFaultConfig is the injected storage-fault model.
+	StoreFaultConfig = durable.WrapperConfig
+	// StoreFaultStats counts the storage faults a wrapper injected.
+	StoreFaultStats = durable.WrapperStats
+	// RecoveryReport describes what recovery found in one log.
+	RecoveryReport = durable.RecoveryReport
 
 	// Value is a node of the external representation model (§3.3).
 	Value = xrep.Value
@@ -187,6 +209,12 @@ var (
 	AMOErrFailed = amo.ErrFailed
 	// AMOErrBusy: a Caller carries one call at a time.
 	AMOErrBusy = amo.ErrBusy
+	// OpenWAL opens (or recovers) an on-disk write-ahead log store.
+	OpenWAL = durable.OpenWAL
+	// NewSimStore adapts a simulated disk to the Store seam.
+	NewSimStore = durable.NewSim
+	// WrapStore composes a seeded storage-fault model around any Store.
+	WrapStore = durable.Wrap
 	// NewUDPTransport creates a real-socket transport for a world.
 	NewUDPTransport = transport.NewUDP
 	// NewSimTransport adapts a simulator network to the Transport seam.
