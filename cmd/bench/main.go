@@ -9,16 +9,49 @@
 //	bench -scale 0.25          # shrink the workloads
 //	bench -list                # list experiments
 //	bench -csv                 # also emit tables as CSV
+//	bench -json BENCH_E14.json # also record results as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/metrics"
 )
+
+// jsonTable and jsonResult are the recorded shape of one run — the
+// BENCH_*.json files checked in next to EXPERIMENTS.md.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonResult struct {
+	ID          string      `json:"id"`
+	Paper       string      `json:"paper"`
+	Description string      `json:"description"`
+	Scale       float64     `json:"scale"`
+	ElapsedMS   int64       `json:"elapsed_ms"`
+	Tables      []jsonTable `json:"tables"`
+	Notes       []string    `json:"notes"`
+}
+
+func toJSONTable(t *metrics.Table) jsonTable {
+	out := jsonTable{Title: t.Title, Headers: t.Headers}
+	for r := 0; r < t.Rows(); r++ {
+		row := make([]string, len(t.Headers))
+		for c := range row {
+			row[c] = t.Cell(r, c)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -26,6 +59,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csv        = flag.Bool("csv", false, "also print tables as CSV")
+		jsonPath   = flag.String("json", "", "also record results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -47,6 +81,7 @@ func main() {
 		run = []exp.Experiment{e}
 	}
 
+	var recorded []jsonResult
 	for _, e := range run {
 		fmt.Printf("\n### %s — %s\n### %s\n\n", e.ID, e.Paper, e.Description)
 		start := time.Now()
@@ -55,6 +90,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		for _, tab := range res.Tables {
 			tab.Render(os.Stdout)
 			fmt.Println()
@@ -66,6 +102,28 @@ func main() {
 		for _, note := range res.Notes {
 			fmt.Printf("  %s\n", note)
 		}
-		fmt.Printf("  (ran in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (ran in %v)\n", elapsed.Round(time.Millisecond))
+		if *jsonPath != "" {
+			jr := jsonResult{
+				ID: e.ID, Paper: e.Paper, Description: e.Description,
+				Scale: *scale, ElapsedMS: elapsed.Milliseconds(), Notes: res.Notes,
+			}
+			for _, tab := range res.Tables {
+				jr.Tables = append(jr.Tables, toJSONTable(tab))
+			}
+			recorded = append(recorded, jr)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(recorded, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d result(s) to %s\n", len(recorded), *jsonPath)
 	}
 }

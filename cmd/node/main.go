@@ -41,6 +41,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/nameserv"
+	"repro/internal/replica"
 	"repro/internal/transport"
 	"repro/internal/xrep"
 )
@@ -76,12 +77,23 @@ type options struct {
 	cpevery int
 	crash   *crashSpec
 
+	// replica group (server mode)
+	group      string
+	members    string
+	memberList []string
+	mode       string
+	hb         time.Duration
+	threshold  int
+	service    string
+	ns         string
+
 	// airline host parameters
 	flight, capacity int64
 	org              string
 
 	// client mode
 	call    string
+	resolve string
 	ops     multiFlag
 	timeout time.Duration
 	retries int
@@ -101,7 +113,16 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.data, "data", "", "directory for on-disk WAL storage (empty = volatile in-memory disk)")
 	fs.IntVar(&o.cpevery, "cpevery", 0, "bank: checkpoint every N mutations (0 = never)")
 	crash := fs.String("crash", "", "crash injection: POINT:N exits the process at the Nth firing of "+
-		"a WAL crash point (before-sync, after-sync or mid-checkpoint); needs -data")
+		"a WAL crash point (before-sync, after-sync, mid-checkpoint; needs -data) or a replication "+
+		"window (before-ship, after-ship, after-quorum; needs -group)")
+	fs.StringVar(&o.group, "group", "", "replica group name: wrap this node's store for primary/backup "+
+		"replication (needs -host, -data and -members)")
+	fs.StringVar(&o.members, "members", "", "comma-separated member node names; the first is the initial primary")
+	fs.StringVar(&o.mode, "mode", "quorum", "replication ack discipline: quorum or async")
+	fs.DurationVar(&o.hb, "hb", 25*time.Millisecond, "replica heartbeat / shipping cadence")
+	fs.IntVar(&o.threshold, "threshold", 2, "missed heartbeats before a follower stands for election")
+	fs.StringVar(&o.service, "service", "", "well-known name the group's current leader binds at the name service")
+	fs.StringVar(&o.ns, "ns", "", "name-service port as node/guardian/port")
 	fs.Float64Var(&o.loss, "loss", 0, "injected outbound loss rate [0,1]")
 	fs.Float64Var(&o.dup, "dup", 0, "injected outbound duplication rate [0,1]")
 	fs.DurationVar(&o.delay, "delay", 0, "injected minimum outbound delay")
@@ -111,6 +132,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.Int64Var(&o.capacity, "capacity", 100, "airline: seat capacity")
 	fs.StringVar(&o.org, "org", airline.OrgMonitor, "airline: internal organization")
 	fs.StringVar(&o.call, "call", "", "client mode: target port as node/guardian/port")
+	fs.StringVar(&o.resolve, "resolve", "", "client mode: resolve the target by well-known name "+
+		"through the name service, re-resolving on every retry (needs -ns)")
 	fs.Var(&o.ops, "op", "client mode: operation to run, e.g. 'transfer alice bob 25' (repeatable)")
 	fs.DurationVar(&o.timeout, "timeout", 250*time.Millisecond, "client: per-attempt reply timeout")
 	fs.IntVar(&o.retries, "retries", 40, "client: retransmissions before giving up")
@@ -121,17 +144,51 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 		return nil, fmt.Errorf("node: -name is required")
 	}
 	if *crash != "" {
-		if o.data == "" {
-			return nil, fmt.Errorf("node: -crash needs -data")
-		}
 		spec, err := parseCrashSpec(*crash)
 		if err != nil {
 			return nil, err
 		}
+		if spec.replication() {
+			if o.group == "" {
+				return nil, fmt.Errorf("node: -crash %s needs -group", spec.point)
+			}
+		} else if o.data == "" {
+			return nil, fmt.Errorf("node: -crash %s needs -data", spec.point)
+		}
 		o.crash = spec
 	}
-	if (o.host == "") == (o.call == "") {
-		return nil, fmt.Errorf("node: exactly one of -host (server) or -call (client) is required")
+	if (o.host == "") == (o.call == "" && o.resolve == "") {
+		return nil, fmt.Errorf("node: exactly one of -host (server) or -call/-resolve (client) is required")
+	}
+	if o.call != "" && o.resolve != "" {
+		return nil, fmt.Errorf("node: -call and -resolve are mutually exclusive")
+	}
+	if o.resolve != "" && o.ns == "" {
+		return nil, fmt.Errorf("node: -resolve needs -ns")
+	}
+	if o.group != "" {
+		if o.host == "" {
+			return nil, fmt.Errorf("node: -group is server-side: it needs -host")
+		}
+		if o.data == "" {
+			return nil, fmt.Errorf("node: -group needs -data: replication acks promise durability")
+		}
+		for _, m := range strings.Split(o.members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				o.memberList = append(o.memberList, m)
+			}
+		}
+		if len(o.memberList) == 0 {
+			return nil, fmt.Errorf("node: -group needs -members")
+		}
+		if o.service != "" && o.ns == "" {
+			return nil, fmt.Errorf("node: -service needs -ns")
+		}
+		switch o.mode {
+		case "quorum", "async":
+		default:
+			return nil, fmt.Errorf("node: bad -mode %q: want quorum or async", o.mode)
+		}
 	}
 	for _, entry := range strings.Split(*peers, ",") {
 		if entry = strings.TrimSpace(entry); entry == "" {
@@ -147,8 +204,9 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 }
 
 // crashSpec kills the process — os.Exit, as abrupt as SIGKILL from the
-// WAL's point of view — at the Nth firing of one WAL crash point, so a
-// test can park a real OS process exactly inside a durability window.
+// store's point of view — at the Nth firing of one WAL crash point or
+// replication window, so a test can park a real OS process exactly
+// inside a durability or replication window.
 type crashSpec struct {
 	point string
 	n     int64
@@ -161,15 +219,27 @@ func parseCrashSpec(s string) (*crashSpec, error) {
 		return nil, fmt.Errorf("node: bad -crash %q: want POINT:N", s)
 	}
 	switch point {
-	case "before-sync", "after-sync", "mid-checkpoint":
+	case "before-sync", "after-sync", "mid-checkpoint",
+		"before-ship", "after-ship", "after-quorum":
 	default:
-		return nil, fmt.Errorf("node: bad -crash point %q: want before-sync, after-sync or mid-checkpoint", point)
+		return nil, fmt.Errorf("node: bad -crash point %q: want before-sync, after-sync, mid-checkpoint, "+
+			"before-ship, after-ship or after-quorum", point)
 	}
 	n, err := strconv.ParseInt(nStr, 10, 64)
 	if err != nil || n < 1 {
 		return nil, fmt.Errorf("node: bad -crash count %q: want a positive integer", nStr)
 	}
 	return &crashSpec{point: point, n: n}, nil
+}
+
+// replication reports whether the crash point is a replication window
+// (fired from replica.Hooks) rather than a WAL durability window.
+func (c *crashSpec) replication() bool {
+	switch c.point {
+	case "before-ship", "after-ship", "after-quorum":
+		return true
+	}
+	return false
 }
 
 // hook returns the WALHooks callback for one crash point.
@@ -185,63 +255,8 @@ func (c *crashSpec) hook(point string) func(string) {
 	}
 }
 
-// buildWorld assembles the transport stack and an empty world around it.
-func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper, error) {
-	o.peers[transport.Addr(o.name)] = o.listen
-	udp, err := transport.NewUDP(transport.UDPConfig{
-		Peers:       o.peers,
-		MTU:         o.mtu,
-		PaceMinGap:  o.pace,
-		RecvWorkers: o.recv,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	var tr transport.Transport = udp
-	var wrap *transport.Wrapper
-	if o.loss > 0 || o.dup > 0 || o.delay > 0 || o.jitter > 0 {
-		wrap = transport.Wrap(udp, transport.WrapperConfig{
-			Seed:     o.seed,
-			LossRate: o.loss,
-			DupRate:  o.dup,
-			Delay:    o.delay,
-			Jitter:   o.jitter,
-		})
-		tr = wrap
-	}
-	cfg := guardian.Config{Transport: tr}
-	if o.data != "" {
-		cfg.Store = func(node string) (durable.Store, error) {
-			return durable.OpenWAL(filepath.Join(o.data, node), durable.WALConfig{
-				Hooks: durable.WALHooks{
-					BeforeSync:    o.crash.hook("before-sync"),
-					AfterSync:     o.crash.hook("after-sync"),
-					MidCheckpoint: o.crash.hook("mid-checkpoint"),
-				},
-			})
-		}
-	}
-	w := guardian.NewWorld(cfg)
-	w.MustRegister(bank.BranchDef())
-	w.MustRegister(airline.FlightDef())
-	w.MustRegister(nameserv.Def())
-	return w, udp, wrap, nil
-}
-
-func serve(o *options, stdout io.Writer) error {
-	w, udp, wrap, err := buildWorld(o)
-	if err != nil {
-		return err
-	}
-	defer w.Close()
-	n, err := w.AddNode(o.name)
-	if err != nil {
-		return err
-	}
-
-	var def string
-	var bootArgs []any
-	var provides []*guardian.PortType
+// hostDef maps -host to the guardian definition this node serves.
+func hostDef(o *options) (def string, bootArgs []any, provides []*guardian.PortType, err error) {
 	switch o.host {
 	case "bank":
 		def = bank.BranchDefName
@@ -257,36 +272,198 @@ func serve(o *options, stdout io.Writer) error {
 		def = nameserv.DefName
 		provides = nameserv.Def().Provides
 	default:
-		return fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
+		err = fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
+	}
+	return def, bootArgs, provides, err
+}
+
+// replicaConfig builds this member's view of its replica group.
+func replicaConfig(o *options) (replica.Config, error) {
+	def, bootArgs, _, err := hostDef(o)
+	if err != nil {
+		return replica.Config{}, err
+	}
+	mode := replica.ModeQuorum
+	if o.mode == "async" {
+		mode = replica.ModeAsync
+	}
+	cfg := replica.Config{
+		Group:     o.group,
+		Self:      o.name,
+		Members:   o.memberList,
+		Mode:      mode,
+		Heartbeat: o.hb,
+		Threshold: o.threshold,
+		AppDef:    def,
+		AppArgs:   bootArgs,
+		Service:   o.service,
+		// Both hosted applications put their at-most-once request port at
+		// Provides index 1; that is the port a well-known name should
+		// resolve to.
+		ServicePort: 1,
+		Hooks: replica.Hooks{
+			BeforeShip:  o.crash.hook("before-ship"),
+			AfterShip:   o.crash.hook("after-ship"),
+			AfterQuorum: o.crash.hook("after-quorum"),
+		},
+	}
+	if o.service != "" {
+		ns, err := nameserv.ParsePort(o.ns)
+		if err != nil {
+			return replica.Config{}, err
+		}
+		cfg.NS = ns
+	}
+	return cfg, nil
+}
+
+// replicaSlot receives the replica.Store the store hook wraps around the
+// serving member's WAL; it is filled in when AddNode opens the store.
+type replicaSlot struct{ st *replica.Store }
+
+// buildWorld assembles the transport stack and an empty world around it.
+func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper, *replicaSlot, error) {
+	o.peers[transport.Addr(o.name)] = o.listen
+	udp, err := transport.NewUDP(transport.UDPConfig{
+		Peers:       o.peers,
+		MTU:         o.mtu,
+		PaceMinGap:  o.pace,
+		RecvWorkers: o.recv,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var tr transport.Transport = udp
+	var wrap *transport.Wrapper
+	if o.loss > 0 || o.dup > 0 || o.delay > 0 || o.jitter > 0 {
+		wrap = transport.Wrap(udp, transport.WrapperConfig{
+			Seed:     o.seed,
+			LossRate: o.loss,
+			DupRate:  o.dup,
+			Delay:    o.delay,
+			Jitter:   o.jitter,
+		})
+		tr = wrap
+	}
+	cfg := guardian.Config{Transport: tr}
+	slot := &replicaSlot{}
+	if o.data != "" {
+		open := func(node string) (durable.Store, error) {
+			return durable.OpenWAL(filepath.Join(o.data, node), durable.WALConfig{
+				Hooks: durable.WALHooks{
+					BeforeSync:    o.crash.hook("before-sync"),
+					AfterSync:     o.crash.hook("after-sync"),
+					MidCheckpoint: o.crash.hook("mid-checkpoint"),
+				},
+			})
+		}
+		cfg.Store = open
+		if o.group != "" {
+			rc, err := replicaConfig(o)
+			if err != nil {
+				udp.Close()
+				return nil, nil, nil, nil, err
+			}
+			cfg.Store = func(node string) (durable.Store, error) {
+				inner, err := open(node)
+				if err != nil || node != o.name {
+					return inner, err
+				}
+				st, err := replica.NewStore(inner, rc)
+				if err != nil {
+					return nil, err
+				}
+				slot.st = st
+				return st, nil
+			}
+		}
+	}
+	w := guardian.NewWorld(cfg)
+	w.MustRegister(bank.BranchDef())
+	w.MustRegister(airline.FlightDef())
+	w.MustRegister(nameserv.Def())
+	w.MustRegister(replica.Def())
+	return w, udp, wrap, slot, nil
+}
+
+func serve(o *options, stdout io.Writer) error {
+	w, udp, wrap, slot, err := buildWorld(o)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	n, err := w.AddNode(o.name)
+	if err != nil {
+		return err
 	}
 
-	// On a -data restart the node's catalog already re-created the hosted
-	// guardian (same id, same port names), so booting a second one would
-	// split the state; serve the recovered instance instead.
+	def, bootArgs, provides, err := hostDef(o)
+	if err != nil {
+		return err
+	}
+
+	// find locates an already-live guardian by definition: on a -data
+	// restart the node's catalog re-created it (same id, same port names),
+	// so booting a second one would split the state.
+	find := func(def string) *guardian.Guardian {
+		for _, id := range n.Guardians() {
+			if g, ok := n.GuardianByID(id); ok && g.DefName() == def {
+				return g
+			}
+		}
+		return nil
+	}
+
+	if o.group != "" && find(replica.DefName) == nil {
+		// The replicator must be the FIRST guardian bootstrapped on every
+		// member, so its port carries the a-priori name replica.PortAt.
+		if _, err := n.Bootstrap(replica.DefName); err != nil {
+			return err
+		}
+	}
+
 	var hosted *guardian.Guardian
 	var ports []xrep.PortName
-	for _, id := range n.Guardians() {
-		if g, ok := n.GuardianByID(id); ok && g.DefName() == def {
-			hosted = g
-			for _, p := range g.ProvidedPorts() {
-				ports = append(ports, p.Name())
-			}
-			break
+	if g := find(def); g != nil {
+		hosted = g
+		for _, p := range g.ProvidedPorts() {
+			ports = append(ports, p.Name())
 		}
 	}
 	recovered := hosted != nil
-	if !recovered {
+	switch {
+	case recovered:
+		if slot.st != nil {
+			// A restarted initial primary re-adopts its recovered app so the
+			// replicator can heartbeat its log and re-bind the service.
+			slot.st.Adopt(n, &guardian.Created{GuardianID: hosted.ID(), Ports: ports})
+		}
+	case o.group == "" || o.memberList[0] == o.name:
+		// Followers never bootstrap the application: the election winner
+		// re-creates it from the shipped log via takeover.
 		created, err := n.Bootstrap(def, bootArgs...)
 		if err != nil {
 			return err
 		}
 		hosted, _ = n.GuardianByID(created.GuardianID)
 		ports = created.Ports
+		if slot.st != nil {
+			slot.st.Adopt(n, created)
+		}
 	}
 
 	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
 	if recovered {
 		fmt.Fprintf(stdout, "recovered %s guardian %d from catalog\n", def, hosted.ID())
+	}
+	if o.group != "" {
+		role := "follower"
+		if hosted != nil {
+			role = "primary"
+		}
+		fmt.Fprintf(stdout, "replica group=%s role=%s members=%s mode=%s\n",
+			o.group, role, strings.Join(o.memberList, ","), o.mode)
+		fmt.Fprintf(stdout, "port replica_port %s\n", nameserv.FormatPort(replica.PortAt(o.name)))
 	}
 	// What open-time scanning of the durable store found: a torn tail is
 	// the legitimate residue of a crash mid-write (truncated, not
@@ -327,6 +504,19 @@ func serve(o *options, stdout io.Writer) error {
 	st := udp.Stats()
 	fmt.Fprintf(stdout, "stats sent=%d delivered=%d dropped=%d bytes_sent=%d bytes_recv=%d\n",
 		st.Sent, st.Delivered, st.Dropped, st.BytesSent, st.BytesRecv)
+	if slot.st != nil {
+		leader, term, isSelf := slot.st.Leader()
+		rs := slot.st.ReplStats()
+		fmt.Fprintf(stdout, "repl leader=%s term=%d self=%v shipped=%d applied=%d checkpoints=%d "+
+			"fenced=%d elections=%d takeovers=%d\n",
+			leader, term, isSelf, rs.ShippedRecords, rs.AppliedRecords, rs.CheckpointsShipped,
+			rs.FencedStale, rs.Elections, rs.Takeovers)
+		// A follower that won an election serves an app guardian it never
+		// bootstrapped; the audit must read that one.
+		if g := slot.st.AppGuardian(); g != nil {
+			hosted = g
+		}
+	}
 	if o.host == "bank" && hosted != nil {
 		if applies, err := bank.Applies(hosted); err == nil {
 			fmt.Fprintf(stdout, "applies %d\n", applies)
@@ -355,14 +545,18 @@ func parseOp(op string) (string, []any, error) {
 }
 
 func client(o *options, stdout io.Writer) error {
-	target, err := nameserv.ParsePort(o.call)
-	if err != nil {
-		return err
+	var target xrep.PortName
+	if o.call != "" {
+		var err error
+		target, err = nameserv.ParsePort(o.call)
+		if err != nil {
+			return err
+		}
+		if _, ok := o.peers[transport.Addr(target.Node)]; !ok {
+			return fmt.Errorf("node: no -peers route to target node %q", target.Node)
+		}
 	}
-	if _, ok := o.peers[transport.Addr(target.Node)]; !ok {
-		return fmt.Errorf("node: no -peers route to target node %q", target.Node)
-	}
-	w, _, wrap, err := buildWorld(o)
+	w, _, wrap, _, err := buildWorld(o)
 	if err != nil {
 		return err
 	}
@@ -375,11 +569,43 @@ func client(o *options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	caller, err := amo.NewCaller(proc, amo.CallerOptions{
+	copts := amo.CallerOptions{
 		Timeout: o.timeout,
 		Retries: o.retries,
 		Backoff: amo.BackoffPolicy{Base: o.timeout / 10, Jitter: 0.5},
-	})
+	}
+	if o.resolve != "" {
+		nsPort, err := nameserv.ParsePort(o.ns)
+		if err != nil {
+			return err
+		}
+		if _, ok := o.peers[transport.Addr(nsPort.Node)]; !ok {
+			return fmt.Errorf("node: no -peers route to name-service node %q", nsPort.Node)
+		}
+		nc, err := nameserv.NewClient(proc, nsPort)
+		if err != nil {
+			return err
+		}
+		lookup := func() (xrep.PortName, bool) {
+			p, _, err := nc.Lookup(o.resolve, o.timeout)
+			return p, err == nil
+		}
+		// Re-resolving before every retry is what lets one client session
+		// follow the binding across a failover mid-conversation.
+		copts.Resolve = lookup
+		for i := 0; ; i++ {
+			if p, ok := lookup(); ok {
+				target = p
+				break
+			}
+			if i >= o.retries {
+				return fmt.Errorf("node: resolve %q: no binding after %d lookups", o.resolve, i+1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Fprintf(stdout, "resolved %s -> %s\n", o.resolve, nameserv.FormatPort(target))
+	}
+	caller, err := amo.NewCaller(proc, copts)
 	if err != nil {
 		return err
 	}

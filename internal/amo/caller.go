@@ -80,6 +80,12 @@ type CallerOptions struct {
 	// client id, so distinct callers jitter differently but a rerun of
 	// the same world jitters identically.
 	Seed int64
+	// Resolve, when non-nil, re-resolves the destination: it is consulted
+	// when the circuit breaker trips for the cached address and before
+	// every retry, so a session that was talking to a failed-over primary
+	// follows the re-bound nameserver entry instead of caching the first
+	// lookup forever. Returning ok=false keeps the previous destination.
+	Resolve func() (to xrep.PortName, ok bool)
 }
 
 // Caller is the client half of the at-most-once layer: one logical
@@ -112,6 +118,10 @@ func NewCaller(pr *guardian.Process, opts CallerOptions) (*Caller, error) {
 	}
 	if opts.ReplyCapacity <= 0 {
 		opts.ReplyCapacity = 16
+	}
+	if opts.Backoff.Cap <= 0 {
+		// World-wide tuning, not a package constant: DST shrinks it.
+		opts.Backoff.Cap = pr.Guardian().Node().World().Tuning().BackoffCap
 	}
 	reply, err := pr.Guardian().NewPort(ReplyType, opts.ReplyCapacity)
 	if err != nil {
@@ -229,9 +239,27 @@ func (c *Caller) Call(to xrep.PortName, command string, args ...any) (*Reply, er
 	waited := make([]time.Duration, 0, attempts)
 	var backoffTotal time.Duration
 	for i := 0; i < attempts; i++ {
+		if i > 0 && c.opts.Resolve != nil {
+			// A retry means the cached address did not answer; ask for a
+			// fresh binding before burning another attempt on it.
+			if fresh, ok := c.opts.Resolve(); ok {
+				to = fresh
+			}
+		}
 		if c.opts.Health != nil && c.opts.Health.Down(to.Node) {
-			m.CircuitOpen.Inc()
-			return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, to.Node)
+			// Circuit open for the cached address: re-resolve once — the
+			// binding may have moved to a live node — and only fail fast
+			// if it still points into the open circuit.
+			moved := false
+			if c.opts.Resolve != nil {
+				if fresh, ok := c.opts.Resolve(); ok && fresh.Node != to.Node {
+					to, moved = fresh, true
+				}
+			}
+			if !moved {
+				m.CircuitOpen.Inc()
+				return nil, fmt.Errorf("%w: %s", ErrCircuitOpen, to.Node)
+			}
 		}
 		if i > 0 {
 			m.Retries.Inc()
@@ -250,6 +278,12 @@ func (c *Caller) Call(to xrep.PortName, command string, args ...any) (*Reply, er
 			switch st {
 			case guardian.RecvOK:
 				if rm.IsFailure() {
+					if c.opts.Resolve != nil && i < attempts-1 {
+						// The cached address reported a dead guardian or
+						// port; treat it like a timeout so the next
+						// attempt re-resolves the moved binding.
+						break
+					}
 					return nil, fmt.Errorf("%w: %s", ErrFailed, rm.FailureText())
 				}
 				if rm.Command != ReplyCommand || rm.Int(0) != seq {

@@ -49,6 +49,7 @@ func newAirlineWorkload(opts Options) *airlineWorkload {
 
 func (a *airlineWorkload) crashNodes() []string { return []string{serverNode} }
 func (a *airlineWorkload) allNodes() []string   { return []string{serverNode, clientsNode} }
+func (a *airlineWorkload) killNodes() []string  { return nil }
 
 func (a *airlineWorkload) setup(w *guardian.World) error {
 	a.w = w

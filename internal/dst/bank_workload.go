@@ -77,6 +77,7 @@ func newBankWorkload(opts Options) *bankWorkload {
 
 func (b *bankWorkload) crashNodes() []string { return []string{serverNode} }
 func (b *bankWorkload) allNodes() []string   { return []string{serverNode, clientsNode} }
+func (b *bankWorkload) killNodes() []string  { return nil }
 
 func (b *bankWorkload) setup(w *guardian.World) error {
 	b.w = w

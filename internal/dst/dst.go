@@ -70,6 +70,16 @@ type Profile struct {
 	Crashes int
 	// Partitions is the number of partition→heal windows.
 	Partitions int
+	// Kills is the number of permanent node kills, placed over the
+	// workload's kill-eligible nodes (the replica workload's initial
+	// primary). A killed node is never restarted; only Options.
+	// ReplicationFaults workloads survive one.
+	Kills int
+	// Isolations is the number of partition→heal windows that cut exactly
+	// the first kill-eligible node off from the rest of the world — the
+	// split-brain shape: the old primary keeps believing it leads while
+	// the majority elects past it.
+	Isolations int
 	// Horizon is the virtual window fault events are placed in.
 	Horizon time.Duration
 }
@@ -111,10 +121,26 @@ func MixedProfile() Profile {
 		Jitter: 300 * time.Microsecond, Crashes: 1, Partitions: 1}.withDefaults()
 }
 
+// ReplicaProfile is the failover gate: a lossy network plus one permanent
+// kill of the initial primary mid-transfer. Only meaningful with
+// Options.ReplicationFaults — a single-node workload cannot survive it.
+func ReplicaProfile() Profile {
+	return Profile{Name: "replica", Loss: 0.05, Dup: 0.05,
+		Jitter: 300 * time.Microsecond, Kills: 1}.withDefaults()
+}
+
+// SplitBrainProfile isolates the initial primary behind a partition long
+// enough for the majority to elect past it, then heals: the deposed
+// primary's stale-term traffic must be fenced, not applied.
+func SplitBrainProfile() Profile {
+	return Profile{Name: "splitbrain", Loss: 0.05, Dup: 0.05,
+		Jitter: 300 * time.Microsecond, Isolations: 1}.withDefaults()
+}
+
 // Profiles returns the stock profiles.
 func Profiles() []Profile {
 	return []Profile{QuietProfile(), LossyProfile(), PartitionedProfile(),
-		CrashyProfile(), MixedProfile()}
+		CrashyProfile(), MixedProfile(), ReplicaProfile(), SplitBrainProfile()}
 }
 
 // ProfileByName resolves a stock profile.
@@ -145,6 +171,13 @@ type Options struct {
 	// Bug optionally disables a protection (see the Bug* constants), as a
 	// harness self-test: the checkers must catch it.
 	Bug string
+	// ReplicationFaults replaces the bank workload's single server node
+	// with a three-member quorum replica group (m1 initial primary) whose
+	// service name clients re-resolve through a name service on the
+	// clients node. Schedules may then contain EvKill (permanent primary
+	// loss → failover must preserve acknowledged effects) and split-brain
+	// isolation windows (stale-term traffic must be fenced). Bank-only.
+	ReplicationFaults bool
 	// StorageFaults, when non-nil, injects storage faults under every
 	// node: each node's simulated disk is wrapped in a durable.Wrapper
 	// with the given rates. Each node's fate stream is seeded by
@@ -202,7 +235,7 @@ func Schedule(opts Options) []Event {
 	master := rand.New(rand.NewSource(opts.Seed))
 	_ = master.Int63() // network seed draw; keep the stream aligned with run()
 	schedRng := rand.New(rand.NewSource(master.Int63()))
-	return genSchedule(schedRng, opts.Profile, wl.crashNodes(), wl.allNodes())
+	return genSchedule(schedRng, opts.Profile, wl.crashNodes(), wl.allNodes(), wl.killNodes())
 }
 
 // Run executes one simulated run: schedule generation, then
@@ -220,11 +253,12 @@ func Run(opts Options) *Report {
 func RunWithSchedule(opts Options, schedule []Event) *Report {
 	opts = opts.withDefaults()
 	rep := &Report{
-		Seed:     opts.Seed,
-		Workload: opts.Workload,
-		Profile:  opts.Profile.Name,
-		Bug:      opts.Bug,
-		Schedule: schedule,
+		Seed:       opts.Seed,
+		Workload:   opts.Workload,
+		Profile:    opts.Profile.Name,
+		Bug:        opts.Bug,
+		Replicated: opts.ReplicationFaults,
+		Schedule:   schedule,
 	}
 	wl, err := newWorkload(opts)
 	if err != nil {
@@ -263,28 +297,36 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 		storeMu  sync.Mutex
 		wrappers = make(map[string]*durable.Wrapper)
 	)
-	if sf := opts.StorageFaults; sf != nil {
+	sw, wrapsStores := wl.(storeWrapper)
+	if opts.StorageFaults != nil || wrapsStores {
 		cfg.Store = func(node string) (durable.Store, error) {
-			wcfg := *sf
-			wcfg.Seed = opts.Seed ^ fnv64a(node)
-			wcfg.OnFault = func(log, fault string) {
-				n, err := w.Node(node)
-				if err != nil || !n.Alive() {
-					return
-				}
-				n.Crash()
-				go func() {
-					clock.Sleep(15 * time.Millisecond)
-					if !n.Alive() {
-						_ = n.Restart()
+			var inner durable.Store = durable.NewSim(stable.NewDisk(clock, stable.DiskConfig{}))
+			if sf := opts.StorageFaults; sf != nil {
+				wcfg := *sf
+				wcfg.Seed = opts.Seed ^ fnv64a(node)
+				wcfg.OnFault = func(log, fault string) {
+					n, err := w.Node(node)
+					if err != nil || !n.Alive() {
+						return
 					}
-				}()
+					n.Crash()
+					go func() {
+						clock.Sleep(15 * time.Millisecond)
+						if !n.Alive() {
+							_ = n.Restart()
+						}
+					}()
+				}
+				wr := durable.Wrap(inner, wcfg)
+				storeMu.Lock()
+				wrappers[node] = wr
+				storeMu.Unlock()
+				inner = wr
 			}
-			wr := durable.Wrap(durable.NewSim(stable.NewDisk(clock, stable.DiskConfig{})), wcfg)
-			storeMu.Lock()
-			wrappers[node] = wr
-			storeMu.Unlock()
-			return wr, nil
+			if wrapsStores {
+				return sw.wrapStore(node, inner)
+			}
+			return inner, nil
 		}
 	}
 	w = guardian.NewWorld(cfg)
@@ -311,13 +353,22 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 
 	// Fault executor: sleeps on the virtual clock to each event's offset
 	// and applies it, so faults land at exactly their scheduled virtual
-	// times relative to the workload's own timers.
+	// times relative to the workload's own timers. Kills are permanent:
+	// a later EvRestart of a killed node (an overlapping crash window) is
+	// suppressed, so "killed" really means never coming back.
 	execDone := make(chan struct{})
 	go func() {
 		defer close(execDone)
+		killed := make(map[string]bool)
 		for _, ev := range schedule {
 			if d := ev.At - clock.Since(start); d > 0 {
 				clock.Sleep(d)
+			}
+			if ev.Kind == EvKill {
+				killed[ev.Node] = true
+			}
+			if ev.Kind == EvRestart && killed[ev.Node] {
+				continue
 			}
 			applyEvent(w, ev)
 		}
@@ -325,7 +376,7 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 
 	crashed := false
 	for _, ev := range schedule {
-		if ev.Kind == EvCrash {
+		if ev.Kind == EvCrash || ev.Kind == EvKill {
 			crashed = true
 		}
 	}
@@ -378,7 +429,7 @@ func fnv64a(s string) int64 {
 // dead node or restarting a live one (overlapping windows) is a no-op.
 func applyEvent(w *guardian.World, ev Event) {
 	switch ev.Kind {
-	case EvCrash:
+	case EvCrash, EvKill:
 		if n, err := w.Node(ev.Node); err == nil && n.Alive() {
 			n.Crash()
 		}

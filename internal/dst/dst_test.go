@@ -14,6 +14,7 @@ var (
 	flagWorkload = flag.String("dst.workload", "bank", "workload for -dst.seed runs")
 	flagProfile  = flag.String("dst.profile", "mixed", "fault profile for -dst.seed runs")
 	flagBug      = flag.String("dst.bug", "", "injected bug for -dst.seed runs")
+	flagRepl     = flag.Bool("dst.repl", false, "run -dst.seed against the replica group (ReplicationFaults)")
 )
 
 // TestSeed replays a single seed, for reproducing a sweep failure:
@@ -27,7 +28,8 @@ func TestSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Run(Options{Seed: *flagSeed, Workload: *flagWorkload, Profile: profile, Bug: *flagBug})
+	rep := Run(Options{Seed: *flagSeed, Workload: *flagWorkload, Profile: profile,
+		Bug: *flagBug, ReplicationFaults: *flagRepl})
 	t.Logf("\n%s", rep)
 	if rep.Failed() {
 		t.Errorf("seed %d: %d invariant violations", rep.Seed, len(rep.Violations))
@@ -207,6 +209,92 @@ func TestStorageFaultsReproducible(t *testing.T) {
 	}
 	if a.Storage != b.Storage {
 		t.Fatalf("re-run changed the injected-fault counters:\n%+v\n%+v", a.Storage, b.Storage)
+	}
+}
+
+// TestReplicaPrimaryKill is the failover acceptance gate: under the
+// replica profile every schedule permanently kills the initial primary
+// mid-transfer, and every invariant — conservation, exactly-once for the
+// clients whose retries crossed the failover, replication convergence,
+// recovery-equals-replay — must hold on the elected successor. Each seed
+// must actually drive a takeover, or the run proved nothing. A failure
+// prints the -dst.seed=N [-dst.repl] line that replays it.
+func TestReplicaPrimaryKill(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		opts := Options{Seed: seed, Workload: "bank",
+			ReplicationFaults: true, Profile: ReplicaProfile()}
+		rep := Run(opts)
+		if rep.Failed() {
+			rep = Shrink(opts, rep, 0)
+			t.Errorf("replica sweep failure:\n%s", rep)
+			continue
+		}
+		if rep.Repl.Takeovers == 0 {
+			t.Errorf("seed %d: primary kill drove no takeover:\n%s", seed, rep)
+		}
+		if rep.Leader == replMembers[0] {
+			t.Errorf("seed %d: killed primary %s still leads:\n%s", seed, rep.Leader, rep)
+		}
+	}
+}
+
+// TestReplicaSplitBrain isolates the primary behind a partition long
+// enough for the majority to elect past it, then heals. The invariants
+// must hold, and across the sweep the deposed primary's stale-term
+// traffic must actually have been fenced — otherwise the schedule never
+// created the split brain it claims to test.
+func TestReplicaSplitBrain(t *testing.T) {
+	var fenced, tookOver bool
+	for seed := int64(1); seed <= 8; seed++ {
+		opts := Options{Seed: seed, Workload: "bank",
+			ReplicationFaults: true, Profile: SplitBrainProfile()}
+		rep := Run(opts)
+		if rep.Failed() {
+			rep = Shrink(opts, rep, 0)
+			t.Errorf("split-brain sweep failure:\n%s", rep)
+			continue
+		}
+		if rep.Repl.FencedStale > 0 {
+			fenced = true
+		}
+		if rep.Repl.Takeovers > 0 {
+			tookOver = true
+		}
+	}
+	if !tookOver {
+		t.Error("no isolation window drove an election past the primary across 8 seeds")
+	}
+	if !fenced {
+		t.Error("no stale-term message was fenced across 8 seeds; the split brain has no teeth")
+	}
+}
+
+// TestReplicaReproducible: a replica run replays to the same schedule and
+// verdict — the printed -dst.seed line is a faithful reproduction.
+func TestReplicaReproducible(t *testing.T) {
+	opts := Options{Seed: 3, Workload: "bank",
+		ReplicationFaults: true, Profile: ReplicaProfile()}
+	a, b := Run(opts), Run(opts)
+	if !sameSchedule(a.Schedule, b.Schedule) {
+		t.Fatalf("re-run changed the schedule:\n%s\n%s", a, b)
+	}
+	if a.Failed() != b.Failed() {
+		t.Fatalf("re-run changed the verdict:\n%s\n%s", a, b)
+	}
+}
+
+// TestReplicaMixedFaults runs the replica group under the generic mixed
+// profile — member crash/restart windows and random partitions on top of
+// a lossy network — as the steady-state replica sweep.
+func TestReplicaMixedFaults(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		opts := Options{Seed: seed, Workload: "bank",
+			ReplicationFaults: true, Profile: MixedProfile()}
+		rep := Run(opts)
+		if rep.Failed() {
+			rep = Shrink(opts, rep, 0)
+			t.Errorf("replica mixed sweep failure:\n%s", rep)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 )
 
 // Violation is one invariant breach found by a checker.
@@ -45,7 +46,13 @@ type Report struct {
 	Net netsim.Stats
 	// Storage aggregates injected storage-fault counters across all
 	// nodes; zero unless Options.StorageFaults was set.
-	Storage        durable.WrapperStats
+	Storage durable.WrapperStats
+	// Replicated marks a replica-group run (Options.ReplicationFaults);
+	// Repl then aggregates the members' replication counters and Leader
+	// names the member serving at the end of the run.
+	Replicated     bool
+	Repl           replica.Stats
+	Leader         string
 	VirtualElapsed time.Duration
 	RealElapsed    time.Duration
 }
@@ -80,6 +87,11 @@ func (r *Report) String() string {
 			r.Storage.Syncs, r.Storage.SyncsFailed, r.Storage.ShortWrites,
 			r.Storage.CorruptedTails, r.Storage.RecordsDropped)
 	}
+	if r.Replicated {
+		fmt.Fprintf(&b, "  repl: leader=%s shipped=%d applied=%d checkpoints=%d fenced=%d elections=%d takeovers=%d\n",
+			r.Leader, r.Repl.ShippedRecords, r.Repl.AppliedRecords, r.Repl.CheckpointsShipped,
+			r.Repl.FencedStale, r.Repl.Elections, r.Repl.Takeovers)
+	}
 	fmt.Fprintf(&b, "  time: %v virtual in %v real\n",
 		r.VirtualElapsed.Round(time.Millisecond), r.RealElapsed.Round(time.Millisecond))
 	for _, v := range r.Violations {
@@ -100,6 +112,9 @@ func (r *Report) String() string {
 			r.Seed, r.Workload, r.Profile)
 		if r.Bug != "" {
 			fmt.Fprintf(&b, " -dst.bug=%s", r.Bug)
+		}
+		if r.Replicated {
+			b.WriteString(" -dst.repl")
 		}
 		b.WriteString("\n")
 	}

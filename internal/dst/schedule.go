@@ -23,6 +23,11 @@ const (
 	EvPartition
 	// EvHeal removes any active partition.
 	EvHeal
+	// EvKill kills a node permanently: like EvCrash, but the node is never
+	// restarted — the run engine suppresses any later EvRestart of it. This
+	// is the replica workload's fault: permanent loss of the primary, which
+	// only failover (not recovery) can survive.
+	EvKill
 )
 
 // String returns the kind's schedule-trace name.
@@ -36,6 +41,8 @@ func (k EventKind) String() string {
 		return "partition"
 	case EvHeal:
 		return "heal"
+	case EvKill:
+		return "kill"
 	default:
 		return "unknown"
 	}
@@ -64,7 +71,7 @@ type Event struct {
 // String renders one schedule line.
 func (e Event) String() string {
 	switch e.Kind {
-	case EvCrash, EvRestart:
+	case EvCrash, EvRestart, EvKill:
 		return fmt.Sprintf("@%-8v %s %s", e.At, e.Kind, e.Node)
 	case EvPartition:
 		parts := make([]string, len(e.Groups))
@@ -92,13 +99,18 @@ func sameSchedule(a, b []Event) bool {
 }
 
 // genSchedule derives the fault schedule from its own random stream:
-// Crashes crash→restart windows over the crashable nodes and Partitions
-// partition→heal windows over all nodes, placed inside the profile's
-// horizon and sorted by offset. Windows may overlap; application order at
-// equal times follows schedule order, and overlapping partitions resolve
-// to last-writer-wins (Heal removes every active partition), matching
-// netsim's semantics.
-func genSchedule(rng *rand.Rand, p Profile, crashable, all []string) []Event {
+// Crashes crash→restart windows over the crashable nodes, Partitions
+// partition→heal windows over all nodes, Kills permanent kills of the
+// killable nodes, and Isolations partition→heal windows that cut exactly
+// the first killable node (the replica workload's initial primary) off
+// from everyone else — the split-brain shape. All are placed inside the
+// profile's horizon and sorted by offset. Windows may overlap;
+// application order at equal times follows schedule order, and
+// overlapping partitions resolve to last-writer-wins (Heal removes every
+// active partition), matching netsim's semantics. New fault classes draw
+// after the old ones, so profiles that use none of them generate the
+// same schedules they always did.
+func genSchedule(rng *rand.Rand, p Profile, crashable, all, killable []string) []Event {
 	var evs []Event
 	pair := 0
 	h := p.Horizon
@@ -127,6 +139,31 @@ func genSchedule(rng *rand.Rand, p Profile, crashable, all []string) []Event {
 		}
 		at := time.Duration(float64(h) * (0.10 + 0.55*rng.Float64()))
 		dur := time.Duration(float64(h) * (0.05 + 0.15*rng.Float64()))
+		evs = append(evs,
+			Event{At: at, Kind: EvPartition, Groups: groups, Pair: pair},
+			Event{At: at + dur, Kind: EvHeal, Pair: pair})
+		pair++
+	}
+	// Kills land mid-horizon — after clients have in-flight work (the
+	// "mid-transfer" window) and early enough that failover and the
+	// retried calls complete inside the run.
+	for i := 0; i < p.Kills && len(killable) > 0; i++ {
+		node := killable[rng.Intn(len(killable))]
+		at := time.Duration(float64(h) * (0.25 + 0.35*rng.Float64()))
+		evs = append(evs, Event{At: at, Kind: EvKill, Node: node, Pair: pair})
+		pair++
+	}
+	for i := 0; i < p.Isolations && len(killable) > 0 && len(all) > 1; i++ {
+		iso := killable[0]
+		groups := [][]string{{iso}, {}}
+		for _, n := range all {
+			if n != iso {
+				groups[1] = append(groups[1], n)
+			}
+		}
+		sort.Strings(groups[1])
+		at := time.Duration(float64(h) * (0.20 + 0.25*rng.Float64()))
+		dur := time.Duration(float64(h) * (0.15 + 0.15*rng.Float64()))
 		evs = append(evs,
 			Event{At: at, Kind: EvPartition, Groups: groups, Pair: pair},
 			Event{At: at + dur, Kind: EvHeal, Pair: pair})

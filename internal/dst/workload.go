@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/guardian"
 )
 
@@ -24,6 +25,10 @@ type workload interface {
 	crashNodes() []string
 	// allNodes are the partition-eligible nodes.
 	allNodes() []string
+	// killNodes are the nodes eligible for permanent kills (Profile.Kills)
+	// and isolation windows (Profile.Isolations); empty for workloads that
+	// cannot survive permanent node loss.
+	killNodes() []string
 	// setup registers definitions and bootstraps the server guardian.
 	setup(w *guardian.World) error
 	// client runs session i to completion, drawing every decision from
@@ -33,6 +38,14 @@ type workload interface {
 	// contained crash events (some invariants are volatile-state-based and
 	// only sound crash-free).
 	check(w *guardian.World, rep *Report, crashed bool)
+}
+
+// storeWrapper is implemented by workloads that need to interpose on each
+// node's durable store (the replica workload wraps member stores in a
+// replica.Store). The run engine composes it under any storage-fault
+// wrapper: sim disk → fault wrapper → workload wrapper.
+type storeWrapper interface {
+	wrapStore(node string, inner durable.Store) (durable.Store, error)
 }
 
 // pace spreads a client's operations across roughly three quarters of the
@@ -52,10 +65,19 @@ func pace(pr *guardian.Process, crng *rand.Rand, opts Options) {
 func newWorkload(opts Options) (workload, error) {
 	switch opts.Workload {
 	case "bank":
+		if opts.ReplicationFaults {
+			if opts.Bug != "" {
+				return nil, fmt.Errorf("dst: bug %q is single-node-only", opts.Bug)
+			}
+			return newBankReplicaWorkload(opts), nil
+		}
 		return newBankWorkload(opts), nil
 	case "airline":
 		if opts.Bug != "" {
 			return nil, fmt.Errorf("dst: bug %q is bank-only", opts.Bug)
+		}
+		if opts.ReplicationFaults {
+			return nil, fmt.Errorf("dst: replication faults are bank-only")
 		}
 		return newAirlineWorkload(opts), nil
 	default:

@@ -159,3 +159,29 @@ func (l *nullLog) Recover() ([]byte, []Record, error) {
 func (l *nullLog) DurableLen() int        { return 0 }
 func (l *nullLog) VolatileLen() int       { return 0 }
 func (l *nullLog) LastDurableSeq() uint64 { return 0 }
+func (l *nullLog) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.next {
+		l.next = seq
+	}
+}
+
+// Skipper is the optional catch-up extension of Log: SkipTo raises the
+// log's sequence counter (never lowers it) so the next Append continues
+// from seq+1. A replica installing a shipped checkpoint at watermark W
+// calls SkipTo(W) so locally applied records keep the primary's
+// numbering. All backends in this package implement it.
+type Skipper interface {
+	SkipTo(seq uint64)
+}
+
+// SkipTo raises log's sequence counter when the backend supports it and
+// reports whether it did.
+func SkipTo(log Log, seq uint64) bool {
+	s, ok := log.(Skipper)
+	if ok {
+		s.SkipTo(seq)
+	}
+	return ok
+}

@@ -1,6 +1,11 @@
 package durable
 
-import "repro/internal/stable"
+import (
+	"time"
+
+	"repro/internal/stable"
+	"repro/internal/vtime"
+)
 
 // Sim adapts the in-memory simulated disk to the Store seam — the
 // default backend, exactly as transport.Sim adapts netsim. It survives
@@ -13,6 +18,15 @@ type Sim struct {
 
 // NewSim wraps a simulated disk.
 func NewSim(disk *stable.Disk) *Sim { return &Sim{disk: disk} }
+
+// NewSimDisk builds a Sim over a fresh simulated disk on the given
+// clock — the same default storage a World gives nodes when Config.Store
+// is nil, packaged for callers who need the Store value itself (e.g. to
+// wrap it in replication). syncDelay models per-Sync fsync latency; zero
+// means instantaneous forces.
+func NewSimDisk(clock vtime.Clock, syncDelay time.Duration) *Sim {
+	return NewSim(stable.NewDisk(clock, stable.DiskConfig{SyncDelay: syncDelay}))
+}
 
 // Disk unwraps to the simulated device, for tests and experiments that
 // reach past the seam (mirroring transport.Sim's Network unwrap).

@@ -592,6 +592,21 @@ func (l *walLog) LastDurableSeq() uint64 {
 	return l.cpAt
 }
 
+// SkipTo implements Skipper: it raises the sequence counter (never
+// lowering it) so records applied after an installed replica checkpoint
+// continue the primary's numbering. Only the counter moves; nothing is
+// written until the next Append/Sync.
+func (l *walLog) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.nextSeq {
+		l.nextSeq = seq
+	}
+	if seq > l.durableSeq {
+		l.durableSeq = seq
+	}
+}
+
 // --- open-time recovery scan ---
 
 // openWalLog opens one log directory, scanning and verifying its

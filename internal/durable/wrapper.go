@@ -310,3 +310,17 @@ func (l *wrapLog) LastDurableSeq() uint64 {
 	defer l.mu.Unlock()
 	return l.inner.LastDurableSeq()
 }
+
+// SkipTo implements Skipper by forwarding to the inner log when it
+// supports skipping; the advisory counter is raised alongside so the
+// two numbering streams stay ordered the same way.
+func (l *wrapLog) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.inner.(Skipper); ok {
+		s.SkipTo(seq)
+	}
+	if seq > l.nextAdv {
+		l.nextAdv = seq
+	}
+}

@@ -68,8 +68,8 @@ func TestScaleN(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("registry has %d experiments, want 11 (E1..E11)", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12 (E1..E11, E14)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -178,5 +178,15 @@ func TestE11Smoke(t *testing.T) {
 	res := runAndRender(t, "dst")
 	// Both notes are correctness claims: the clean sweep must be green and
 	// the injected-bug control arm must be caught, at any scale.
+	assertHolds(t, res, false)
+}
+
+func TestE14Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "replica")
+	// Failover with conservation is a correctness claim: both replica arms
+	// must survive permanent primary death at any scale.
 	assertHolds(t, res, false)
 }

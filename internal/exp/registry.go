@@ -72,6 +72,11 @@ func All() []Experiment {
 			Description: "deterministic simulation: seeded fault sweep with invariant checkers and an injected-bug control",
 			Run:         func(s Scale) (*Result, error) { return RunE11DST(E11Defaults, s) },
 		},
+		{
+			ID: "replica", Paper: "§2.2 (extension)",
+			Description: "replicated guardians: quorum-ack cost vs single-node group commit, failover time under permanent primary death",
+			Run:         func(s Scale) (*Result, error) { return RunE14Replica(E14Defaults, s) },
+		},
 	}
 }
 

@@ -52,9 +52,13 @@ func (n *Node) catalogCreate(m *guardianMeta) {
 	if args == nil {
 		args = xrep.Seq{}
 	}
-	rec := xrep.Rec{Name: catalogCreateRec, Fields: xrep.Seq{
-		xrep.Int(m.id), xrep.Str(m.defName), args, ports,
-	}}
+	fields := xrep.Seq{xrep.Int(m.id), xrep.Str(m.defName), args, ports}
+	// The log-name override is a fifth, optional field: older catalogs
+	// (and guardians without one) stay four-field records.
+	if m.logName != "" {
+		fields = append(fields, xrep.Str(m.logName))
+	}
+	rec := xrep.Rec{Name: catalogCreateRec, Fields: fields}
 	buf, err := wire.MarshalValue(rec)
 	if err != nil {
 		panic(fmt.Errorf("guardian: marshal catalog record: %w", err))
@@ -150,7 +154,11 @@ func (n *Node) recoverCatalog() error {
 		// process runs: interior corruption there means its recovery data
 		// cannot be trusted, and the node refuses to start rather than
 		// resurrect a guardian with silently missing effects.
-		if _, err := n.store.OpenLog(guardianLogName(m.defName, m.id)); err != nil {
+		logName := m.logName
+		if logName == "" {
+			logName = guardianLogName(m.defName, m.id)
+		}
+		if _, err := n.store.OpenLog(logName); err != nil {
 			return fmt.Errorf("opening log of %s/%d: %w", m.defName, m.id, err)
 		}
 		n.mu.Lock()
@@ -167,7 +175,7 @@ func (n *Node) recoverCatalog() error {
 
 // parseCatalogCreate decodes one creation record.
 func parseCatalogCreate(rec xrep.Rec) (*guardianMeta, error) {
-	if len(rec.Fields) != 4 {
+	if len(rec.Fields) != 4 && len(rec.Fields) != 5 {
 		return nil, fmt.Errorf("malformed creation record")
 	}
 	id, ok0 := rec.Fields[0].(xrep.Int)
@@ -178,6 +186,13 @@ func parseCatalogCreate(rec xrep.Rec) (*guardianMeta, error) {
 		return nil, fmt.Errorf("malformed creation record")
 	}
 	m := &guardianMeta{id: uint64(id), defName: string(defName), args: args}
+	if len(rec.Fields) == 5 {
+		logName, ok := rec.Fields[4].(xrep.Str)
+		if !ok {
+			return nil, fmt.Errorf("malformed creation record")
+		}
+		m.logName = string(logName)
+	}
 	for _, p := range ports {
 		pid, ok := p.(xrep.Int)
 		if !ok {

@@ -55,6 +55,10 @@ type Guardian struct {
 	def   *GuardianDef
 	node  *Node
 	epoch uint64
+	// logName, when non-empty, overrides the log Log() opens — set by
+	// Node.Takeover so a replica's new primary resumes the old primary's
+	// shipped log instead of an empty one named by its fresh id.
+	logName string
 
 	killOnce sync.Once
 	killCh   chan struct{}
@@ -280,7 +284,11 @@ func (n *Node) metaPortIDs(id uint64) []uint64 {
 // open (corrupt storage) is fail-stop, because a guardian running without
 // its recovery data would silently forget acknowledged effects.
 func (g *Guardian) Log() durable.Log {
-	l, err := g.node.store.OpenLog(guardianLogName(g.def.TypeName, g.id))
+	name := g.logName
+	if name == "" {
+		name = guardianLogName(g.def.TypeName, g.id)
+	}
+	l, err := g.node.store.OpenLog(name)
 	if err != nil {
 		if !g.Alive() {
 			// A straggling process of a killed guardian raced a store
@@ -289,9 +297,17 @@ func (g *Guardian) Log() durable.Log {
 			// and deliberately NOT fail-stop — answer.
 			return durable.Null()
 		}
-		panic(fmt.Errorf("guardian: opening log for %s/%d: %w", g.def.TypeName, g.id, err))
+		panic(fmt.Errorf("guardian: opening log %q for %s/%d: %w", name, g.def.TypeName, g.id, err))
 	}
 	return l
+}
+
+// LogName returns the name of the log Log() opens.
+func (g *Guardian) LogName() string {
+	if g.logName != "" {
+		return g.logName
+	}
+	return guardianLogName(g.def.TypeName, g.id)
 }
 
 // guardianLogName names a guardian's log in its node's store.

@@ -52,6 +52,11 @@ type guardianMeta struct {
 	defName string
 	args    xrep.Seq
 	portIDs []uint64
+	// logName, when non-empty, overrides the guardian's log name. A
+	// guardian taking over a replicated peer's state opens the log the
+	// old primary wrote (shipped here record by record) instead of the
+	// "<type>-<id>" log its own fresh id would name.
+	logName string
 }
 
 func newNode(w *World, name string) (*Node, error) {
@@ -274,6 +279,9 @@ func (n *Node) instantiate(def *GuardianDef, args xrep.Seq, meta *guardianMeta, 
 		killCh: make(chan struct{}),
 		ports:  make(map[uint64]*Port),
 	}
+	if meta != nil {
+		g.logName = meta.logName
+	}
 	capacity := def.PortCapacity
 	if capacity == 0 {
 		capacity = n.world.cfg.DefaultPortCapacity
@@ -334,6 +342,57 @@ func (n *Node) instantiate(def *GuardianDef, args xrep.Seq, meta *guardianMeta, 
 		entry(ctx)
 	})
 	return g, nil
+}
+
+// Takeover re-creates a replicated guardian from a peer's shipped log: a
+// fresh guardian of defName is created under a NEW identity (ids are
+// never reused, and the old primary's id belongs to its node), but its
+// recovery log is logName — the log the old primary wrote, replicated
+// into this node's store record by record. The definition's Recover
+// process runs exactly as after a crash, so the guardian resumes from
+// the last state the replication stream confirmed. Like Bootstrap it is
+// an owner-side action and bypasses the create policy.
+func (n *Node) Takeover(defName, logName string, args ...any) (*Created, error) {
+	def, err := n.world.lookupDef(defName)
+	if err != nil {
+		return nil, err
+	}
+	if def.Recover == nil {
+		return nil, fmt.Errorf("guardian: takeover of %s: definition has no Recover process", defName)
+	}
+	enc, err := xrep.EncodeAll(args...)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return nil, ErrNodeDown
+	}
+	n.nextGID++
+	id := n.nextGID
+	portIDs := make([]uint64, len(def.Provides))
+	for i := range portIDs {
+		portIDs[i] = uint64(i + 1)
+	}
+	m := &guardianMeta{id: id, defName: defName, args: enc, portIDs: portIDs, logName: logName}
+	n.meta[id] = m
+	n.mu.Unlock()
+	if n.store.Persistent() {
+		n.catalogCreate(m)
+	}
+	g, err := n.instantiate(def, enc, m, true)
+	if err != nil {
+		return nil, err
+	}
+	created := &Created{GuardianID: g.id}
+	g.mu.Lock()
+	for _, pid := range portIDs {
+		created.Ports = append(created.Ports, g.ports[pid].name)
+	}
+	g.mu.Unlock()
+	n.world.trace(EvRecover, n.name, "takeover: %s (guardian %d) resumes log %q", defName, id, logName)
+	return created, nil
 }
 
 // handlePacket is the node's network attachment: reassemble, verify,

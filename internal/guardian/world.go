@@ -48,6 +48,38 @@ type Config struct {
 	// ReassemblyAge evicts partial messages older than this. Zero means
 	// 30 s.
 	ReassemblyAge time.Duration
+	// Tuning holds the world-wide liveness knobs (heartbeat intervals,
+	// failure thresholds, retry backoff caps) that infrastructure
+	// guardians consult when they are created without explicit values.
+	// DST shrinks them deterministically; real deployments keep the
+	// defaults. Zero fields take their documented defaults.
+	Tuning Tuning
+}
+
+// Tuning is the world-wide set of liveness knobs. Infrastructure that
+// probes, retries or elects (watchdog, amo, replica) reads these instead
+// of package constants, so a simulation can shrink every timescale at
+// once from one place.
+type Tuning struct {
+	// HeartbeatInterval is the default probe/heartbeat period. Zero
+	// means 100ms.
+	HeartbeatInterval time.Duration
+	// FailureThreshold is how many consecutive missed heartbeats declare
+	// a peer dead. Zero means 2.
+	FailureThreshold int
+	// BackoffCap bounds grown retry backoffs when the caller sets none.
+	// Zero means 32× the base backoff.
+	BackoffCap time.Duration
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if t.FailureThreshold <= 0 {
+		t.FailureThreshold = 2
+	}
+	return t
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +98,7 @@ func (c Config) withDefaults() Config {
 	if c.ReassemblyAge == 0 {
 		c.ReassemblyAge = 30 * time.Second
 	}
+	c.Tuning = c.Tuning.withDefaults()
 	return c
 }
 
@@ -152,6 +185,9 @@ func (w *World) Stats() *Stats { return &w.stats }
 
 // Limits returns the system-wide type invariants.
 func (w *World) Limits() xrep.Limits { return w.cfg.Limits }
+
+// Tuning returns the world's liveness knobs (defaults already applied).
+func (w *World) Tuning() Tuning { return w.cfg.Tuning }
 
 // Register adds a guardian definition to the world-wide library. All
 // nodes create guardians from this shared library, mirroring separate

@@ -39,6 +39,8 @@ const (
 var PortType = guardian.NewPortType("name_service_port").
 	Msg("register", xrep.KindString, xrep.KindPortName).
 	Replies("register", OutcomeBound, OutcomeDenied).
+	Msg("register_keyed", xrep.KindString, xrep.KindPortName, xrep.KindString).
+	Replies("register_keyed", OutcomeBound, OutcomeDenied).
 	Msg("unregister", xrep.KindString).
 	Replies("unregister", OutcomeDropped, OutcomeNotBound, OutcomeDenied).
 	Msg("lookup", xrep.KindString).
@@ -62,6 +64,12 @@ type binding struct {
 	// owner is the principal that first registered the name; only the
 	// owner (or a same-node principal) may rebind or drop it.
 	owner guardian.Principal
+	// key, when non-empty, is a shared management capability: any
+	// principal presenting it via register_keyed may rebind the name,
+	// whatever node it calls from. This is how a replica group's members
+	// — different guardians on different nodes — hand a well-known name
+	// to whichever of them wins an election.
+	key string
 }
 
 type state struct {
@@ -69,11 +77,17 @@ type state struct {
 	bindings map[string]*binding
 }
 
-func record(kind, name string, port xrep.PortName, version int64, owner guardian.Principal) []byte {
-	b, err := wire.MarshalValue(xrep.Seq{
+func record(kind, name string, port xrep.PortName, version int64, owner guardian.Principal, key string) []byte {
+	fields := xrep.Seq{
 		xrep.Str(kind), xrep.Str(name), port, xrep.Int(version),
 		xrep.Str(owner.Node), xrep.Int(owner.Guardian),
-	})
+	}
+	// The shared key is a seventh, optional field: records written before
+	// keys existed stay six-field and replay unchanged.
+	if key != "" {
+		fields = append(fields, xrep.Str(key))
+	}
+	b, err := wire.MarshalValue(fields)
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +100,7 @@ func (st *state) replay(data []byte) {
 		return
 	}
 	seq, ok := v.(xrep.Seq)
-	if !ok || len(seq) != 6 {
+	if !ok || (len(seq) != 6 && len(seq) != 7) {
 		return
 	}
 	kind, _ := seq[0].(xrep.Str)
@@ -95,6 +109,10 @@ func (st *state) replay(data []byte) {
 	version, _ := seq[3].(xrep.Int)
 	ownerNode, _ := seq[4].(xrep.Str)
 	ownerG, _ := seq[5].(xrep.Int)
+	var key xrep.Str
+	if len(seq) == 7 {
+		key, _ = seq[6].(xrep.Str)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	switch string(kind) {
@@ -103,6 +121,7 @@ func (st *state) replay(data []byte) {
 			port:    port,
 			version: int64(version),
 			owner:   guardian.Principal{Node: string(ownerNode), Guardian: uint64(ownerG)},
+			key:     string(key),
 		}
 	case "drop":
 		delete(st.bindings, string(name))
@@ -133,27 +152,40 @@ func Def() *guardian.GuardianDef {
 			return p == b.owner || m.SrcNode == ctx.G.Node().Name()
 		}
 
+		// bind is the shared rebind path. key is the capability the caller
+		// presented ("" for plain register): a binding holding a key may be
+		// rebound by anyone presenting the same key, from any node.
+		bind := func(pr *guardian.Process, m *guardian.Message, name string, port xrep.PortName, key string) {
+			st.mu.Lock()
+			b, exists := st.bindings[name]
+			st.mu.Unlock()
+			allowed := !exists || mayManage(b, m) || (key != "" && key == b.key)
+			if !allowed {
+				reply(pr, m, OutcomeDenied)
+				return
+			}
+			version := int64(1)
+			owner := guardian.PrincipalOf(m)
+			if exists {
+				version = b.version + 1
+				owner = b.owner
+				if key == "" {
+					key = b.key // a plain rebind keeps the key alive
+				}
+			}
+			log.AppendSync(record("bind", name, port, version, owner, key))
+			st.mu.Lock()
+			st.bindings[name] = &binding{port: port, version: version, owner: owner, key: key}
+			st.mu.Unlock()
+			reply(pr, m, OutcomeBound, version)
+		}
+
 		guardian.NewReceiver(ctx.Ports[0]).
 			When("register", func(pr *guardian.Process, m *guardian.Message) {
-				name, port := m.Str(0), m.Port(1)
-				st.mu.Lock()
-				b, exists := st.bindings[name]
-				st.mu.Unlock()
-				if exists && !mayManage(b, m) {
-					reply(pr, m, OutcomeDenied)
-					return
-				}
-				version := int64(1)
-				owner := guardian.PrincipalOf(m)
-				if exists {
-					version = b.version + 1
-					owner = b.owner
-				}
-				log.AppendSync(record("bind", name, port, version, owner))
-				st.mu.Lock()
-				st.bindings[name] = &binding{port: port, version: version, owner: owner}
-				st.mu.Unlock()
-				reply(pr, m, OutcomeBound, version)
+				bind(pr, m, m.Str(0), m.Port(1), "")
+			}).
+			When("register_keyed", func(pr *guardian.Process, m *guardian.Message) {
+				bind(pr, m, m.Str(0), m.Port(1), m.Str(2))
 			}).
 			When("unregister", func(pr *guardian.Process, m *guardian.Message) {
 				name := m.Str(0)
@@ -168,7 +200,7 @@ func Def() *guardian.GuardianDef {
 					reply(pr, m, OutcomeDenied)
 					return
 				}
-				log.AppendSync(record("drop", name, xrep.PortName{}, 0, b.owner))
+				log.AppendSync(record("drop", name, xrep.PortName{}, 0, b.owner, ""))
 				st.mu.Lock()
 				delete(st.bindings, name)
 				st.mu.Unlock()
@@ -228,6 +260,21 @@ func NewClient(proc *guardian.Process, ns xrep.PortName) (*Client, error) {
 // Register binds name to port and returns the binding version.
 func (c *Client) Register(name string, port xrep.PortName, timeout time.Duration) (int64, error) {
 	m, err := c.call(timeout, "register", name, port)
+	if err != nil {
+		return 0, err
+	}
+	if m.Command != OutcomeBound {
+		return 0, &Error{Outcome: m.Command}
+	}
+	return m.Int(0), nil
+}
+
+// RegisterKeyed binds name to port under a shared management key: any
+// later caller presenting the same key may rebind the name from any node.
+// A replica group registers its service name this way so the election
+// winner — a different guardian on a different node — can take it over.
+func (c *Client) RegisterKeyed(name string, port xrep.PortName, key string, timeout time.Duration) (int64, error) {
+	m, err := c.call(timeout, "register_keyed", name, port, key)
 	if err != nil {
 		return 0, err
 	}

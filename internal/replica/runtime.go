@@ -1,0 +1,1086 @@
+package replica
+
+import (
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/guardian"
+	"repro/internal/nameserv"
+	"repro/internal/vtime"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// role is a member's current standing in the group.
+type role int
+
+const (
+	roleFollower role = iota
+	roleCandidate
+	roleLeader
+)
+
+// shipBatchMax bounds the records per rep_append message; a lagging
+// follower catches up over several ticks rather than one huge frame.
+const shipBatchMax = 128
+
+// termLogCompactAfter bounds the term log's growth: each persist is a
+// full state snapshot, so anything but the last record is garbage.
+const termLogCompactAfter = 64
+
+// termLogName names the group's reserved (unreplicated) term log.
+func termLogName(group string) string { return "_replica-" + group }
+
+// waiter is one quorum-mode Sync blocked until the group holds seq of log.
+type waiter struct {
+	log string
+	seq uint64
+	ch  chan struct{}
+}
+
+// shipJob is one replicated batch waiting for the ship loop to transmit.
+type shipJob struct{ ch chan struct{} }
+
+// Runtime is a member's replication state machine. It is created with
+// the Store (so it exists before the world does) and attaches to the
+// replicator guardian when that guardian starts; the persisted term
+// state lives in the group's reserved term log and survives both.
+type Runtime struct {
+	st  *Store
+	cfg Config
+
+	termLog durable.Log
+	shipC   chan struct{}
+
+	mu        sync.Mutex
+	g         *guardian.Guardian
+	clock     vtime.Clock
+	hb        time.Duration
+	threshold int
+	nsReply   xrep.PortName
+
+	role     role
+	term     uint64
+	dataTerm uint64 // highest term this member shipped or applied records under
+	votedFor string
+	leader   string
+	appLog   string // the application guardian's log name, learned from Adopt or heartbeats
+	lastHB   time.Time
+	votes    map[string]bool
+	diverged bool
+
+	// Leader-only state. fence is closed on deposition or crash; every
+	// blocked replicate() select includes it, and the application
+	// guardian is killed BEFORE it closes, so a Sync released by the
+	// fence can never acknowledge its client (Process.send fails on a
+	// killed guardian).
+	fence     chan struct{}
+	acks      map[string]map[string]uint64 // member -> log -> durable seq
+	published map[string]uint64            // log -> highest seq handed to shipping
+	waiters   []*waiter
+	jobs      []*shipJob
+
+	appG       *guardian.Guardian
+	appPorts   []xrep.PortName
+	registered bool
+	purged     bool
+
+	stats Stats
+}
+
+// newRuntime builds the member's runtime, replaying persisted term state
+// from the wrapped store.
+func newRuntime(s *Store, cfg Config) (*Runtime, error) {
+	tl, err := s.inner.OpenLog(termLogName(cfg.Group))
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{st: s, cfg: cfg, termLog: tl, shipC: make(chan struct{}, 1)}
+	cp, recs, rerr := tl.Recover()
+	if rerr != nil && rerr != durable.ErrNoCheckpoint {
+		return nil, rerr
+	}
+	state := cp
+	if len(recs) > 0 {
+		state = recs[len(recs)-1].Data
+	}
+	if len(state) > 0 {
+		if v, err := wire.UnmarshalValue(state); err == nil {
+			if seq, ok := v.(xrep.Seq); ok && len(seq) >= 2 {
+				if t, ok := seq[0].(xrep.Int); ok {
+					rt.term = uint64(t)
+				}
+				if vf, ok := seq[1].(xrep.Str); ok {
+					rt.votedFor = string(vf)
+				}
+				if len(seq) >= 3 {
+					if al, ok := seq[2].(xrep.Str); ok {
+						rt.appLog = string(al)
+					}
+				}
+				if len(seq) >= 4 {
+					if dt, ok := seq[3].(xrep.Int); ok {
+						rt.dataTerm = uint64(dt)
+					}
+				}
+			}
+		}
+	}
+	return rt, nil
+}
+
+// persistLocked snapshots (term, votedFor, appLog, dataTerm) to the term
+// log. Called with rt.mu held.
+func (rt *Runtime) persistLocked() {
+	rec := xrep.Seq{xrep.Int(rt.term), xrep.Str(rt.votedFor), xrep.Str(rt.appLog), xrep.Int(rt.dataTerm)}
+	buf, err := wire.MarshalValue(rec)
+	if err != nil {
+		return
+	}
+	seq := rt.termLog.AppendSync(buf)
+	if rt.termLog.DurableLen() > termLogCompactAfter {
+		rt.termLog.Checkpoint(buf, seq)
+	}
+}
+
+// replicatorMain is the replicator guardian's Init and Recover process.
+func replicatorMain(ctx *guardian.Ctx) {
+	rs, ok := ctx.G.Node().Store().(*Store)
+	if !ok {
+		return // not a member node: inert
+	}
+	rt := rs.rt
+	rt.attach(ctx)
+	rt.receiveLoop(ctx)
+}
+
+// attach binds the runtime to its freshly started guardian: resolve
+// tuning, assume initial leadership (first boot of Members[0] only), and
+// start the ship loop.
+func (rt *Runtime) attach(ctx *guardian.Ctx) {
+	w := ctx.G.Node().World()
+	t := w.Tuning()
+	rt.mu.Lock()
+	rt.g = ctx.G
+	rt.clock = w.Clock()
+	rt.hb = rt.cfg.Heartbeat
+	if rt.hb <= 0 {
+		rt.hb = t.HeartbeatInterval
+	}
+	rt.threshold = rt.cfg.Threshold
+	if rt.threshold <= 0 {
+		rt.threshold = t.FailureThreshold
+	}
+	rt.lastHB = rt.clock.Now()
+	initial := rt.cfg.Self == rt.cfg.Members[0] && rt.term == 0
+	if initial {
+		rt.term = 1
+		rt.votedFor = rt.cfg.Self
+	}
+	rt.purged = false
+	rt.mu.Unlock()
+	if initial {
+		rt.becomeLeader(false)
+	} else {
+		rt.purgeZombieApp()
+	}
+	ctx.G.Spawn("ship", rt.shipLoop)
+}
+
+// purgeZombieApp destroys application guardians this member is not
+// serving: Node.Restart revives every guardian with a Recover process
+// from its in-memory meta, including an old primary's application
+// guardian — which must not take client traffic on a node that is no
+// longer leader (its writes would be local-only and its acks unbacked).
+// Called at attach and again on the first accepted heartbeat, because a
+// restart may instantiate the application after the replicator.
+func (rt *Runtime) purgeZombieApp() {
+	rt.mu.Lock()
+	g := rt.g
+	tracked := rt.appG
+	isLeader := rt.role == roleLeader
+	rt.mu.Unlock()
+	if g == nil || isLeader || rt.cfg.AppDef == "" {
+		return
+	}
+	node := g.Node()
+	for _, id := range node.Guardians() {
+		zg, ok := node.GuardianByID(id)
+		if !ok || zg == tracked {
+			continue
+		}
+		if zg.DefName() == rt.cfg.AppDef {
+			zg.SelfDestruct()
+		}
+	}
+}
+
+// adoptApp records the application guardian this (leader) member serves.
+func (rt *Runtime) adoptApp(g *guardian.Guardian, ports []xrep.PortName) {
+	rt.mu.Lock()
+	rt.appG = g
+	rt.appPorts = append([]xrep.PortName(nil), ports...)
+	rt.registered = false
+	if rt.appLog != g.LogName() {
+		rt.appLog = g.LogName()
+		rt.persistLocked()
+	}
+	if l, err := rt.st.innerLog(rt.appLog); err == nil {
+		if rt.published == nil {
+			rt.published = make(map[string]uint64)
+		}
+		if s := l.LastDurableSeq(); s > rt.published[rt.appLog] {
+			rt.published[rt.appLog] = s
+		}
+	}
+	rt.mu.Unlock()
+	rt.pokeShip()
+}
+
+// pokeShip nudges the ship loop without waiting for its timer.
+func (rt *Runtime) pokeShip() {
+	select {
+	case rt.shipC <- struct{}{}:
+	default:
+	}
+}
+
+// replicate is the durability boundary: called by repLog.Sync after the
+// batch is locally durable. On followers and unattached members it is a
+// no-op (their writes are the apply path or pre-bootstrap setup). On the
+// leader it publishes the batch to the ship loop and, in quorum mode,
+// blocks until a majority holds it — or the fence closes.
+func (rt *Runtime) replicate(log string, recs []durable.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	rt.mu.Lock()
+	if rt.role != roleLeader || rt.g == nil {
+		rt.mu.Unlock()
+		return
+	}
+	mode := rt.cfg.Mode
+	hooks := rt.cfg.Hooks
+	fence := rt.fence
+	top := recs[len(recs)-1].Seq
+	if rt.dataTerm != rt.term {
+		rt.dataTerm = rt.term
+		rt.persistLocked()
+	}
+	rt.mu.Unlock()
+
+	if hooks.BeforeShip != nil {
+		hooks.BeforeShip(log)
+	}
+
+	job := &shipJob{ch: make(chan struct{})}
+	rt.mu.Lock()
+	if rt.published == nil {
+		rt.published = make(map[string]uint64)
+	}
+	if top > rt.published[log] {
+		rt.published[log] = top
+	}
+	rt.jobs = append(rt.jobs, job)
+	rt.stats.ShippedBatches++
+	rt.stats.ShippedRecords += int64(len(recs))
+	rt.mu.Unlock()
+	rt.pokeShip()
+
+	select {
+	case <-job.ch:
+	case <-fence:
+		return
+	}
+	if hooks.AfterShip != nil {
+		hooks.AfterShip(log)
+	}
+	if mode != ModeQuorum {
+		return
+	}
+
+	rt.mu.Lock()
+	if rt.fence != fence {
+		rt.mu.Unlock()
+		return
+	}
+	if rt.quorumForLocked(log, top) {
+		rt.mu.Unlock()
+	} else {
+		w := &waiter{log: log, seq: top, ch: make(chan struct{})}
+		rt.waiters = append(rt.waiters, w)
+		rt.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-fence:
+			return
+		}
+	}
+	if hooks.AfterQuorum != nil {
+		hooks.AfterQuorum(log)
+	}
+}
+
+// noteCheckpoint wakes the ship loop so followers learn about a
+// compaction promptly (the checkpoint itself is re-read from the log).
+func (rt *Runtime) noteCheckpoint(string, []byte, uint64) { rt.pokeShip() }
+
+// quorumForLocked reports whether a majority of the group (counting this
+// leader) durably holds log up to seq. Called with rt.mu held.
+func (rt *Runtime) quorumForLocked(log string, seq uint64) bool {
+	count := 1 // the leader's own durable copy
+	for _, mem := range rt.cfg.Members {
+		if mem == rt.cfg.Self {
+			continue
+		}
+		if am, ok := rt.acks[mem]; ok && am[log] >= seq {
+			count++
+		}
+	}
+	return count >= rt.cfg.quorum()
+}
+
+// quorumHeldAllLocked reports whether everything published is quorum-held
+// — the deposition check: false means acknowledged-or-in-flight records
+// may exist that the new leader never saw. Called with rt.mu held.
+func (rt *Runtime) quorumHeldAllLocked() bool {
+	for log, p := range rt.published {
+		if p > 0 && !rt.quorumForLocked(log, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// becomeLeader assumes leadership at the current term. viaElection
+// distinguishes a won election (take over the application guardian) from
+// first-boot primacy (the caller bootstraps the application itself and
+// hands it over with Store.Adopt).
+func (rt *Runtime) becomeLeader(viaElection bool) {
+	rt.mu.Lock()
+	if rt.role == roleLeader {
+		rt.mu.Unlock()
+		return
+	}
+	rt.role = roleLeader
+	rt.leader = rt.cfg.Self
+	rt.votes = nil
+	rt.fence = make(chan struct{})
+	rt.acks = make(map[string]map[string]uint64)
+	rt.published = make(map[string]uint64)
+	for _, name := range rt.st.shippable() {
+		if l, err := rt.st.innerLog(name); err == nil {
+			rt.published[name] = l.LastDurableSeq()
+		}
+	}
+	rt.waiters = nil
+	rt.registered = false
+	rt.persistLocked()
+	needTakeover := viaElection && rt.cfg.AppDef != "" && rt.appG == nil
+	appLog := rt.appLog
+	rt.mu.Unlock()
+	if needTakeover {
+		rt.takeover(appLog)
+	}
+	rt.pokeShip()
+}
+
+// takeover re-creates the application guardian from the replicated log.
+func (rt *Runtime) takeover(appLog string) {
+	rt.mu.Lock()
+	g := rt.g
+	rt.mu.Unlock()
+	if g == nil {
+		return
+	}
+	node := g.Node()
+	if appLog == "" {
+		// Never heard a log name from the old primary: look for a shipped
+		// log of the definition's, else start the group's log fresh.
+		prefix := rt.cfg.AppDef + "-"
+		for _, n := range rt.st.shippable() {
+			if strings.HasPrefix(n, prefix) {
+				appLog = n
+				break
+			}
+		}
+		if appLog == "" {
+			appLog = rt.cfg.AppDef + "-" + rt.cfg.Group
+		}
+	}
+	c, err := node.Takeover(rt.cfg.AppDef, appLog, rt.cfg.AppArgs...)
+	if err != nil {
+		return
+	}
+	ng, ok := node.GuardianByID(c.GuardianID)
+	if !ok {
+		return
+	}
+	rt.mu.Lock()
+	rt.appG = ng
+	rt.appPorts = append([]xrep.PortName(nil), c.Ports...)
+	rt.registered = false
+	rt.stats.Takeovers++
+	if rt.appLog != appLog {
+		rt.appLog = appLog
+		rt.persistLocked()
+	}
+	rt.mu.Unlock()
+}
+
+// stepDownLocked adopts a higher term, deposing this member if it led.
+// Called with rt.mu held; the caller MUST SelfDestruct the returned
+// application guardian BEFORE closing the returned fence — that order is
+// what guarantees a fence-released Sync cannot acknowledge its client.
+func (rt *Runtime) stepDownLocked(newTerm uint64) (appG *guardian.Guardian, fence chan struct{}) {
+	wasLeader := rt.role == roleLeader
+	rt.term = newTerm
+	rt.votedFor = ""
+	rt.role = roleFollower
+	rt.votes = nil
+	rt.leader = ""
+	if wasLeader {
+		if !rt.quorumHeldAllLocked() {
+			// Locally durable records the group may not hold: this
+			// member's log has forked from the new leader's. It must
+			// never lead again (DESIGN §12).
+			rt.diverged = true
+		}
+		appG = rt.appG
+		rt.appG = nil
+		rt.appPorts = nil
+		fence = rt.fence
+		rt.fence = nil
+		rt.registered = false
+		rt.waiters = nil
+	}
+	rt.lastHB = rt.clock.Now()
+	rt.persistLocked()
+	return appG, fence
+}
+
+// observe processes an incoming message's term. It returns true when the
+// message is stale (lower term) and must be rejected; otherwise it has
+// adopted any higher term (deposing a stale self) and, when the message
+// names the current leader, refreshed the heartbeat clock.
+func (rt *Runtime) observe(term uint64, leader, appLog string) (stale bool) {
+	rt.mu.Lock()
+	if term < rt.term {
+		rt.stats.FencedStale++
+		rt.mu.Unlock()
+		return true
+	}
+	var appG *guardian.Guardian
+	var fence chan struct{}
+	if term > rt.term {
+		appG, fence = rt.stepDownLocked(term)
+	}
+	if leader != "" && leader != rt.cfg.Self {
+		rt.leader = leader
+		rt.lastHB = rt.clock.Now()
+		if rt.role == roleCandidate {
+			rt.role = roleFollower
+			rt.votes = nil
+		}
+		if appLog != "" && rt.appLog != appLog {
+			rt.appLog = appLog
+			rt.persistLocked()
+		}
+	}
+	rt.mu.Unlock()
+	if appG != nil {
+		appG.SelfDestruct()
+	}
+	if fence != nil {
+		close(fence)
+	}
+	return false
+}
+
+// bounce tells a stale sender what the current term is — the deposition
+// signal an old primary cut off by a partition eventually receives.
+func (rt *Runtime) bounce(pr *guardian.Process, to string) {
+	rt.mu.Lock()
+	term, leader, appLog := rt.term, rt.leader, rt.appLog
+	rt.mu.Unlock()
+	_ = pr.Send(PortAt(to), "rep_heartbeat", rt.cfg.Group, int64(term), leader, appLog)
+}
+
+// reset returns the runtime to a blank follower: the node crashed (store
+// Crash) or the world is closing. Persisted term state survives; the
+// fence is closed so any Sync blocked in replicate returns (its guardian
+// is already dead, so no acknowledgement escapes).
+func (rt *Runtime) reset() {
+	rt.mu.Lock()
+	fence := rt.fence
+	rt.fence = nil
+	rt.role = roleFollower
+	rt.leader = ""
+	rt.votes = nil
+	rt.appG = nil
+	rt.appPorts = nil
+	rt.registered = false
+	rt.acks = nil
+	rt.published = nil
+	rt.waiters = nil
+	rt.jobs = nil
+	if rt.clock != nil {
+		rt.lastHB = rt.clock.Now()
+	}
+	rt.g = nil
+	rt.mu.Unlock()
+	if fence != nil {
+		close(fence)
+	}
+}
+
+// --- ship loop -------------------------------------------------------
+
+// shipLoop is the replicator's clocked process: it transmits pending
+// batches and heartbeats while leader, and watches for leader silence
+// while follower.
+func (rt *Runtime) shipLoop(pr *guardian.Process) {
+	for {
+		rt.mu.Lock()
+		hb := rt.hb
+		rt.mu.Unlock()
+		t := rt.clock.NewTimer(hb)
+		select {
+		case <-pr.Killed():
+			t.Stop()
+			return
+		case <-rt.shipC:
+			t.Stop()
+		case <-t.C():
+		}
+		rt.tick(pr)
+	}
+}
+
+// electionJitterLocked spreads member timeouts so two followers rarely
+// stand in the same instant; deterministic in (self, term) so a DST
+// schedule replays identically. Called with rt.mu held.
+//
+// The range matters: under a simulated clock every member's tick timer
+// fires at the SAME virtual instants, so election timing quantizes to
+// whole ticks — a jitter smaller than one heartbeat is absorbed entirely
+// by that quantization and two candidates that once collided collide in
+// every later term (a livelock the DST harness found). Spanning
+// threshold+2 heartbeats gives the jitter that many distinct tick
+// buckets, and a fresh (self, term) draw each round, so a split vote
+// almost surely separates within a couple of terms.
+func (rt *Runtime) electionJitterLocked() time.Duration {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(rt.cfg.Self))
+	var b [8]byte
+	for i, t := 0, rt.term; i < 8; i, t = i+1, t>>8 {
+		b[i] = byte(t)
+	}
+	_, _ = h.Write(b[:])
+	span := rt.hb * time.Duration(rt.threshold+2)
+	return time.Duration(h.Sum64() % uint64(span))
+}
+
+// tick is one beat: leader shipping or follower failure detection, then
+// release of batches published since the last beat.
+func (rt *Runtime) tick(pr *guardian.Process) {
+	now := rt.clock.Now()
+	rt.mu.Lock()
+	r := rt.role
+	term := rt.term
+	jobs := rt.jobs
+	rt.jobs = nil
+	timeout := rt.hb*time.Duration(rt.threshold+1) + rt.electionJitterLocked()
+	electDue := r != roleLeader && !rt.diverged && now.Sub(rt.lastHB) > timeout
+	rt.mu.Unlock()
+
+	if r == roleLeader {
+		rt.leaderTick(pr, term)
+	} else if electDue {
+		rt.startElection(pr)
+	}
+	for _, j := range jobs {
+		close(j.ch)
+	}
+}
+
+// leaderTick heartbeats the group, ships every follower the suffix (or
+// checkpoint) it lacks, and keeps the service name bound.
+func (rt *Runtime) leaderTick(pr *guardian.Process, term uint64) {
+	rt.mu.Lock()
+	self := rt.cfg.Self
+	appLog := rt.appLog
+	published := make(map[string]uint64, len(rt.published))
+	for k, v := range rt.published {
+		published[k] = v
+	}
+	acks := make(map[string]map[string]uint64, len(rt.acks))
+	for mem, am := range rt.acks {
+		cp := make(map[string]uint64, len(am))
+		for k, v := range am {
+			cp[k] = v
+		}
+		acks[mem] = cp
+	}
+	needReg := rt.cfg.Service != "" && !rt.registered &&
+		rt.cfg.ServicePort < len(rt.appPorts)
+	var svcPort xrep.PortName
+	if needReg {
+		svcPort = rt.appPorts[rt.cfg.ServicePort]
+	}
+	nsReply := rt.nsReply
+	rt.mu.Unlock()
+
+	for _, mem := range rt.cfg.Members {
+		if mem != self {
+			_ = pr.Send(PortAt(mem), "rep_heartbeat", rt.cfg.Group, int64(term), self, appLog)
+		}
+	}
+
+	for name, p := range published {
+		l, err := rt.st.innerLog(name)
+		if err != nil {
+			continue
+		}
+		cp, recs, rerr := l.Recover()
+		if rerr != nil && rerr != durable.ErrNoCheckpoint {
+			continue
+		}
+		cpAt := l.LastDurableSeq()
+		if len(recs) > 0 {
+			cpAt = recs[0].Seq - 1
+		}
+		for _, mem := range rt.cfg.Members {
+			if mem == self {
+				continue
+			}
+			am, known := acks[mem]
+			if !known {
+				continue // no ack heard yet: its position is unknown
+			}
+			a := am[name]
+			if a >= p {
+				continue
+			}
+			if a < cpAt {
+				// The follower is behind the compaction horizon: records
+				// it needs no longer exist, ship the checkpoint instead.
+				if rerr == nil {
+					_ = pr.Send(PortAt(mem), "rep_checkpoint", rt.cfg.Group,
+						int64(term), name, xrep.Bytes(cp), int64(cpAt))
+					rt.mu.Lock()
+					rt.stats.CheckpointsShipped++
+					rt.mu.Unlock()
+				}
+				continue
+			}
+			batch := make(xrep.Seq, 0, shipBatchMax)
+			for _, rec := range recs {
+				if rec.Seq <= a || rec.Seq > p {
+					continue
+				}
+				batch = append(batch, xrep.Seq{xrep.Int(rec.Seq), xrep.Bytes(rec.Data)})
+				if len(batch) == shipBatchMax {
+					break
+				}
+			}
+			if len(batch) > 0 {
+				_ = pr.Send(PortAt(mem), "rep_append", rt.cfg.Group, int64(term), name, batch)
+			}
+		}
+	}
+
+	if needReg {
+		_ = pr.SendReplyTo(rt.cfg.NS, nsReply, "register_keyed",
+			rt.cfg.Service, svcPort, rt.cfg.Group)
+	}
+}
+
+// lastSeqLocked sums durable positions over the application logs — the
+// completeness measure elections compare. Called with rt.mu held.
+func (rt *Runtime) lastSeqLocked() uint64 {
+	var total uint64
+	for _, name := range rt.st.shippable() {
+		if l, err := rt.st.innerLog(name); err == nil {
+			total += l.LastDurableSeq()
+		}
+	}
+	return total
+}
+
+// startElection stands for leadership of the next term.
+func (rt *Runtime) startElection(pr *guardian.Process) {
+	rt.mu.Lock()
+	if rt.role == roleLeader || rt.diverged {
+		rt.mu.Unlock()
+		return
+	}
+	rt.term++
+	rt.role = roleCandidate
+	rt.votedFor = rt.cfg.Self
+	rt.votes = map[string]bool{rt.cfg.Self: true}
+	rt.leader = ""
+	rt.lastHB = rt.clock.Now()
+	rt.stats.Elections++
+	rt.persistLocked()
+	term := rt.term
+	lastTerm := rt.dataTerm
+	lastSeq := rt.lastSeqLocked()
+	rt.mu.Unlock()
+
+	if rt.cfg.quorum() == 1 {
+		rt.becomeLeader(true)
+		return
+	}
+	for _, mem := range rt.cfg.Members {
+		if mem != rt.cfg.Self {
+			_ = pr.Send(PortAt(mem), "rep_vote_req", rt.cfg.Group,
+				int64(term), int64(lastTerm), int64(lastSeq), rt.cfg.Self)
+		}
+	}
+}
+
+// --- receive loop ----------------------------------------------------
+
+// receiveLoop handles the replication stream, the election protocol, and
+// name-service replies until the guardian dies.
+func (rt *Runtime) receiveLoop(ctx *guardian.Ctx) {
+	nsReply, err := ctx.G.NewPort(nameserv.ClientReplyType, 16)
+	if err != nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.nsReply = nsReply.Name()
+	rt.mu.Unlock()
+	group := rt.cfg.Group
+	mine := func(m *guardian.Message) bool { return m.Str(0) == group }
+	nop := func(*guardian.Process, *guardian.Message) {}
+
+	guardian.NewReceiver(ctx.Ports[0], nsReply).
+		When("rep_append", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onAppend(pr, m)
+		}).
+		When("rep_checkpoint", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onCheckpoint(pr, m)
+		}).
+		When("rep_ack", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onAck(pr, m)
+		}).
+		When("rep_heartbeat", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onHeartbeat(pr, m)
+		}).
+		When("rep_vote_req", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onVoteReq(pr, m)
+		}).
+		When("rep_vote", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onVote(pr, m)
+		}).
+		When("rep_whois", func(pr *guardian.Process, m *guardian.Message) {
+			if m.ReplyTo.IsZero() {
+				return
+			}
+			rt.mu.Lock()
+			leader, term := rt.leader, rt.term
+			ready := rt.role == roleLeader && rt.appG != nil && rt.appG.Alive()
+			rt.mu.Unlock()
+			_ = pr.Send(m.ReplyTo, "rep_leader", leader, int64(term), ready)
+		}).
+		When(nameserv.OutcomeBound, func(_ *guardian.Process, _ *guardian.Message) {
+			rt.mu.Lock()
+			rt.registered = true
+			rt.mu.Unlock()
+		}).
+		When(nameserv.OutcomeNotBound, nop).
+		When(nameserv.OutcomeDropped, nop). // name service busy: re-register next tick
+		When(nameserv.OutcomeDenied, nop).  // foreign owner holds the name; retrying is harmless
+		When("binding", nop).
+		When("bindings", nop).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// §3.4 failure arm: a send to a crashed member bounced (their
+			// primordial guardian reported the dead port). The failure
+			// detector here is heartbeat silence, not bounces: nothing to do.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// onAppend is the follower apply path: records go in primary order or
+// not at all, one Sync per message, then the durable position is acked.
+func (rt *Runtime) onAppend(pr *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	if rt.observe(term, m.SrcNode, "") {
+		rt.bounce(pr, m.SrcNode)
+		return
+	}
+	name := m.Str(2)
+	recs, ok := m.Args[3].(xrep.Seq)
+	if !ok {
+		return
+	}
+	l, err := rt.st.innerLog(name)
+	if err != nil {
+		return
+	}
+	last := l.LastDurableSeq()
+	applied := int64(0)
+	for _, rv := range recs {
+		pair, ok := rv.(xrep.Seq)
+		if !ok || len(pair) != 2 {
+			break
+		}
+		seqV, ok := pair[0].(xrep.Int)
+		if !ok {
+			break
+		}
+		data, ok := pair[1].(xrep.Bytes)
+		if !ok {
+			break
+		}
+		seq := uint64(seqV)
+		if seq <= last {
+			continue // duplicate of an already-durable record
+		}
+		if seq != last+1 {
+			break // gap: stop, the ack tells the leader where to resume
+		}
+		l.Append([]byte(data))
+		last++
+		applied++
+	}
+	if applied > 0 {
+		l.Sync()
+		rt.mu.Lock()
+		rt.stats.AppliedRecords += applied
+		if rt.dataTerm != term {
+			rt.dataTerm = term
+			rt.persistLocked()
+		}
+		rt.mu.Unlock()
+	}
+	_ = pr.Send(PortAt(m.SrcNode), "rep_ack", rt.cfg.Group,
+		int64(term), name, int64(l.LastDurableSeq()))
+}
+
+// onCheckpoint installs a catch-up checkpoint on a lagging follower.
+func (rt *Runtime) onCheckpoint(pr *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	if rt.observe(term, m.SrcNode, "") {
+		rt.bounce(pr, m.SrcNode)
+		return
+	}
+	name := m.Str(2)
+	state, ok := m.Args[3].(xrep.Bytes)
+	if !ok {
+		return
+	}
+	upTo := uint64(m.Int(4))
+	l, err := rt.st.innerLog(name)
+	if err != nil {
+		return
+	}
+	if upTo > l.LastDurableSeq() {
+		l.Checkpoint([]byte(state), upTo)
+		durable.SkipTo(l, upTo)
+		rt.mu.Lock()
+		if rt.dataTerm != term {
+			rt.dataTerm = term
+			rt.persistLocked()
+		}
+		rt.mu.Unlock()
+	}
+	_ = pr.Send(PortAt(m.SrcNode), "rep_ack", rt.cfg.Group,
+		int64(term), name, int64(l.LastDurableSeq()))
+}
+
+// onAck advances a follower's durable watermark and releases any Sync
+// whose batch just reached quorum.
+func (rt *Runtime) onAck(_ *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	name := m.Str(2)
+	seq := uint64(m.Int(3))
+	var release []*waiter
+	rt.mu.Lock()
+	if term != rt.term || rt.role != roleLeader {
+		if term < rt.term {
+			rt.stats.FencedStale++
+		}
+		rt.mu.Unlock()
+		return
+	}
+	am := rt.acks[m.SrcNode]
+	if am == nil {
+		am = make(map[string]uint64)
+		rt.acks[m.SrcNode] = am
+	}
+	if seq > am[name] {
+		am[name] = seq
+	}
+	keep := rt.waiters[:0]
+	for _, w := range rt.waiters {
+		if w.log == name && rt.quorumForLocked(name, w.seq) {
+			release = append(release, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	rt.waiters = keep
+	rt.mu.Unlock()
+	for _, w := range release {
+		close(w.ch)
+	}
+}
+
+// onHeartbeat refreshes the failure detector and acks this member's
+// durable positions so the leader knows where to resume shipping.
+func (rt *Runtime) onHeartbeat(pr *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	leader := m.Str(2)
+	appLog := m.Str(3)
+	if rt.observe(term, leader, appLog) {
+		rt.bounce(pr, m.SrcNode)
+		return
+	}
+	if leader == rt.cfg.Self {
+		return
+	}
+	rt.mu.Lock()
+	needPurge := !rt.purged
+	rt.purged = true
+	rt.mu.Unlock()
+	if needPurge {
+		rt.purgeZombieApp()
+	}
+	// Ack every local application log AND the leader's announced log —
+	// a fresh follower has no logs at all, and without this first ack at
+	// seq 0 the leader would never learn where to start shipping.
+	names := rt.st.shippable()
+	if appLog != "" && !reservedLog(appLog) {
+		seen := false
+		for _, n := range names {
+			if n == appLog {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			names = append(names, appLog)
+		}
+	}
+	for _, name := range names {
+		l, err := rt.st.innerLog(name)
+		if err != nil {
+			continue
+		}
+		_ = pr.Send(PortAt(leader), "rep_ack", rt.cfg.Group,
+			int64(term), name, int64(l.LastDurableSeq()))
+	}
+}
+
+// onVoteReq grants at most one vote per term, and only to a candidate
+// whose log is at least as complete as this member's.
+func (rt *Runtime) onVoteReq(pr *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	lastTerm := uint64(m.Int(2))
+	lastSeq := uint64(m.Int(3))
+	cand := m.Str(4)
+	if rt.observe(term, "", "") {
+		rt.bounce(pr, m.SrcNode)
+		return
+	}
+	rt.mu.Lock()
+	grant := false
+	if term == rt.term && rt.role != roleLeader &&
+		(rt.votedFor == "" || rt.votedFor == cand) {
+		myTerm, mySeq := rt.dataTerm, rt.lastSeqLocked()
+		if lastTerm > myTerm || (lastTerm == myTerm && lastSeq >= mySeq) {
+			grant = true
+			rt.votedFor = cand
+			rt.lastHB = rt.clock.Now() // defer own candidacy to the grantee
+			rt.persistLocked()
+		}
+	}
+	cur := rt.term
+	rt.mu.Unlock()
+	_ = pr.Send(PortAt(m.SrcNode), "rep_vote", rt.cfg.Group,
+		int64(cur), grant, rt.cfg.Self)
+}
+
+// onVote tallies; a majority (counting self) wins the term.
+func (rt *Runtime) onVote(_ *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	granted := m.Bool(2)
+	voter := m.Str(3)
+	if rt.observe(term, "", "") {
+		return
+	}
+	win := false
+	rt.mu.Lock()
+	if granted && term == rt.term && rt.role == roleCandidate {
+		if rt.votes == nil {
+			rt.votes = make(map[string]bool)
+		}
+		rt.votes[voter] = true
+		win = len(rt.votes) >= rt.cfg.quorum()
+	}
+	rt.mu.Unlock()
+	if win {
+		rt.becomeLeader(true)
+	}
+}
+
+// --- accessors -------------------------------------------------------
+
+// leaderInfo reports (leader, term, isSelf).
+func (rt *Runtime) leaderInfo() (string, uint64, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.leader, rt.term, rt.role == roleLeader
+}
+
+// appGuardian returns the locally served application guardian.
+func (rt *Runtime) appGuardian() *guardian.Guardian {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.appG
+}
+
+// appPortNames returns the served application guardian's ports.
+func (rt *Runtime) appPortNames() []xrep.PortName {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]xrep.PortName(nil), rt.appPorts...)
+}
+
+// statsSnapshot copies the counters.
+func (rt *Runtime) statsSnapshot() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// isDiverged reports the permanent no-candidacy flag.
+func (rt *Runtime) isDiverged() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.diverged
+}

@@ -134,8 +134,15 @@ type CallOptions struct {
 	// re-send doubles it, capped at BackoffCap. Zero keeps the historical
 	// behavior: immediate blind re-send.
 	Backoff time.Duration
-	// BackoffCap bounds the grown backoff. Zero means 32×Backoff.
+	// BackoffCap bounds the grown backoff. Zero means the world Tuning's
+	// BackoffCap, or 32×Backoff when that too is zero.
 	BackoffCap time.Duration
+	// Resolve, when non-nil, is consulted before every retry (not the
+	// first attempt): it re-resolves the destination so a call that is
+	// retrying against a dead primary picks up a re-bound nameserver
+	// entry instead of hammering the cached address forever. Returning
+	// ok=false keeps the previous destination.
+	Resolve func() (to xrep.PortName, ok bool)
 }
 
 // backoffFor returns the delay to insert after failed attempt number
@@ -214,10 +221,18 @@ func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, 
 	defer pr.Guardian().RemovePort(reply)
 
 	clock := pr.Guardian().Node().World().Clock()
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = pr.Guardian().Node().World().Tuning().BackoffCap
+	}
 	begin := clock.Now()
 	attempts := opts.Retries + 1
 	timings := make([]CallTiming, 0, attempts)
 	for i := 0; i < attempts; i++ {
+		if i > 0 && opts.Resolve != nil {
+			if fresh, ok := opts.Resolve(); ok {
+				to = fresh
+			}
+		}
 		attemptStart := clock.Now()
 		if err := pr.SendReplyTo(to, reply.Name(), command, args...); err != nil {
 			return nil, err
@@ -226,6 +241,21 @@ func Call(pr *guardian.Process, to xrep.PortName, replyType *guardian.PortType, 
 		switch st {
 		case guardian.RecvOK:
 			if m.IsFailure() {
+				// With a resolver, a failure report (dead guardian or
+				// port at the cached address) is grounds to re-resolve
+				// and retry, not to give up: the binding may have moved.
+				if opts.Resolve != nil && i < attempts-1 {
+					t := CallTiming{
+						Start:   attemptStart.Sub(begin),
+						Wait:    clock.Now().Sub(attemptStart),
+						Backoff: opts.backoffFor(i),
+					}
+					if t.Backoff > 0 && !pr.Pause(t.Backoff) {
+						return nil, guardian.ErrKilled
+					}
+					timings = append(timings, t)
+					continue
+				}
 				return nil, fmt.Errorf("%w: %s", ErrCallFailed, m.FailureText())
 			}
 			return m, nil

@@ -81,13 +81,21 @@ func (d *Disk) LogNames() []string {
 }
 
 // Crash simulates the node failing: every log's volatile tail is lost;
-// durable records and checkpoints survive.
+// durable records and checkpoints survive. The next sequence number falls
+// back to the last durable one, exactly as a real log reopened after a
+// crash would continue from its durable tail — replication peers depend on
+// the two sides agreeing about sequence numbering after a crash.
 func (d *Disk) Crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, l := range d.logs {
 		l.mu.Lock()
 		l.volatileRecs = nil
+		if n := len(l.durableRecs); n > 0 {
+			l.nextSeq = l.durableRecs[n-1].Seq
+		} else {
+			l.nextSeq = l.checkpointAt
+		}
 		l.mu.Unlock()
 	}
 }
@@ -235,6 +243,18 @@ func (l *Log) VolatileLen() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.volatileRecs)
+}
+
+// SkipTo raises the log's sequence counter so the next Append returns
+// seq+1, without writing anything. It never lowers the counter. A replica
+// that installs a checkpoint at watermark W calls SkipTo(W) so records
+// applied after it continue the primary's numbering.
+func (l *Log) SkipTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.nextSeq {
+		l.nextSeq = seq
+	}
 }
 
 // LastDurableSeq returns the highest durable sequence number, counting the

@@ -66,6 +66,10 @@ type state struct {
 //	interval_ms Int — probe period
 //	threshold   Int — consecutive missed pongs before a node is down
 //
+// Without creation arguments both knobs come from the world's Tuning
+// (guardian.Config.Tuning), so a simulation can shrink every detector in
+// the system deterministically from one place.
+//
 // The watchdog keeps no durable state: after a crash the owner re-creates
 // it and watches are re-established (a failure detector's memory is only
 // as good as its last probe anyway).
@@ -78,9 +82,10 @@ func Def() *guardian.GuardianDef {
 }
 
 func watchdogMain(ctx *guardian.Ctx) {
+	tuning := ctx.G.Node().World().Tuning()
 	st := &state{
-		interval:  100 * time.Millisecond,
-		threshold: 2,
+		interval:  tuning.HeartbeatInterval,
+		threshold: tuning.FailureThreshold,
 		watched:   make(map[string]*nodeHealth),
 	}
 	if len(ctx.Args) == 2 {

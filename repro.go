@@ -29,6 +29,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/guardian"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 	"repro/internal/sendprim"
 	"repro/internal/transport"
 	"repro/internal/vtime"
@@ -159,6 +160,17 @@ type (
 	// AMOHealth tracks watchdog liveness events as a circuit breaker.
 	AMOHealth = amo.Health
 
+	// ReplicaStore replicates a durable Store across a member group (§12).
+	ReplicaStore = replica.Store
+	// ReplicaConfig names the group, its members, and the ack mode.
+	ReplicaConfig = replica.Config
+	// ReplicaMode selects quorum-gated or asynchronous replication acks.
+	ReplicaMode = replica.Mode
+	// ReplicaStats counts shipped/applied records, elections, takeovers.
+	ReplicaStats = replica.Stats
+	// ReplicaHooks expose the replication windows to fault injection.
+	ReplicaHooks = replica.Hooks
+
 	// DSTOptions configures one deterministic simulation run.
 	DSTOptions = dst.Options
 	// DSTProfile is a named fault-injection profile.
@@ -213,6 +225,8 @@ var (
 	OpenWAL = durable.OpenWAL
 	// NewSimStore adapts a simulated disk to the Store seam.
 	NewSimStore = durable.NewSim
+	// NewSimDiskStore builds the default simulated Store on a clock.
+	NewSimDiskStore = durable.NewSimDisk
 	// WrapStore composes a seeded storage-fault model around any Store.
 	WrapStore = durable.Wrap
 	// NewUDPTransport creates a real-socket transport for a world.
@@ -227,6 +241,12 @@ var (
 	NewSimClock = vtime.NewSim
 	// NewRingTracer creates a bounded event tracer.
 	NewRingTracer = guardian.NewRingTracer
+	// NewReplicaStore wraps a durable Store in primary/backup replication.
+	NewReplicaStore = replica.NewStore
+	// ReplicaDef is the replicator guardian every member bootstraps first.
+	ReplicaDef = replica.Def
+	// ReplicaPortAt names a member's replicator control port a priori.
+	ReplicaPortAt = replica.PortAt
 	// DSTRun executes one seeded simulation and checks its invariants.
 	DSTRun = dst.Run
 	// DSTSchedule derives the fault schedule a seed will execute.
@@ -257,6 +277,12 @@ const (
 	DSTBugDisableDedup = dst.BugDisableDedup
 	// AnyKind is the wildcard argument kind in message specs.
 	AnyKind = guardian.AnyKind
+	// ReplicaModeQuorum gates each ack on majority durability.
+	ReplicaModeQuorum = replica.ModeQuorum
+	// ReplicaModeAsync ships replication behind local acks.
+	ReplicaModeAsync = replica.ModeAsync
+	// ReplicaDefName is the replicator guardian every member bootstraps.
+	ReplicaDefName = replica.DefName
 )
 
 // Value kinds for port type declarations.
