@@ -155,6 +155,16 @@ func Def() *guardian.GuardianDef {
 		// bind is the shared rebind path. key is the capability the caller
 		// presented ("" for plain register): a binding holding a key may be
 		// rebound by anyone presenting the same key, from any node.
+		//
+		// The key is a BEARER SECRET carried in cleartext, and the first
+		// registrant sets it: any principal that knows — or guesses — the
+		// key can pre-claim or rebind the name from any node. This is
+		// deliberately weaker than the sealed capability Tokens used
+		// elsewhere: it is what lets a replica group's elected leader,
+		// a different principal on a different node each term, reclaim
+		// the service name. Callers must treat the key like a minted
+		// token (unguessable, never a predictable name) on any cluster
+		// that is not fully trusted; see replica.Config.Group.
 		bind := func(pr *guardian.Process, m *guardian.Message, name string, port xrep.PortName, key string) {
 			st.mu.Lock()
 			b, exists := st.bindings[name]

@@ -326,9 +326,9 @@ func TestStaleTermIsFenced(t *testing.T) {
 	st := h.stores[leader]
 	before := st.ReplStats().FencedStale
 	seqBefore := bankSeq(st)
-	rec := xrep.Seq{xrep.Seq{xrep.Int(int64(seqBefore + 1)), xrep.Bytes([]byte("forged"))}}
+	rec := xrep.Seq{xrep.Seq{xrep.Int(int64(seqBefore + 1)), xrep.Int(1), xrep.Bytes([]byte("forged"))}}
 	if err := h.cliPr.Send(replica.PortAt(leader), "rep_append",
-		"g1", int64(1), bankLogName(st), rec); err != nil {
+		"g1", int64(1), bankLogName(st), int64(1), rec); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, "the stale append to be fenced", func() bool {

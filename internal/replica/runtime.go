@@ -64,22 +64,50 @@ type Runtime struct {
 
 	role     role
 	term     uint64
-	dataTerm uint64 // highest term this member shipped or applied records under
+	dataTerm uint64 // highest origin term among records this member holds
 	votedFor string
 	leader   string
 	appLog   string // the application guardian's log name, learned from Adopt or heartbeats
 	lastHB   time.Time
 	votes    map[string]bool
-	diverged bool
+
+	// diverged is the persisted quarantine fence: this member may hold
+	// records the group never committed, so it must not stand for
+	// election and its acks must not count toward quorum. risk is the
+	// persisted early warning that sets it: "I led my current term and
+	// made records locally durable whose group fate is unknown" —
+	// written BEFORE the batch becomes durable, so a primary killed in
+	// any replication window restarts quarantined rather than eligible.
+	// unverified lists the logs whose content has not yet been proven to
+	// derive from the current leader; when it empties, the member heals.
+	diverged   bool
+	risk       bool
+	unverified map[string]bool
+
+	// frontier maps each replicated log to its term attribution: spans
+	// of (origin term, first seq), ascending by seq. It is the compact
+	// persisted form of a per-record term stamp, and what makes the
+	// log-matching check possible without changing the WAL record
+	// format.
+	frontier map[string][]span
 
 	// Leader-only state. fence is closed on deposition or crash; every
 	// blocked replicate() select includes it, and the application
 	// guardian is killed BEFORE it closes, so a Sync released by the
 	// fence can never acknowledge its client (Process.send fails on a
-	// killed guardian).
+	// killed guardian). suspect marks members that reported themselves
+	// quarantined; forked marks (member, log) pairs caught acking past
+	// the leader's own tail. Either way the member's positions never
+	// count toward quorum. The two are cleared on different evidence —
+	// suspect by the member's own healed (non-diverged) ack, a forked
+	// entry only by a possible ack for THAT log — so an unrelated clean
+	// ack cannot launder a detected fork.
 	fence     chan struct{}
 	acks      map[string]map[string]uint64 // member -> log -> durable seq
 	published map[string]uint64            // log -> highest seq handed to shipping
+	baseline  map[string]uint64            // log -> durable tail when this reign began
+	suspect   map[string]bool
+	forked    map[string]map[string]bool
 	waiters   []*waiter
 	jobs      []*shipJob
 
@@ -91,8 +119,19 @@ type Runtime struct {
 	stats Stats
 }
 
+// span attributes every record from start onward (until the next span)
+// to the reign of term — the per-log term frontier.
+type span struct {
+	term  uint64
+	start uint64
+}
+
 // newRuntime builds the member's runtime, replaying persisted term state
-// from the wrapped store.
+// from the wrapped store. A member whose persisted state says it led its
+// last term with locally durable records of unknown group fate (risk),
+// or that was already quarantined (diverged), restarts quarantined: it
+// may hold records the group never committed, and it must not stand for
+// election until its log is proven to derive from the current leader's.
 func newRuntime(s *Store, cfg Config) (*Runtime, error) {
 	tl, err := s.inner.OpenLog(termLogName(cfg.Group))
 	if err != nil {
@@ -107,6 +146,7 @@ func newRuntime(s *Store, cfg Config) (*Runtime, error) {
 	if len(recs) > 0 {
 		state = recs[len(recs)-1].Data
 	}
+	var risk bool
 	if len(state) > 0 {
 		if v, err := wire.UnmarshalValue(state); err == nil {
 			if seq, ok := v.(xrep.Seq); ok && len(seq) >= 2 {
@@ -126,16 +166,50 @@ func newRuntime(s *Store, cfg Config) (*Runtime, error) {
 						rt.dataTerm = uint64(dt)
 					}
 				}
+				if len(seq) >= 5 {
+					if d, ok := seq[4].(xrep.Int); ok && d != 0 {
+						rt.diverged = true
+					}
+				}
+				if len(seq) >= 6 {
+					if r, ok := seq[5].(xrep.Int); ok && r != 0 {
+						risk = true
+					}
+				}
+				if len(seq) >= 7 {
+					if fr, ok := seq[6].(xrep.Seq); ok {
+						rt.frontier = parseFrontier(fr)
+					}
+				}
 			}
 		}
+	}
+	// A one-member group is its own majority: everything it writes is
+	// group-committed by definition, so a leftover risk marker must not
+	// quarantine it (there is no other leader to ever heal against).
+	if (rt.diverged || risk) && cfg.quorum() > 1 {
+		rt.diverged = true
+		rt.unverified = make(map[string]bool)
+		for _, name := range s.shippable() {
+			rt.unverified[name] = true
+		}
+	} else {
+		rt.diverged = false
 	}
 	return rt, nil
 }
 
-// persistLocked snapshots (term, votedFor, appLog, dataTerm) to the term
-// log. Called with rt.mu held.
+// persistLocked snapshots (term, votedFor, appLog, dataTerm, diverged,
+// risk, frontier) to the term log. Called with rt.mu held.
 func (rt *Runtime) persistLocked() {
-	rec := xrep.Seq{xrep.Int(rt.term), xrep.Str(rt.votedFor), xrep.Str(rt.appLog), xrep.Int(rt.dataTerm)}
+	b := func(v bool) xrep.Int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	rec := xrep.Seq{xrep.Int(rt.term), xrep.Str(rt.votedFor), xrep.Str(rt.appLog),
+		xrep.Int(rt.dataTerm), b(rt.diverged), b(rt.risk), rt.frontierValueLocked()}
 	buf, err := wire.MarshalValue(rec)
 	if err != nil {
 		return
@@ -144,6 +218,131 @@ func (rt *Runtime) persistLocked() {
 	if rt.termLog.DurableLen() > termLogCompactAfter {
 		rt.termLog.Checkpoint(buf, seq)
 	}
+}
+
+// frontierValueLocked encodes the term frontier as a sequence of
+// (log, ((term, start), ...)) entries. Called with rt.mu held.
+func (rt *Runtime) frontierValueLocked() xrep.Seq {
+	out := xrep.Seq{}
+	for name, spans := range rt.frontier {
+		sv := xrep.Seq{}
+		for _, sp := range spans {
+			sv = append(sv, xrep.Seq{xrep.Int(sp.term), xrep.Int(sp.start)})
+		}
+		out = append(out, xrep.Seq{xrep.Str(name), sv})
+	}
+	return out
+}
+
+// parseFrontier decodes frontierValueLocked's encoding.
+func parseFrontier(v xrep.Seq) map[string][]span {
+	out := make(map[string][]span, len(v))
+	for _, ev := range v {
+		entry, ok := ev.(xrep.Seq)
+		if !ok || len(entry) != 2 {
+			continue
+		}
+		name, ok := entry[0].(xrep.Str)
+		if !ok {
+			continue
+		}
+		sv, ok := entry[1].(xrep.Seq)
+		if !ok {
+			continue
+		}
+		var spans []span
+		for _, spv := range sv {
+			pair, ok := spv.(xrep.Seq)
+			if !ok || len(pair) != 2 {
+				continue
+			}
+			t, tok := pair[0].(xrep.Int)
+			s, sok := pair[1].(xrep.Int)
+			if tok && sok {
+				spans = append(spans, span{term: uint64(t), start: uint64(s)})
+			}
+		}
+		if len(spans) > 0 {
+			out[string(name)] = spans
+		}
+	}
+	return out
+}
+
+// termIn reports the origin term spans attribute to the record at seq —
+// 0 when unattributed (seq 0, or below a checkpoint horizon older than
+// the frontier). An unattributed record passes every log-matching check
+// vacuously: no claim, no conflict.
+func termIn(spans []span, seq uint64) uint64 {
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].start <= seq {
+			return spans[i].term
+		}
+	}
+	return 0
+}
+
+// termAtLocked is termIn over this member's own frontier. Called with
+// rt.mu held.
+func (rt *Runtime) termAtLocked(log string, seq uint64) uint64 {
+	return termIn(rt.frontier[log], seq)
+}
+
+// addSpanLocked attributes records from start onward to term, reporting
+// whether the frontier changed. A start at or before an existing span's
+// start supersedes that span and everything after it — the re-attribution
+// path when a new reign overwrites what a phantom span claimed. Called
+// with rt.mu held.
+func (rt *Runtime) addSpanLocked(log string, term, start uint64) bool {
+	spans := rt.frontier[log]
+	for len(spans) > 0 && spans[len(spans)-1].start >= start {
+		spans = spans[:len(spans)-1]
+	}
+	if len(spans) > 0 && spans[len(spans)-1].term == term {
+		if len(rt.frontier[log]) != len(spans) {
+			rt.frontier[log] = spans
+			return true
+		}
+		return false
+	}
+	if rt.frontier == nil {
+		rt.frontier = make(map[string][]span)
+	}
+	rt.frontier[log] = append(spans, span{term: term, start: start})
+	return true
+}
+
+// quarantineLocked marks this member diverged: every replicated log is
+// unverified until proven to derive from the current leader. Called with
+// rt.mu held.
+func (rt *Runtime) quarantineLocked() {
+	if !rt.diverged {
+		rt.stats.ForksDetected++
+	}
+	rt.diverged = true
+	rt.unverified = make(map[string]bool)
+	for _, name := range rt.st.shippable() {
+		rt.unverified[name] = true
+	}
+	rt.persistLocked()
+}
+
+// verifyLogLocked records that log's content now provably derives from
+// the current leader (log-matching at this member's tail, or wholesale
+// checkpoint supersession); when every quarantined log is verified the
+// member heals and regains candidacy. Called with rt.mu held.
+func (rt *Runtime) verifyLogLocked(log string) {
+	if !rt.diverged {
+		return
+	}
+	delete(rt.unverified, log)
+	if len(rt.unverified) > 0 {
+		return
+	}
+	rt.diverged = false
+	rt.risk = false
+	rt.stats.Heals++
+	rt.persistLocked()
 }
 
 // replicatorMain is the replicator guardian's Init and Recover process.
@@ -183,7 +382,7 @@ func (rt *Runtime) attach(ctx *guardian.Ctx) {
 	rt.purged = false
 	rt.mu.Unlock()
 	if initial {
-		rt.becomeLeader(false)
+		rt.becomeLeader(1, false)
 	} else {
 		rt.purgeZombieApp()
 	}
@@ -248,6 +447,37 @@ func (rt *Runtime) pokeShip() {
 	}
 }
 
+// preSync is called by repLog.Sync BEFORE the batch becomes locally
+// durable. On the leader it persists the risk marker — "records of my
+// reign are about to exist whose group fate is unknown" — and attributes
+// the batch to the current term in the frontier. The ordering is the
+// point: if the process dies in ANY later window (records durable but
+// never shipped included), the persisted risk quarantines the restarted
+// member before its forked records can win an election. Costs one
+// term-log fsync per reign per log, not per batch.
+func (rt *Runtime) preSync(log string, firstSeq uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.role != roleLeader {
+		return
+	}
+	changed := false
+	if !rt.risk {
+		rt.risk = true
+		changed = true
+	}
+	if rt.dataTerm != rt.term {
+		rt.dataTerm = rt.term
+		changed = true
+	}
+	if rt.addSpanLocked(log, rt.term, firstSeq) {
+		changed = true
+	}
+	if changed {
+		rt.persistLocked()
+	}
+}
+
 // replicate is the durability boundary: called by repLog.Sync after the
 // batch is locally durable. On followers and unattached members it is a
 // no-op (their writes are the apply path or pre-bootstrap setup). On the
@@ -266,10 +496,6 @@ func (rt *Runtime) replicate(log string, recs []durable.Record) {
 	hooks := rt.cfg.Hooks
 	fence := rt.fence
 	top := recs[len(recs)-1].Seq
-	if rt.dataTerm != rt.term {
-		rt.dataTerm = rt.term
-		rt.persistLocked()
-	}
 	rt.mu.Unlock()
 
 	if hooks.BeforeShip != nil {
@@ -329,11 +555,14 @@ func (rt *Runtime) replicate(log string, recs []durable.Record) {
 func (rt *Runtime) noteCheckpoint(string, []byte, uint64) { rt.pokeShip() }
 
 // quorumForLocked reports whether a majority of the group (counting this
-// leader) durably holds log up to seq. Called with rt.mu held.
+// leader) durably holds log up to seq. Suspect members — self-reported
+// diverged, or caught acking past the leader's own log — never count:
+// their positions describe a forked log, not the group's. Called with
+// rt.mu held.
 func (rt *Runtime) quorumForLocked(log string, seq uint64) bool {
 	count := 1 // the leader's own durable copy
 	for _, mem := range rt.cfg.Members {
-		if mem == rt.cfg.Self {
+		if mem == rt.cfg.Self || rt.suspectedLocked(mem) {
 			continue
 		}
 		if am, ok := rt.acks[mem]; ok && am[log] >= seq {
@@ -343,25 +572,51 @@ func (rt *Runtime) quorumForLocked(log string, seq uint64) bool {
 	return count >= rt.cfg.quorum()
 }
 
-// quorumHeldAllLocked reports whether everything published is quorum-held
-// — the deposition check: false means acknowledged-or-in-flight records
-// may exist that the new leader never saw. Called with rt.mu held.
+// suspectedLocked reports whether a member's acks are currently
+// untrusted, for either reason. Called with rt.mu held.
+func (rt *Runtime) suspectedLocked(mem string) bool {
+	return rt.suspect[mem] || len(rt.forked[mem]) > 0
+}
+
+// quorumHeldAllLocked reports whether every record written during this
+// reign is quorum-held — the deposition check: false means acknowledged-
+// or-in-flight records may exist that the new leader never saw. The tail
+// (not just the published position) is compared against the reign's
+// baseline: a batch can be locally durable before replicate() has
+// published it, and those records are at risk too. Records inherited
+// from earlier reigns are a previous leader's risk, not this one's —
+// forks among them are caught by the wire-level log-matching checks.
+// Called with rt.mu held.
 func (rt *Runtime) quorumHeldAllLocked() bool {
-	for log, p := range rt.published {
-		if p > 0 && !rt.quorumForLocked(log, p) {
+	for _, name := range rt.st.shippable() {
+		l, err := rt.st.innerLog(name)
+		if err != nil {
+			return false
+		}
+		tail := l.LastDurableSeq()
+		if tail <= rt.baseline[name] {
+			continue
+		}
+		if tail > rt.published[name] || !rt.quorumForLocked(name, tail) {
 			return false
 		}
 	}
 	return true
 }
 
-// becomeLeader assumes leadership at the current term. viaElection
-// distinguishes a won election (take over the application guardian) from
-// first-boot primacy (the caller bootstraps the application itself and
-// hands it over with Store.Adopt).
-func (rt *Runtime) becomeLeader(viaElection bool) {
+// becomeLeader assumes leadership at term. viaElection distinguishes a
+// won election (take over the application guardian) from first-boot
+// primacy (the caller bootstraps the application itself and hands it
+// over with Store.Adopt). The term and role are re-checked under the
+// lock: between tallying the winning vote and getting here, a
+// concurrent tick can have started a new election (bumping rt.term to a
+// term this member collected no quorum for) or a higher-term message
+// can have deposed the candidacy — assuming leadership then would
+// permit two leaders in one term.
+func (rt *Runtime) becomeLeader(term uint64, viaElection bool) {
 	rt.mu.Lock()
-	if rt.role == roleLeader {
+	if rt.role == roleLeader || rt.term != term || rt.diverged ||
+		(viaElection && rt.role != roleCandidate) {
 		rt.mu.Unlock()
 		return
 	}
@@ -371,13 +626,19 @@ func (rt *Runtime) becomeLeader(viaElection bool) {
 	rt.fence = make(chan struct{})
 	rt.acks = make(map[string]map[string]uint64)
 	rt.published = make(map[string]uint64)
+	rt.baseline = make(map[string]uint64)
+	rt.suspect = make(map[string]bool)
+	rt.forked = make(map[string]map[string]bool)
 	for _, name := range rt.st.shippable() {
 		if l, err := rt.st.innerLog(name); err == nil {
-			rt.published[name] = l.LastDurableSeq()
+			tail := l.LastDurableSeq()
+			rt.published[name] = tail
+			rt.baseline[name] = tail
 		}
 	}
 	rt.waiters = nil
 	rt.registered = false
+	rt.risk = false // nothing written under this term yet
 	rt.persistLocked()
 	needTakeover := viaElection && rt.cfg.AppDef != "" && rt.appG == nil
 	appLog := rt.appLog
@@ -445,10 +706,11 @@ func (rt *Runtime) stepDownLocked(newTerm uint64) (appG *guardian.Guardian, fenc
 	if wasLeader {
 		if !rt.quorumHeldAllLocked() {
 			// Locally durable records the group may not hold: this
-			// member's log has forked from the new leader's. It must
-			// never lead again (DESIGN §12).
-			rt.diverged = true
+			// member's log has forked from the new leader's. It must not
+			// lead again until healed (DESIGN §12).
+			rt.quarantineLocked()
 		}
+		rt.risk = false // reign over; its outcome is now resolved precisely
 		appG = rt.appG
 		rt.appG = nil
 		rt.appPorts = nil
@@ -510,13 +772,63 @@ func (rt *Runtime) bounce(pr *guardian.Process, to string) {
 }
 
 // reset returns the runtime to a blank follower: the node crashed (store
-// Crash) or the world is closing. Persisted term state survives; the
-// fence is closed so any Sync blocked in replicate returns (its guardian
-// is already dead, so no acknowledgement escapes).
+// Crash). Persisted term state survives; the fence is closed so any Sync
+// blocked in replicate returns (its guardian is already dead, so no
+// acknowledgement escapes). A crashing leader evaluates its divergence
+// exactly the way a live deposition would — the in-memory Runtime
+// survives a simulated crash, so the quarantine must be drawn here too,
+// not only in stepDownLocked. Nothing is persisted: the store has
+// already crashed, and the persisted risk flag covers real process
+// death.
 func (rt *Runtime) reset() {
 	rt.mu.Lock()
+	if rt.role == roleLeader && !rt.quorumHeldAllLocked() {
+		if !rt.diverged {
+			rt.stats.ForksDetected++
+		}
+		rt.diverged = true
+		rt.unverified = make(map[string]bool)
+		for _, name := range rt.st.shippable() {
+			rt.unverified[name] = true
+		}
+	}
+	rt.risk = false
+	rt.resetLocked()
 	fence := rt.fence
 	rt.fence = nil
+	rt.mu.Unlock()
+	if fence != nil {
+		close(fence)
+	}
+}
+
+// shutdown is reset's graceful twin: the world is closing in an orderly
+// way, so the reign's outcome can be resolved and PERSISTED — a leader
+// whose every record is quorum-held restarts eligible instead of
+// conservatively quarantined.
+func (rt *Runtime) shutdown() {
+	rt.mu.Lock()
+	if rt.role == roleLeader {
+		if rt.quorumHeldAllLocked() {
+			rt.risk = false
+		} else {
+			rt.quarantineLocked()
+			rt.risk = false
+		}
+		rt.persistLocked()
+	}
+	rt.resetLocked()
+	fence := rt.fence
+	rt.fence = nil
+	rt.mu.Unlock()
+	if fence != nil {
+		close(fence)
+	}
+}
+
+// resetLocked clears the volatile role state shared by reset and
+// shutdown. Called with rt.mu held; the caller handles the fence.
+func (rt *Runtime) resetLocked() {
 	rt.role = roleFollower
 	rt.leader = ""
 	rt.votes = nil
@@ -525,16 +837,15 @@ func (rt *Runtime) reset() {
 	rt.registered = false
 	rt.acks = nil
 	rt.published = nil
+	rt.baseline = nil
+	rt.suspect = nil
+	rt.forked = nil
 	rt.waiters = nil
 	rt.jobs = nil
 	if rt.clock != nil {
 		rt.lastHB = rt.clock.Now()
 	}
 	rt.g = nil
-	rt.mu.Unlock()
-	if fence != nil {
-		close(fence)
-	}
 }
 
 // --- ship loop -------------------------------------------------------
@@ -617,6 +928,10 @@ func (rt *Runtime) leaderTick(pr *guardian.Process, term uint64) {
 	for k, v := range rt.published {
 		published[k] = v
 	}
+	frontier := make(map[string][]span, len(rt.frontier))
+	for k, v := range rt.frontier {
+		frontier[k] = append([]span(nil), v...)
+	}
 	acks := make(map[string]map[string]uint64, len(rt.acks))
 	for mem, am := range rt.acks {
 		cp := make(map[string]uint64, len(am))
@@ -670,7 +985,8 @@ func (rt *Runtime) leaderTick(pr *guardian.Process, term uint64) {
 				// it needs no longer exist, ship the checkpoint instead.
 				if rerr == nil {
 					_ = pr.Send(PortAt(mem), "rep_checkpoint", rt.cfg.Group,
-						int64(term), name, xrep.Bytes(cp), int64(cpAt))
+						int64(term), name, xrep.Bytes(cp), int64(cpAt),
+						int64(termIn(frontier[name], cpAt)))
 					rt.mu.Lock()
 					rt.stats.CheckpointsShipped++
 					rt.mu.Unlock()
@@ -682,13 +998,15 @@ func (rt *Runtime) leaderTick(pr *guardian.Process, term uint64) {
 				if rec.Seq <= a || rec.Seq > p {
 					continue
 				}
-				batch = append(batch, xrep.Seq{xrep.Int(rec.Seq), xrep.Bytes(rec.Data)})
+				batch = append(batch, xrep.Seq{xrep.Int(rec.Seq),
+					xrep.Int(termIn(frontier[name], rec.Seq)), xrep.Bytes(rec.Data)})
 				if len(batch) == shipBatchMax {
 					break
 				}
 			}
 			if len(batch) > 0 {
-				_ = pr.Send(PortAt(mem), "rep_append", rt.cfg.Group, int64(term), name, batch)
+				_ = pr.Send(PortAt(mem), "rep_append", rt.cfg.Group, int64(term), name,
+					int64(termIn(frontier[name], a)), batch)
 			}
 		}
 	}
@@ -699,16 +1017,36 @@ func (rt *Runtime) leaderTick(pr *guardian.Process, term uint64) {
 	}
 }
 
-// lastSeqLocked sums durable positions over the application logs — the
-// completeness measure elections compare. Called with rt.mu held.
-func (rt *Runtime) lastSeqLocked() uint64 {
-	var total uint64
+// electionPositionsLocked snapshots this member's durable position on
+// every application log, the per-log completeness measure elections
+// compare — never a sum across logs, which would let a candidate trade
+// surplus in one log for missing committed records in another. Called
+// with rt.mu held.
+func (rt *Runtime) electionPositionsLocked() xrep.Seq {
+	pos := xrep.Seq{}
 	for _, name := range rt.st.shippable() {
 		if l, err := rt.st.innerLog(name); err == nil {
-			total += l.LastDurableSeq()
+			pos = append(pos, xrep.Seq{xrep.Str(name), xrep.Int(l.LastDurableSeq())})
 		}
 	}
-	return total
+	return pos
+}
+
+// candidateCompleteLocked reports whether the candidate's per-log
+// positions are at least as complete as this voter's on EVERY log the
+// voter holds; a log the candidate never mentioned counts as position 0.
+// Called with rt.mu held.
+func (rt *Runtime) candidateCompleteLocked(positions map[string]uint64) bool {
+	for _, name := range rt.st.shippable() {
+		l, err := rt.st.innerLog(name)
+		if err != nil {
+			return false
+		}
+		if positions[name] < l.LastDurableSeq() {
+			return false
+		}
+	}
+	return true
 }
 
 // startElection stands for leadership of the next term.
@@ -728,17 +1066,17 @@ func (rt *Runtime) startElection(pr *guardian.Process) {
 	rt.persistLocked()
 	term := rt.term
 	lastTerm := rt.dataTerm
-	lastSeq := rt.lastSeqLocked()
+	positions := rt.electionPositionsLocked()
 	rt.mu.Unlock()
 
 	if rt.cfg.quorum() == 1 {
-		rt.becomeLeader(true)
+		rt.becomeLeader(term, true)
 		return
 	}
 	for _, mem := range rt.cfg.Members {
 		if mem != rt.cfg.Self {
 			_ = pr.Send(PortAt(mem), "rep_vote_req", rt.cfg.Group,
-				int64(term), int64(lastTerm), int64(lastSeq), rt.cfg.Self)
+				int64(term), int64(lastTerm), positions, rt.cfg.Self)
 		}
 	}
 }
@@ -784,6 +1122,12 @@ func (rt *Runtime) receiveLoop(ctx *guardian.Ctx) {
 			}
 			rt.onHeartbeat(pr, m)
 		}).
+		When("rep_fork", func(pr *guardian.Process, m *guardian.Message) {
+			if !mine(m) {
+				return
+			}
+			rt.onFork(pr, m)
+		}).
 		When("rep_vote_req", func(pr *guardian.Process, m *guardian.Message) {
 			if !mine(m) {
 				return
@@ -826,6 +1170,17 @@ func (rt *Runtime) receiveLoop(ctx *guardian.Ctx) {
 
 // onAppend is the follower apply path: records go in primary order or
 // not at all, one Sync per message, then the durable position is acked.
+//
+// Before anything is applied the batch is log-matched: the leader stamps
+// every record with its origin term and the batch with prevTerm, the
+// origin term of the leader's record just before it. If this member's
+// own attribution disagrees at any overlapping position, the logs forked
+// there — the old silent-retention hole — and the member quarantines
+// itself instead of acking as caught up. The same stamp heals: a
+// quarantined member whose record at its exact tail matches the leader's
+// has proven (by the log-matching property: same position, same origin
+// term ⇒ identical prefixes) that its whole log derives from the
+// leader's, so the quarantine lifts and the apply proceeds.
 func (rt *Runtime) onAppend(pr *guardian.Process, m *guardian.Message) {
 	term := uint64(m.Int(1))
 	if rt.observe(term, m.SrcNode, "") {
@@ -833,8 +1188,30 @@ func (rt *Runtime) onAppend(pr *guardian.Process, m *guardian.Message) {
 		return
 	}
 	name := m.Str(2)
-	recs, ok := m.Args[3].(xrep.Seq)
+	prevTerm := uint64(m.Int(3))
+	recs, ok := m.Args[4].(xrep.Seq)
 	if !ok {
+		return
+	}
+	type shipped struct {
+		seq, origin uint64
+		data        []byte
+	}
+	batch := make([]shipped, 0, len(recs))
+	for _, rv := range recs {
+		trip, ok := rv.(xrep.Seq)
+		if !ok || len(trip) != 3 {
+			break
+		}
+		seqV, ok1 := trip[0].(xrep.Int)
+		otV, ok2 := trip[1].(xrep.Int)
+		data, ok3 := trip[2].(xrep.Bytes)
+		if !ok1 || !ok2 || !ok3 {
+			break
+		}
+		batch = append(batch, shipped{uint64(seqV), uint64(otV), []byte(data)})
+	}
+	if len(batch) == 0 {
 		return
 	}
 	l, err := rt.st.innerLog(name)
@@ -842,46 +1219,93 @@ func (rt *Runtime) onAppend(pr *guardian.Process, m *guardian.Message) {
 		return
 	}
 	last := l.LastDurableSeq()
-	applied := int64(0)
-	for _, rv := range recs {
-		pair, ok := rv.(xrep.Seq)
-		if !ok || len(pair) != 2 {
-			break
+	prevSeq := batch[0].seq - 1
+
+	rt.mu.Lock()
+	// Log-matching at the batch boundary and across the overlap region.
+	conflict := false
+	if prevSeq > 0 && prevSeq <= last && prevTerm != 0 {
+		if mine := rt.termAtLocked(name, prevSeq); mine != 0 && mine != prevTerm {
+			conflict = true
 		}
-		seqV, ok := pair[0].(xrep.Int)
-		if !ok {
-			break
-		}
-		data, ok := pair[1].(xrep.Bytes)
-		if !ok {
-			break
-		}
-		seq := uint64(seqV)
-		if seq <= last {
-			continue // duplicate of an already-durable record
-		}
-		if seq != last+1 {
-			break // gap: stop, the ack tells the leader where to resume
-		}
-		l.Append([]byte(data))
-		last++
-		applied++
 	}
-	if applied > 0 {
-		l.Sync()
-		rt.mu.Lock()
-		rt.stats.AppliedRecords += applied
-		if rt.dataTerm != term {
-			rt.dataTerm = term
+	for _, r := range batch {
+		if r.seq > last || r.origin == 0 {
+			continue
+		}
+		if mine := rt.termAtLocked(name, r.seq); mine != 0 && mine != r.origin {
+			conflict = true
+		}
+	}
+	if conflict {
+		rt.quarantineLocked()
+	} else if rt.diverged && rt.unverified[name] && prevSeq == last {
+		// The leader is extending exactly this member's tail and the
+		// origin terms agree there (or the tail is empty/unattributed, in
+		// which case nothing local can conflict): the local log is a
+		// prefix of the leader's. Heal this log.
+		rt.verifyLogLocked(name)
+	}
+	// A still-unverified log must not be extended: appending the group's
+	// records after a forked prefix would interleave two histories.
+	blocked := rt.diverged && rt.unverified[name]
+	var apply []shipped
+	if !blocked {
+		next := last + 1
+		changed := false
+		maxOrigin := rt.dataTerm
+		for _, r := range batch {
+			if r.seq <= last {
+				continue // duplicate of an already-durable record
+			}
+			if r.seq != next {
+				break // gap: stop, the ack tells the leader where to resume
+			}
+			apply = append(apply, r)
+			next++
+			// Attribute BEFORE the record becomes durable: a phantom span
+			// past the tail is harmless, an unattributed durable record
+			// would dodge every future log-matching check.
+			if r.origin != 0 {
+				if rt.addSpanLocked(name, r.origin, r.seq) {
+					changed = true
+				}
+				if r.origin > maxOrigin {
+					maxOrigin = r.origin
+				}
+			}
+		}
+		if maxOrigin != rt.dataTerm {
+			rt.dataTerm = maxOrigin
+			changed = true
+		}
+		if changed {
 			rt.persistLocked()
 		}
+	}
+	rt.mu.Unlock()
+
+	if len(apply) > 0 {
+		for _, r := range apply {
+			l.Append(r.data)
+		}
+		l.Sync()
+		rt.mu.Lock()
+		rt.stats.AppliedRecords += int64(len(apply))
 		rt.mu.Unlock()
 	}
+	rt.mu.Lock()
+	div := rt.diverged
+	rt.mu.Unlock()
 	_ = pr.Send(PortAt(m.SrcNode), "rep_ack", rt.cfg.Group,
-		int64(term), name, int64(l.LastDurableSeq()))
+		int64(term), name, int64(l.LastDurableSeq()), div)
 }
 
-// onCheckpoint installs a catch-up checkpoint on a lagging follower.
+// onCheckpoint installs a catch-up checkpoint on a lagging follower. An
+// install wholesale-supersedes the local log (the condition is upTo past
+// this member's tail, so no local record survives it), which is also the
+// heal path for a truly forked log: whatever conflicting records it
+// held are gone, replaced by the leader's state.
 func (rt *Runtime) onCheckpoint(pr *guardian.Process, m *guardian.Message) {
 	term := uint64(m.Int(1))
 	if rt.observe(term, m.SrcNode, "") {
@@ -894,6 +1318,7 @@ func (rt *Runtime) onCheckpoint(pr *guardian.Process, m *guardian.Message) {
 		return
 	}
 	upTo := uint64(m.Int(4))
+	cpTerm := uint64(m.Int(5))
 	l, err := rt.st.innerLog(name)
 	if err != nil {
 		return
@@ -902,23 +1327,58 @@ func (rt *Runtime) onCheckpoint(pr *guardian.Process, m *guardian.Message) {
 		l.Checkpoint([]byte(state), upTo)
 		durable.SkipTo(l, upTo)
 		rt.mu.Lock()
-		if rt.dataTerm != term {
-			rt.dataTerm = term
-			rt.persistLocked()
+		// The install replaced every local record of this log: re-seed
+		// its term attribution from the leader's stamp and mark the log
+		// verified (its content IS the leader's now).
+		if rt.frontier == nil {
+			rt.frontier = make(map[string][]span)
 		}
+		rt.frontier[name] = []span{{term: cpTerm, start: upTo}}
+		if cpTerm > rt.dataTerm {
+			rt.dataTerm = cpTerm
+		}
+		rt.persistLocked()
+		rt.verifyLogLocked(name)
 		rt.mu.Unlock()
 	}
+	rt.mu.Lock()
+	div := rt.diverged
+	rt.mu.Unlock()
 	_ = pr.Send(PortAt(m.SrcNode), "rep_ack", rt.cfg.Group,
-		int64(term), name, int64(l.LastDurableSeq()))
+		int64(term), name, int64(l.LastDurableSeq()), div)
+}
+
+// onFork handles a leader's fork notice: the leader caught this member
+// acking a position past anything the leader ever held, so the member
+// carries records the group never committed and must quarantine.
+func (rt *Runtime) onFork(_ *guardian.Process, m *guardian.Message) {
+	term := uint64(m.Int(1))
+	if rt.observe(term, m.SrcNode, "") {
+		return // stale notice from a deposed leader
+	}
+	rt.mu.Lock()
+	if term == rt.term && rt.role != roleLeader {
+		rt.quarantineLocked()
+	}
+	rt.mu.Unlock()
 }
 
 // onAck advances a follower's durable watermark and releases any Sync
-// whose batch just reached quorum.
-func (rt *Runtime) onAck(_ *guardian.Process, m *guardian.Message) {
+// whose batch just reached quorum. Two fork screens run first: a member
+// that reports itself diverged is suspect (its positions describe a
+// forked log, not the group's), and an ack past the leader's own durable
+// tail is impossible — the leader's tail is monotone within its reign,
+// so such a position can only name records the group never committed.
+// The impossible-ack case earns the member a rep_fork notice so it
+// quarantines itself even though it never saw the conflict locally.
+func (rt *Runtime) onAck(pr *guardian.Process, m *guardian.Message) {
 	term := uint64(m.Int(1))
 	name := m.Str(2)
 	seq := uint64(m.Int(3))
+	selfDiverged := m.Bool(4)
+	mem := m.SrcNode
 	var release []*waiter
+	sendFork := false
 	rt.mu.Lock()
 	if term != rt.term || rt.role != roleLeader {
 		if term < rt.term {
@@ -927,13 +1387,48 @@ func (rt *Runtime) onAck(_ *guardian.Process, m *guardian.Message) {
 		rt.mu.Unlock()
 		return
 	}
-	am := rt.acks[m.SrcNode]
-	if am == nil {
-		am = make(map[string]uint64)
-		rt.acks[m.SrcNode] = am
+	if selfDiverged {
+		rt.suspect[mem] = true
+	} else {
+		delete(rt.suspect, mem) // healed (or never suspect): trust resumes
 	}
-	if seq > am[name] {
-		am[name] = seq
+	possible := true
+	if l, err := rt.st.innerLog(name); err == nil && seq > l.LastDurableSeq() {
+		possible = false
+		if !rt.suspectedLocked(mem) {
+			rt.stats.ForksDetected++
+		}
+		if rt.forked[mem] == nil {
+			rt.forked[mem] = make(map[string]bool)
+		}
+		rt.forked[mem][name] = true
+		sendFork = true
+	}
+	if possible {
+		// A possible position for THIS log retires its fork flag. That is
+		// not yet proof the content matches — the leader's tail may simply
+		// have grown past the member's — but a genuinely forked-ahead
+		// member is always a deposed leader, which self-quarantines
+		// (persisted risk / deposition check) and stays suspect via its
+		// own div=true acks until provably healed. The fork flag is the
+		// backstop for the window before that self-report arrives.
+		if rt.forked[mem][name] {
+			delete(rt.forked[mem], name)
+			if len(rt.forked[mem]) == 0 {
+				delete(rt.forked, mem)
+			}
+		}
+		// Impossible positions are never stored: acks are monotone-max,
+		// and one forked high-water mark would keep counting toward
+		// quorum long after the member healed at a lower tail.
+		am := rt.acks[mem]
+		if am == nil {
+			am = make(map[string]uint64)
+			rt.acks[mem] = am
+		}
+		if seq > am[name] {
+			am[name] = seq
+		}
 	}
 	keep := rt.waiters[:0]
 	for _, w := range rt.waiters {
@@ -945,6 +1440,9 @@ func (rt *Runtime) onAck(_ *guardian.Process, m *guardian.Message) {
 	}
 	rt.waiters = keep
 	rt.mu.Unlock()
+	if sendFork {
+		_ = pr.Send(PortAt(mem), "rep_fork", rt.cfg.Group, int64(term), name)
+	}
 	for _, w := range release {
 		close(w.ch)
 	}
@@ -966,6 +1464,7 @@ func (rt *Runtime) onHeartbeat(pr *guardian.Process, m *guardian.Message) {
 	rt.mu.Lock()
 	needPurge := !rt.purged
 	rt.purged = true
+	div := rt.diverged
 	rt.mu.Unlock()
 	if needPurge {
 		rt.purgeZombieApp()
@@ -992,17 +1491,32 @@ func (rt *Runtime) onHeartbeat(pr *guardian.Process, m *guardian.Message) {
 			continue
 		}
 		_ = pr.Send(PortAt(leader), "rep_ack", rt.cfg.Group,
-			int64(term), name, int64(l.LastDurableSeq()))
+			int64(term), name, int64(l.LastDurableSeq()), div)
 	}
 }
 
 // onVoteReq grants at most one vote per term, and only to a candidate
-// whose log is at least as complete as this member's.
+// whose log is at least as complete as this member's on EVERY log — the
+// positions travel per log, because a summed measure would let surplus
+// in one log mask quorum-committed records missing from another.
 func (rt *Runtime) onVoteReq(pr *guardian.Process, m *guardian.Message) {
 	term := uint64(m.Int(1))
 	lastTerm := uint64(m.Int(2))
-	lastSeq := uint64(m.Int(3))
 	cand := m.Str(4)
+	positions := make(map[string]uint64)
+	if posSeq, ok := m.Args[3].(xrep.Seq); ok {
+		for _, pv := range posSeq {
+			pair, ok := pv.(xrep.Seq)
+			if !ok || len(pair) != 2 {
+				continue
+			}
+			name, nok := pair[0].(xrep.Str)
+			seq, sok := pair[1].(xrep.Int)
+			if nok && sok {
+				positions[string(name)] = uint64(seq)
+			}
+		}
+	}
 	if rt.observe(term, "", "") {
 		rt.bounce(pr, m.SrcNode)
 		return
@@ -1011,8 +1525,8 @@ func (rt *Runtime) onVoteReq(pr *guardian.Process, m *guardian.Message) {
 	grant := false
 	if term == rt.term && rt.role != roleLeader &&
 		(rt.votedFor == "" || rt.votedFor == cand) {
-		myTerm, mySeq := rt.dataTerm, rt.lastSeqLocked()
-		if lastTerm > myTerm || (lastTerm == myTerm && lastSeq >= mySeq) {
+		if lastTerm > rt.dataTerm ||
+			(lastTerm == rt.dataTerm && rt.candidateCompleteLocked(positions)) {
 			grant = true
 			rt.votedFor = cand
 			rt.lastHB = rt.clock.Now() // defer own candidacy to the grantee
@@ -1025,7 +1539,11 @@ func (rt *Runtime) onVoteReq(pr *guardian.Process, m *guardian.Message) {
 		int64(cur), grant, rt.cfg.Self)
 }
 
-// onVote tallies; a majority (counting self) wins the term.
+// onVote tallies; a majority (counting self) wins the term. The term the
+// quorum was collected for is captured under the lock and re-checked by
+// becomeLeader: between tallying the winning vote here and assuming
+// leadership there, a concurrent tick can start a fresh election
+// (bumping rt.term to a term with no quorum behind it).
 func (rt *Runtime) onVote(_ *guardian.Process, m *guardian.Message) {
 	term := uint64(m.Int(1))
 	granted := m.Bool(2)
@@ -1034,6 +1552,7 @@ func (rt *Runtime) onVote(_ *guardian.Process, m *guardian.Message) {
 		return
 	}
 	win := false
+	var wonTerm uint64
 	rt.mu.Lock()
 	if granted && term == rt.term && rt.role == roleCandidate {
 		if rt.votes == nil {
@@ -1041,10 +1560,11 @@ func (rt *Runtime) onVote(_ *guardian.Process, m *guardian.Message) {
 		}
 		rt.votes[voter] = true
 		win = len(rt.votes) >= rt.cfg.quorum()
+		wonTerm = rt.term
 	}
 	rt.mu.Unlock()
 	if win {
-		rt.becomeLeader(true)
+		rt.becomeLeader(wonTerm, true)
 	}
 }
 
@@ -1078,7 +1598,7 @@ func (rt *Runtime) statsSnapshot() Stats {
 	return rt.stats
 }
 
-// isDiverged reports the permanent no-candidacy flag.
+// isDiverged reports the quarantine fence (lifted on heal).
 func (rt *Runtime) isDiverged() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

@@ -101,9 +101,12 @@ func (s *Store) Crash() {
 // SyncCount reports the wrapped store's forced-write count.
 func (s *Store) SyncCount() int64 { return s.inner.SyncCount() }
 
-// Close releases the runtime's waiters and the wrapped store.
+// Close releases the runtime's waiters and the wrapped store. Unlike
+// Crash, a close is orderly: a leader gets to resolve its reign's
+// outcome precisely and persist it, so a member whose every record was
+// quorum-held restarts eligible instead of conservatively quarantined.
 func (s *Store) Close() error {
-	s.rt.reset()
+	s.rt.shutdown()
 	return s.inner.Close()
 }
 
@@ -139,10 +142,13 @@ func (s *Store) AppPorts() []xrep.PortName { return s.rt.appPortNames() }
 // ReplStats returns a snapshot of the member's replication counters.
 func (s *Store) ReplStats() Stats { return s.rt.statsSnapshot() }
 
-// Diverged reports whether this member was deposed as leader while
-// holding locally durable records the new leader may not have. Such a
-// member never stands for election again (see DESIGN §12 on why per-log
-// term stamping would be needed to lift this).
+// Diverged reports whether this member is quarantined: it may hold
+// locally durable records the group never committed (it led with records
+// of unknown group fate, or a log-matching check found a conflict). A
+// quarantined member cannot stand for election and its acks do not count
+// toward quorum, until its logs are proven to derive from the current
+// leader's — log-matching at its tail, or wholesale checkpoint
+// supersession — at which point it heals (see DESIGN §12).
 func (s *Store) Diverged() bool { return s.rt.isDiverged() }
 
 // Group returns the member's group configuration.
@@ -185,8 +191,21 @@ func (l *repLog) Append(data []byte) uint64 {
 }
 
 // Sync forces the batch locally, then replicates it. In quorum mode this
-// blocks until a majority holds the batch or this member is fenced.
+// blocks until a majority holds the batch or this member is fenced. On
+// the leader, preSync persists the risk marker and the batch's term
+// attribution BEFORE the records become durable — the ordering that
+// guarantees a process killed in any later window restarts quarantined
+// rather than eligible to lead with records the group never committed.
 func (l *repLog) Sync() {
+	l.mu.Lock()
+	var firstSeq uint64
+	if len(l.pending) > 0 {
+		firstSeq = l.pending[0].Seq
+	}
+	l.mu.Unlock()
+	if firstSeq > 0 {
+		l.st.rt.preSync(l.name, firstSeq)
+	}
 	l.inner.Sync()
 	l.mu.Lock()
 	batch := l.pending
