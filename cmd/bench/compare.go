@@ -1,0 +1,194 @@
+// Baseline comparison: -compare re-checks current results against a
+// committed BENCH_*.json and fails on timing regressions, so the nightly
+// job catches a slowdown the same way it catches an invariant violation.
+//
+// Only duration-valued cells participate (commit-mean, failover, ...):
+// they are the perf signal; counts and "-" placeholders are identity
+// checked by key presence only. Every baseline key — experiment, table,
+// row, column — must still exist in the candidate: a renamed or dropped
+// metric is reported as a failure, never silently skipped.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// compareIssue is one reason the comparison fails: a regressed duration
+// or a baseline key the candidate no longer has.
+type compareIssue struct {
+	// Key locates the cell: experiment/table/row/column.
+	Key string
+	// Detail is the human-readable evidence.
+	Detail string
+	// Regression is true for a timing regression, false for a
+	// missing/renamed key.
+	Regression bool
+}
+
+func (i compareIssue) String() string {
+	kind := "missing"
+	if i.Regression {
+		kind = "regression"
+	}
+	return fmt.Sprintf("%s: %s: %s", kind, i.Key, i.Detail)
+}
+
+// cellKey names one table cell across recordings: experiments are keyed
+// by id, tables by title, rows by their first cell (the arm/mode label),
+// columns by header name — stable across re-runs and row reordering.
+func cellKey(id, table, row, col string) string {
+	return fmt.Sprintf("%s/%q/%s/%s", id, table, row, col)
+}
+
+// indexResults flattens recordings into cell lookups by key.
+func indexResults(results []jsonResult) map[string]string {
+	cells := make(map[string]string)
+	for _, r := range results {
+		for _, t := range r.Tables {
+			for _, row := range t.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for c, h := range t.Headers {
+					if c >= len(row) {
+						continue
+					}
+					cells[cellKey(r.ID, t.Title, row[0], h)] = row[c]
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// compareResults checks cand against base: every duration-valued
+// baseline cell must exist in cand and not exceed base*(1+tol).
+func compareResults(base, cand []jsonResult, tol float64) []compareIssue {
+	candCells := indexResults(cand)
+	var issues []compareIssue
+	for _, br := range base {
+		for _, bt := range br.Tables {
+			for _, row := range bt.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for c, h := range bt.Headers {
+					if c >= len(row) {
+						continue
+					}
+					baseDur, err := time.ParseDuration(row[c])
+					if err != nil || baseDur <= 0 {
+						continue // counts and "-" placeholders carry no perf signal
+					}
+					key := cellKey(br.ID, bt.Title, row[0], h)
+					candCell, ok := candCells[key]
+					if !ok {
+						issues = append(issues, compareIssue{
+							Key:    key,
+							Detail: "baseline metric absent from candidate (renamed or dropped)",
+						})
+						continue
+					}
+					candDur, err := time.ParseDuration(candCell)
+					if err != nil {
+						issues = append(issues, compareIssue{
+							Key:    key,
+							Detail: fmt.Sprintf("baseline is a duration, candidate %q is not", candCell),
+						})
+						continue
+					}
+					limit := time.Duration(float64(baseDur) * (1 + tol))
+					if candDur > limit {
+						issues = append(issues, compareIssue{
+							Key: key,
+							Detail: fmt.Sprintf("%v exceeds baseline %v by more than %.0f%% (limit %v)",
+								candDur, baseDur, tol*100, limit),
+							Regression: true,
+						})
+					}
+				}
+			}
+		}
+	}
+	return issues
+}
+
+// loadResults reads a BENCH_*.json recording.
+func loadResults(path string) ([]jsonResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []jsonResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+// rerunBaseline re-runs exactly the experiments the baseline records, at
+// the baseline's own scale, producing a candidate recording to compare.
+// An experiment id the registry no longer knows is reported by the key
+// comparison (its tables will be absent), not silently dropped here.
+func rerunBaseline(base []jsonResult) []jsonResult {
+	var out []jsonResult
+	for _, br := range base {
+		e, err := exp.ByID(br.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline experiment %q: %v\n", br.ID, err)
+			continue
+		}
+		fmt.Printf("re-running %s at scale %g ...\n", br.ID, br.Scale)
+		start := time.Now()
+		res, err := e.Run(exp.Scale(br.Scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", br.ID, err)
+			continue
+		}
+		jr := jsonResult{
+			ID: e.ID, Paper: e.Paper, Description: e.Description,
+			Scale: br.Scale, ElapsedMS: time.Since(start).Milliseconds(),
+			Notes: res.Notes,
+		}
+		for _, tab := range res.Tables {
+			jr.Tables = append(jr.Tables, toJSONTable(tab))
+		}
+		out = append(out, jr)
+	}
+	return out
+}
+
+// runCompare implements -compare: exit 0 when every baseline duration is
+// present and within tolerance, 1 on any regression or missing key.
+func runCompare(basePath, candPath string, tol float64) int {
+	base, err := loadResults(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loading baseline: %v\n", err)
+		return 1
+	}
+	var cand []jsonResult
+	if candPath != "" {
+		if cand, err = loadResults(candPath); err != nil {
+			fmt.Fprintf(os.Stderr, "loading candidate: %v\n", err)
+			return 1
+		}
+	} else {
+		cand = rerunBaseline(base)
+	}
+	issues := compareResults(base, cand, tol)
+	if len(issues) == 0 {
+		fmt.Printf("compare PASS: all baseline durations within %.0f%% of %s\n",
+			tol*100, basePath)
+		return 0
+	}
+	fmt.Printf("compare FAIL: %d issue(s) vs %s\n", len(issues), basePath)
+	for _, i := range issues {
+		fmt.Printf("  %s\n", i)
+	}
+	return 1
+}

@@ -1,0 +1,138 @@
+package main
+
+import "testing"
+
+// fixture builds a one-experiment recording with the given commit-mean
+// cell, alongside non-duration cells that must never trip the gate.
+func fixture(commitMean string) []jsonResult {
+	return []jsonResult{{
+		ID:    "replica",
+		Scale: 1,
+		Tables: []jsonTable{{
+			Title:   "Replication arms",
+			Headers: []string{"mode", "ok", "commit-mean", "failover"},
+			Rows: [][]string{
+				{"solo", "240", commitMean, "-"},
+				{"triplex", "240", "9.416ms", "151.2ms"},
+			},
+		}},
+	}}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := fixture("10ms")
+	cand := fixture("12ms") // +20% > 15% tolerance
+	issues := compareResults(base, cand, 0.15)
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v, want exactly one regression", issues)
+	}
+	if !issues[0].Regression {
+		t.Fatalf("issue not flagged as regression: %v", issues[0])
+	}
+	wantKey := cellKey("replica", "Replication arms", "solo", "commit-mean")
+	if issues[0].Key != wantKey {
+		t.Fatalf("issue key = %q, want %q", issues[0].Key, wantKey)
+	}
+}
+
+func TestCompareToleratesNoiseAndImprovement(t *testing.T) {
+	base := fixture("10ms")
+	for _, cell := range []string{"11ms", "10ms", "7ms", "1ms"} {
+		if issues := compareResults(base, fixture(cell), 0.15); len(issues) != 0 {
+			t.Fatalf("candidate %s flagged: %v", cell, issues)
+		}
+	}
+}
+
+func TestCompareCustomTolerance(t *testing.T) {
+	base := fixture("10ms")
+	cand := fixture("12ms")
+	if issues := compareResults(base, cand, 0.25); len(issues) != 0 {
+		t.Fatalf("+20%% flagged under 25%% tolerance: %v", issues)
+	}
+	if issues := compareResults(base, cand, 0.10); len(issues) != 1 {
+		t.Fatalf("+20%% not flagged under 10%% tolerance: %v", issues)
+	}
+}
+
+// A baseline metric the candidate no longer has — a renamed header, a
+// dropped row, or a vanished experiment — must be reported, not skipped:
+// a rename that silently disabled the gate would hide real regressions.
+func TestCompareReportsMissingKeys(t *testing.T) {
+	base := fixture("10ms")
+
+	// Renaming the commit-mean header orphans that column in both rows;
+	// the untouched failover column must still match.
+	renamed := fixture("10ms")
+	renamed[0].Tables[0].Headers[2] = "commit-avg"
+	issues := compareResults(base, renamed, 0.15)
+	if len(issues) != 2 {
+		t.Fatalf("renamed header: issues = %v, want 2 missing", issues)
+	}
+	for _, i := range issues {
+		if i.Regression {
+			t.Fatalf("missing key misreported as regression: %v", i)
+		}
+	}
+
+	// Renaming a row label (the arm name) orphans that row's durations.
+	rerow := fixture("10ms")
+	rerow[0].Tables[0].Rows[1][0] = "quintuplex"
+	issues = compareResults(base, rerow, 0.15)
+	if len(issues) != 2 { // triplex commit-mean + failover
+		t.Fatalf("renamed row: issues = %v, want 2 missing", issues)
+	}
+}
+
+func TestCompareReportsMissingExperiment(t *testing.T) {
+	base := fixture("10ms")
+	issues := compareResults(base, nil, 0.15)
+	// Every duration cell in the baseline (solo commit-mean, triplex
+	// commit-mean, triplex failover) is missing.
+	if len(issues) != 3 {
+		t.Fatalf("missing experiment: issues = %v, want 3", issues)
+	}
+	for _, i := range issues {
+		if i.Regression {
+			t.Fatalf("missing key misreported as regression: %v", i)
+		}
+	}
+}
+
+// A candidate cell that stopped being a duration (a refactor turned
+// "9.4ms" into "9.4") is an issue too — the metric silently changed
+// meaning.
+func TestCompareReportsNonDurationCandidate(t *testing.T) {
+	base := fixture("10ms")
+	cand := fixture("10")
+	issues := compareResults(base, cand, 0.15)
+	if len(issues) != 1 {
+		t.Fatalf("non-duration candidate: issues = %v, want 1", issues)
+	}
+}
+
+// Non-duration cells (counts, "-" placeholders) carry no perf signal:
+// changing them must not trip the gate.
+func TestCompareIgnoresCountCells(t *testing.T) {
+	base := fixture("10ms")
+	cand := fixture("10ms")
+	cand[0].Tables[0].Rows[0][1] = "9999" // ok-count changed wildly
+	if issues := compareResults(base, cand, 0.15); len(issues) != 0 {
+		t.Fatalf("count cell flagged: %v", issues)
+	}
+}
+
+// The committed baseline compared against itself must be clean — this is
+// the invariant the nightly job's zero-exit path rests on.
+func TestCompareCommittedBaselineSelf(t *testing.T) {
+	base, err := loadResults("../../BENCH_E14.json")
+	if err != nil {
+		t.Fatalf("loading committed baseline: %v", err)
+	}
+	if len(base) == 0 {
+		t.Fatalf("committed baseline is empty")
+	}
+	if issues := compareResults(base, base, 0.15); len(issues) != 0 {
+		t.Fatalf("self-compare not clean: %v", issues)
+	}
+}

@@ -10,6 +10,8 @@
 //	bench -list                # list experiments
 //	bench -csv                 # also emit tables as CSV
 //	bench -json BENCH_E14.json # also record results as JSON
+//	bench -compare BENCH_E14.json            # re-run and gate vs baseline
+//	bench -compare BENCH_E14.json -candidate new.json  # offline compare
 package main
 
 import (
@@ -60,8 +62,15 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csv        = flag.Bool("csv", false, "also print tables as CSV")
 		jsonPath   = flag.String("json", "", "also record results as JSON to this file")
+		compare    = flag.String("compare", "", "baseline JSON to gate against (exit 1 on regression)")
+		candidate  = flag.String("candidate", "", "candidate JSON for -compare (default: re-run the baseline's experiments)")
+		tolerance  = flag.Float64("tolerance", 0.15, "allowed fractional slowdown for -compare")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *candidate, *tolerance))
+	}
 
 	if *list {
 		fmt.Println("Experiments (DESIGN.md §3):")

@@ -239,6 +239,25 @@ func ReplayAccounts(records []stable.Record) map[string]int64 {
 	return st.accounts
 }
 
+// ReplayAccountsFrom is ReplayAccounts for a checkpointing branch: the
+// account table is seeded from the checkpoint state (nil means none) and
+// the post-checkpoint records are replayed on top — the exact
+// reconstruction a recovery or a replica takeover performs.
+func ReplayAccountsFrom(checkpoint []byte, records []stable.Record) (map[string]int64, error) {
+	st := &branchState{accounts: make(map[string]int64), applied: make(map[string]string)}
+	if len(checkpoint) > 0 {
+		if _, err := decodeCheckpoint(checkpoint, st); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range records {
+		if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
+			st.apply(kind, acct, amount, opID)
+		}
+	}
+	return st.accounts, nil
+}
+
 // apply performs one operation against the state; deterministic, so
 // recovery replays the log through it. It returns the outcome command.
 func (st *branchState) apply(kind, acct string, amount int64, opID string) string {

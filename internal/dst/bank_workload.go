@@ -84,11 +84,7 @@ func (b *bankWorkload) setup(w *guardian.World) error {
 	w.MustRegister(bank.BranchDef())
 	srv := w.MustAddNode(serverNode)
 	w.MustAddNode(clientsNode)
-	var args []any
-	if b.opts.Bug == BugDisableDedup {
-		args = append(args, "raw")
-	}
-	created, err := srv.Bootstrap(bank.BranchDefName, args...)
+	created, err := srv.Bootstrap(bank.BranchDefName, branchArgs(b.opts)...)
 	if err != nil {
 		return err
 	}
@@ -336,14 +332,20 @@ func (b *bankWorkload) check(w *guardian.World, rep *Report, crashed bool) {
 	if !equalAccounts(post, accts) {
 		rep.addViolation("recovery", "post-restart accounts %v != pre-crash %v", post, accts)
 	}
-	// ErrNoCheckpoint is the normal state of a branch log (the branch
-	// never checkpoints); the records are still complete.
-	_, recs, err := g2.Log().Recover()
+	// ErrNoCheckpoint is the normal state of a branch log that has not
+	// checkpointed yet; the records are still complete. When a checkpoint
+	// exists (CheckpointEvery), the replay starts from it.
+	cp, recs, err := g2.Log().Recover()
 	if err != nil && !errors.Is(err, stable.ErrNoCheckpoint) {
 		rep.addViolation("recovery", "log recover: %v", err)
 		return
 	}
-	if replay := bank.ReplayAccounts(recs); !equalAccounts(post, replay) {
+	replay, err := bank.ReplayAccountsFrom(cp, recs)
+	if err != nil {
+		rep.addViolation("recovery", "checkpoint decode: %v", err)
+		return
+	}
+	if !equalAccounts(post, replay) {
 		rep.addViolation("recovery", "post-restart accounts %v != log replay %v", post, replay)
 	}
 }

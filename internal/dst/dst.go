@@ -80,6 +80,29 @@ type Profile struct {
 	// split-brain shape: the old primary keeps believing it leads while
 	// the majority elects past it.
 	Isolations int
+
+	// The composite-fault vocabulary (see genSchedule for the shapes).
+	// Islands is the number of island windows: a random minority group
+	// (up to a third of the nodes) loses its uplink together.
+	Islands int
+	// Asymmetries is the number of one-way link-cut windows: one
+	// direction of one link dies while the reverse keeps flowing.
+	Asymmetries int
+	// RingCuts is the number of ring-cut windows: the nodes as a cycle
+	// lose two edges and split into two contiguous arcs.
+	RingCuts int
+	// Waves is the number of rolling crash waves: every crashable node
+	// crashes once, staggered in a random order.
+	Waves int
+	// StorageBursts is the number of windows multiplying the injected
+	// storage-fault rates (no-ops unless Options.StorageFaults is set).
+	StorageBursts int
+	// Forks is the number of fork windows: the initial primary is
+	// partitioned together with the clients away from its group's
+	// majority, so client appends fork its log while the majority
+	// elects past it. Replicated workloads only.
+	Forks int
+
 	// Horizon is the virtual window fault events are placed in.
 	Horizon time.Duration
 }
@@ -137,10 +160,39 @@ func SplitBrainProfile() Profile {
 		Jitter: 300 * time.Microsecond, Isolations: 1}.withDefaults()
 }
 
+// ForkHealProfile drives the quarantine→heal lifecycle: a fork window
+// keeps client traffic flowing into the isolated primary while the
+// majority elects past it, so the primary's log truly forks; after the
+// heal the deposed member must quarantine itself and then heal via
+// checkpoint supersession from the new leader. Meaningful with
+// Options.ReplicationFaults and a checkpointing branch
+// (Options.CheckpointEvery > 0). The longer horizon leaves room for the
+// post-heal traffic that ships the superseding checkpoint.
+func ForkHealProfile() Profile {
+	return Profile{Name: "forkheal", Loss: 0.03, Dup: 0.03,
+		Jitter: 300 * time.Microsecond, Forks: 1,
+		Horizon: 4 * time.Second}.withDefaults()
+}
+
+// CombinedProfile is the scale-sweep profile: every fault class the
+// vocabulary knows — loss/dup/reorder, crash and partition windows, an
+// island, an asymmetric link cut, a ring cut, a rolling crash wave, and
+// a storage burst — in one schedule, over a longer horizon. With
+// Options.StorageFaults and a replicated topology it drives network,
+// storage, and replication faults simultaneously.
+func CombinedProfile() Profile {
+	return Profile{Name: "combined", Loss: 0.05, Dup: 0.05, Reorder: 0.05,
+		Jitter:  300 * time.Microsecond,
+		Crashes: 1, Partitions: 1, Islands: 1, Asymmetries: 1,
+		RingCuts: 1, Waves: 1, StorageBursts: 1,
+		Horizon: 4 * time.Second}.withDefaults()
+}
+
 // Profiles returns the stock profiles.
 func Profiles() []Profile {
 	return []Profile{QuietProfile(), LossyProfile(), PartitionedProfile(),
-		CrashyProfile(), MixedProfile(), ReplicaProfile(), SplitBrainProfile()}
+		CrashyProfile(), MixedProfile(), ReplicaProfile(), SplitBrainProfile(),
+		ForkHealProfile(), CombinedProfile()}
 }
 
 // ProfileByName resolves a stock profile.
@@ -178,6 +230,17 @@ type Options struct {
 	// loss → failover must preserve acknowledged effects) and split-brain
 	// isolation windows (stale-term traffic must be fenced). Bank-only.
 	ReplicationFaults bool
+	// Topology, when non-nil, replaces the workload's fixed node set with
+	// a generated sharded topology: Shards bank branches, each on its own
+	// node (ReplFactor ≤ 1) or behind its own quorum replica group
+	// (ReplFactor ≥ 3), plus the shared clients node. Bank-only;
+	// exclusive with ReplicationFaults and Bug.
+	Topology *Topology
+	// CheckpointEvery, when positive, makes every bank branch checkpoint
+	// its state each N mutating operations — exercising the
+	// checkpoint-shipping and quarantine-heal paths of the replication
+	// layer, and log compaction everywhere else.
+	CheckpointEvery int
 	// StorageFaults, when non-nil, injects storage faults under every
 	// node: each node's simulated disk is wrapped in a durable.Wrapper
 	// with the given rates. Each node's fate stream is seeded by
@@ -257,14 +320,16 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 		Workload:   opts.Workload,
 		Profile:    opts.Profile.Name,
 		Bug:        opts.Bug,
-		Replicated: opts.ReplicationFaults,
+		Replicated: opts.ReplicationFaults || (opts.Topology != nil && opts.Topology.ReplFactor > 1),
 		Schedule:   schedule,
+		opts:       opts,
 	}
 	wl, err := newWorkload(opts)
 	if err != nil {
 		rep.addViolation("setup", err.Error())
 		return rep
 	}
+	rep.Nodes = len(wl.allNodes())
 
 	master := rand.New(rand.NewSource(opts.Seed))
 	netSeed := master.Int63()
@@ -351,6 +416,16 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 		}()
 	}
 
+	// Storage bursts scale every node's injected fault rates for a
+	// window; a no-op when no wrapper exists (StorageFaults unset).
+	setStorageScale := func(f float64) {
+		storeMu.Lock()
+		defer storeMu.Unlock()
+		for _, wr := range wrappers {
+			wr.SetFaultScale(f)
+		}
+	}
+
 	// Fault executor: sleeps on the virtual clock to each event's offset
 	// and applies it, so faults land at exactly their scheduled virtual
 	// times relative to the workload's own timers. Kills are permanent:
@@ -370,7 +445,7 @@ func RunWithSchedule(opts Options, schedule []Event) *Report {
 			if ev.Kind == EvRestart && killed[ev.Node] {
 				continue
 			}
-			applyEvent(w, ev)
+			applyEvent(w, ev, setStorageScale)
 		}
 	}()
 
@@ -427,7 +502,8 @@ func fnv64a(s string) int64 {
 
 // applyEvent performs one schedule event against the world. Crashing a
 // dead node or restarting a live one (overlapping windows) is a no-op.
-func applyEvent(w *guardian.World, ev Event) {
+// setStorageScale applies a burst factor to every injected-fault wrapper.
+func applyEvent(w *guardian.World, ev Event, setStorageScale func(float64)) {
 	switch ev.Kind {
 	case EvCrash, EvKill:
 		if n, err := w.Node(ev.Node); err == nil && n.Alive() {
@@ -448,5 +524,13 @@ func applyEvent(w *guardian.World, ev Event) {
 		w.Net().Partition(groups...)
 	case EvHeal:
 		w.Net().Heal()
+	case EvCutLink:
+		w.Net().CutDirected(netsim.Addr(ev.Node), netsim.Addr(ev.Peer))
+	case EvRestoreLink:
+		w.Net().RestoreDirected(netsim.Addr(ev.Node), netsim.Addr(ev.Peer))
+	case EvStorageBurst:
+		setStorageScale(ev.Factor)
+	case EvStorageCalm:
+		setStorageScale(1)
 	}
 }

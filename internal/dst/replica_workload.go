@@ -117,6 +117,7 @@ func (b *bankReplicaWorkload) wrapStore(node string, inner durable.Store) (durab
 		Heartbeat:   replHeartbeat,
 		Threshold:   replThreshold,
 		AppDef:      bank.BranchDefName,
+		AppArgs:     branchArgs(b.opts),
 		Service:     replService,
 		NS:          b.nsPort,
 		ServicePort: 1,
@@ -158,7 +159,7 @@ func (b *bankReplicaWorkload) setup(w *guardian.World) error {
 	if err != nil {
 		return err
 	}
-	created, err := primary.Bootstrap(bank.BranchDefName)
+	created, err := primary.Bootstrap(bank.BranchDefName, branchArgs(b.opts)...)
 	if err != nil {
 		return err
 	}
@@ -344,6 +345,8 @@ func (b *bankReplicaWorkload) replStats(rep *Report) {
 		sum.AppliedRecords += s.AppliedRecords
 		sum.CheckpointsShipped += s.CheckpointsShipped
 		sum.FencedStale += s.FencedStale
+		sum.ForksDetected += s.ForksDetected
+		sum.Heals += s.Heals
 		sum.Elections += s.Elections
 		sum.Takeovers += s.Takeovers
 	}
@@ -497,12 +500,17 @@ func (b *bankReplicaWorkload) check(w *guardian.World, rep *Report, crashed bool
 
 	// Recovery-equals-replay on the leader: the state any future takeover
 	// would reconstruct is exactly the state being served.
-	_, recs, err := g.Log().Recover()
+	cp, recs, err := g.Log().Recover()
 	if err != nil && !errors.Is(err, stable.ErrNoCheckpoint) {
 		rep.addViolation("recovery", "leader log recover: %v", err)
 		return
 	}
-	if replay := bank.ReplayAccounts(recs); !equalAccounts(accts, replay) {
+	replay, err := bank.ReplayAccountsFrom(cp, recs)
+	if err != nil {
+		rep.addViolation("recovery", "leader checkpoint decode: %v", err)
+		return
+	}
+	if !equalAccounts(accts, replay) {
 		rep.addViolation("recovery", "leader accounts %v != log replay %v", accts, replay)
 	}
 }

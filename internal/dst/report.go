@@ -27,10 +27,17 @@ type Report struct {
 	Workload string
 	Profile  string
 	Bug      string
+	// Nodes is the number of simulated nodes the workload's topology
+	// placed in the world.
+	Nodes    int
 	Schedule []Event
 	// Shrunk is true when Schedule was minimized after the original run
 	// failed.
 	Shrunk bool
+
+	// opts is the exact (defaults-applied) configuration of the run,
+	// kept for Repro.
+	opts Options
 
 	Violations []Violation
 
@@ -88,9 +95,10 @@ func (r *Report) String() string {
 			r.Storage.CorruptedTails, r.Storage.RecordsDropped)
 	}
 	if r.Replicated {
-		fmt.Fprintf(&b, "  repl: leader=%s shipped=%d applied=%d checkpoints=%d fenced=%d elections=%d takeovers=%d\n",
+		fmt.Fprintf(&b, "  repl: leader=%s shipped=%d applied=%d checkpoints=%d fenced=%d elections=%d takeovers=%d forks=%d heals=%d\n",
 			r.Leader, r.Repl.ShippedRecords, r.Repl.AppliedRecords, r.Repl.CheckpointsShipped,
-			r.Repl.FencedStale, r.Repl.Elections, r.Repl.Takeovers)
+			r.Repl.FencedStale, r.Repl.Elections, r.Repl.Takeovers,
+			r.Repl.ForksDetected, r.Repl.Heals)
 	}
 	fmt.Fprintf(&b, "  time: %v virtual in %v real\n",
 		r.VirtualElapsed.Round(time.Millisecond), r.RealElapsed.Round(time.Millisecond))
@@ -108,15 +116,59 @@ func (r *Report) String() string {
 		}
 	}
 	if r.Failed() {
-		fmt.Fprintf(&b, "  reproduce: go test ./internal/dst -run 'TestSeed$' -dst.seed=%d -dst.workload=%s -dst.profile=%s",
-			r.Seed, r.Workload, r.Profile)
-		if r.Bug != "" {
-			fmt.Fprintf(&b, " -dst.bug=%s", r.Bug)
-		}
-		if r.Replicated {
-			b.WriteString(" -dst.repl")
-		}
-		b.WriteString("\n")
+		fmt.Fprintf(&b, "  reproduce: %s\n", r.Repro())
 	}
 	return b.String()
+}
+
+// Repro returns the one-line command reproducing this run exactly: the
+// same seed under the same (defaults-applied) configuration regenerates
+// the same schedule, workload, and fate streams. Sweeps collect these
+// lines for failed seeds; the nightly CI job uploads them as its
+// failure artifact.
+func (r *Report) Repro() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go run ./cmd/dst -seed %d -workload %s -profile %s",
+		r.Seed, r.Workload, r.Profile)
+	o := r.opts
+	if h := o.Profile.Horizon; h > 0 && profileHorizonDiffers(o.Profile) {
+		fmt.Fprintf(&b, " -horizon %v", h)
+	}
+	if o.Clients > 0 {
+		fmt.Fprintf(&b, " -clients %d", o.Clients)
+	}
+	if o.OpsPerClient > 0 {
+		fmt.Fprintf(&b, " -ops %d", o.OpsPerClient)
+	}
+	if r.Bug != "" {
+		fmt.Fprintf(&b, " -bug %s", r.Bug)
+	}
+	if o.ReplicationFaults {
+		b.WriteString(" -repl")
+	}
+	if t := o.Topology; t != nil {
+		fmt.Fprintf(&b, " -shards %d", t.Shards)
+		if t.ReplFactor > 1 {
+			fmt.Fprintf(&b, " -replfactor %d", t.ReplFactor)
+		}
+	}
+	if o.CheckpointEvery > 0 {
+		fmt.Fprintf(&b, " -cpevery %d", o.CheckpointEvery)
+	}
+	if sf := o.StorageFaults; sf != nil {
+		fmt.Fprintf(&b, " -storage %g,%g,%g",
+			sf.SyncFailRate, sf.ShortWriteRate, sf.CorruptTailRate)
+	}
+	return b.String()
+}
+
+// profileHorizonDiffers reports whether p's horizon deviates from the
+// stock profile of the same name (a -horizon flag override); custom
+// profiles always report false — their horizon is part of the profile.
+func profileHorizonDiffers(p Profile) bool {
+	stock, err := ProfileByName(p.Name)
+	if err != nil {
+		return false
+	}
+	return stock.Horizon != p.Horizon
 }

@@ -13,6 +13,13 @@ package dst
 //
 // budget caps the number of re-runs; zero means one per fault window.
 func Shrink(opts Options, rep *Report, budget int) *Report {
+	return shrinkWith(RunWithSchedule, opts, rep, budget)
+}
+
+// shrinkWith is Shrink with the re-run function injected, so tests can
+// drive the minimization loop against synthetic failure predicates
+// without paying for real simulated runs.
+func shrinkWith(run func(Options, []Event) *Report, opts Options, rep *Report, budget int) *Report {
 	if !rep.Failed() || len(rep.Schedule) == 0 {
 		return rep
 	}
@@ -30,7 +37,7 @@ func Shrink(opts Options, rep *Report, budget int) *Report {
 			continue // pair already removed by an earlier pass
 		}
 		budget--
-		if r := RunWithSchedule(opts, cand); r.Failed() {
+		if r := run(opts, cand); r.Failed() {
 			r.Shrunk = true
 			best = r
 		}

@@ -1,0 +1,174 @@
+package dst
+
+import (
+	"testing"
+	"time"
+)
+
+// Synthetic schedules for driving shrinkWith without real simulated
+// runs: each window is a crash+restart pair sharing a Pair id.
+func synthWindow(pair int, at time.Duration, node string) []Event {
+	return []Event{
+		{At: at, Kind: EvCrash, Node: node, Pair: pair},
+		{At: at + 100*time.Millisecond, Kind: EvRestart, Node: node, Pair: pair},
+	}
+}
+
+func synthSchedule(pairs ...int) []Event {
+	var evs []Event
+	for i, p := range pairs {
+		evs = append(evs, synthWindow(p, time.Duration(i)*time.Second, "server")...)
+	}
+	return evs
+}
+
+func hasPair(evs []Event, pair int) bool {
+	for _, ev := range evs {
+		if ev.Pair == pair {
+			return true
+		}
+	}
+	return false
+}
+
+func failingReport(evs []Event) *Report {
+	r := &Report{Schedule: evs}
+	r.addViolation("synthetic", "injected")
+	return r
+}
+
+func TestShrinkWith(t *testing.T) {
+	cases := []struct {
+		name string
+		// fails decides whether a candidate schedule still violates.
+		fails  func([]Event) bool
+		pairs  []int
+		budget int
+		// wantPairs is the expected surviving pair set, in order.
+		wantPairs  []int
+		wantShrunk bool
+		wantRuns   int
+	}{
+		{
+			// The adversarial case: the violation needs windows 0 AND 2
+			// together; window 1 is noise. Greedy removal must keep both
+			// cooperating windows and drop only the noise.
+			name:       "two cooperating windows",
+			fails:      func(evs []Event) bool { return hasPair(evs, 0) && hasPair(evs, 2) },
+			pairs:      []int{0, 1, 2},
+			wantPairs:  []int{0, 2},
+			wantShrunk: true,
+			wantRuns:   3,
+		},
+		{
+			// Already minimal: every window is necessary, so every
+			// removal passes and the original report survives unshrunk.
+			name: "already minimal",
+			fails: func(evs []Event) bool {
+				return hasPair(evs, 0) && hasPair(evs, 1) && hasPair(evs, 2)
+			},
+			pairs:      []int{0, 1, 2},
+			wantPairs:  []int{0, 1, 2},
+			wantShrunk: false,
+			wantRuns:   3,
+		},
+		{
+			// The violation needs no fault at all (a pure network bug):
+			// everything is stripped.
+			name:       "schedule-independent violation",
+			fails:      func([]Event) bool { return true },
+			pairs:      []int{0, 1, 2},
+			wantPairs:  []int{},
+			wantShrunk: true,
+			wantRuns:   3,
+		},
+		{
+			// Budget cap: two re-runs only reach the first two windows.
+			name:       "budget caps re-runs",
+			fails:      func([]Event) bool { return true },
+			pairs:      []int{0, 1, 2, 3},
+			budget:     2,
+			wantPairs:  []int{2, 3},
+			wantShrunk: true,
+			wantRuns:   2,
+		},
+		{
+			// Only the last window matters.
+			name:       "single necessary window",
+			fails:      func(evs []Event) bool { return hasPair(evs, 2) },
+			pairs:      []int{0, 1, 2},
+			wantPairs:  []int{2},
+			wantShrunk: true,
+			wantRuns:   3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := 0
+			run := func(_ Options, cand []Event) *Report {
+				runs++
+				r := &Report{Schedule: cand}
+				if tc.fails(cand) {
+					r.addViolation("synthetic", "injected")
+				}
+				return r
+			}
+			orig := failingReport(synthSchedule(tc.pairs...))
+			got := shrinkWith(run, Options{}, orig, tc.budget)
+
+			if runs != tc.wantRuns {
+				t.Errorf("re-runs = %d, want %d", runs, tc.wantRuns)
+			}
+			if got.Shrunk != tc.wantShrunk {
+				t.Errorf("Shrunk = %v, want %v", got.Shrunk, tc.wantShrunk)
+			}
+			if !got.Failed() {
+				t.Errorf("shrunk report no longer fails")
+			}
+			gotPairs := pairOrder(got.Schedule)
+			if len(gotPairs) != len(tc.wantPairs) {
+				t.Fatalf("surviving pairs %v, want %v", gotPairs, tc.wantPairs)
+			}
+			for i := range gotPairs {
+				if gotPairs[i] != tc.wantPairs[i] {
+					t.Fatalf("surviving pairs %v, want %v", gotPairs, tc.wantPairs)
+				}
+			}
+			// Pair atomicity: every surviving window keeps both its
+			// events — the shrinker never removes half a window.
+			for _, p := range gotPairs {
+				n := 0
+				for _, ev := range got.Schedule {
+					if ev.Pair == p {
+						n++
+					}
+				}
+				if n != 2 {
+					t.Fatalf("pair %d has %d events, want 2 (atomic windows)", p, n)
+				}
+			}
+		})
+	}
+}
+
+// TestShrinkNoopOnPassOrEmpty: a passing report and an empty schedule
+// are returned untouched without any re-run.
+func TestShrinkNoopOnPassOrEmpty(t *testing.T) {
+	runs := 0
+	run := func(_ Options, cand []Event) *Report {
+		runs++
+		return failingReport(cand)
+	}
+
+	pass := &Report{Schedule: synthSchedule(0, 1)}
+	if got := shrinkWith(run, Options{}, pass, 0); got != pass {
+		t.Fatalf("passing report was not returned unchanged")
+	}
+	empty := failingReport(nil)
+	if got := shrinkWith(run, Options{}, empty, 0); got != empty {
+		t.Fatalf("empty-schedule report was not returned unchanged")
+	}
+	if runs != 0 {
+		t.Fatalf("shrink re-ran %d times on no-op inputs", runs)
+	}
+}

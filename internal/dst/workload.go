@@ -62,9 +62,34 @@ func pace(pr *guardian.Process, crng *rand.Rand, opts Options) {
 	pr.Pause(time.Duration(float64(mean) * (0.5 + crng.Float64())))
 }
 
+// branchArgs builds the bank branch bootstrap arguments implied by the
+// run options: "raw" to disable dedup (the seeded bug), and a checkpoint
+// interval when the run exercises checkpointing. Shared by every bank
+// workload so the branch under test is configured identically whether it
+// is bootstrapped directly, by a replica takeover, or per shard.
+func branchArgs(opts Options) []any {
+	var args []any
+	if opts.Bug == BugDisableDedup {
+		args = append(args, "raw")
+	}
+	if opts.CheckpointEvery > 0 {
+		args = append(args, int64(opts.CheckpointEvery))
+	}
+	return args
+}
+
 func newWorkload(opts Options) (workload, error) {
 	switch opts.Workload {
 	case "bank":
+		if opts.Topology != nil {
+			if opts.Bug != "" {
+				return nil, fmt.Errorf("dst: bug %q is single-node-only", opts.Bug)
+			}
+			if opts.ReplicationFaults {
+				return nil, fmt.Errorf("dst: Topology and ReplicationFaults are exclusive (a topology replicates via ReplFactor)")
+			}
+			return newShardedWorkload(opts)
+		}
 		if opts.ReplicationFaults {
 			if opts.Bug != "" {
 				return nil, fmt.Errorf("dst: bug %q is single-node-only", opts.Bug)
@@ -76,8 +101,8 @@ func newWorkload(opts Options) (workload, error) {
 		if opts.Bug != "" {
 			return nil, fmt.Errorf("dst: bug %q is bank-only", opts.Bug)
 		}
-		if opts.ReplicationFaults {
-			return nil, fmt.Errorf("dst: replication faults are bank-only")
+		if opts.ReplicationFaults || opts.Topology != nil {
+			return nil, fmt.Errorf("dst: replication faults and topologies are bank-only")
 		}
 		return newAirlineWorkload(opts), nil
 	default:

@@ -67,6 +67,7 @@ type Wrapper struct {
 
 	mu    sync.Mutex
 	rng   *rand.Rand
+	scale float64 // fault-rate multiplier; 1 outside burst windows
 	stats WrapperStats
 	logs  map[string]*wrapLog
 }
@@ -77,8 +78,26 @@ func Wrap(inner Store, cfg WrapperConfig) *Wrapper {
 		inner: inner,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		scale: 1,
 		logs:  make(map[string]*wrapLog),
 	}
+}
+
+// SetFaultScale multiplies the configured fault rates by f until the
+// next call — the storage-burst primitive: a harness raises the scale
+// for a window (a dying disk, a battery-backed cache losing power) and
+// drops it back to 1. Exactly one fate value is drawn per non-empty
+// Sync regardless of the rates in force, so changing the scale
+// mid-run never desynchronizes the seeded fate stream: the same seed
+// under the same Sync order draws the same values, burst or no burst.
+// Negative f is treated as 0 (faults off).
+func (w *Wrapper) SetFaultScale(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	w.mu.Lock()
+	w.scale = f
+	w.mu.Unlock()
 }
 
 // Inner returns the wrapped store.
@@ -203,18 +222,21 @@ func (l *wrapLog) Sync() {
 	fault := ""
 	cut := len(batch)
 	if len(batch) > 0 {
+		sf := w.cfg.SyncFailRate * w.scale
+		sw := w.cfg.ShortWriteRate * w.scale
+		ct := w.cfg.CorruptTailRate * w.scale
 		switch f := w.rng.Float64(); {
-		case f < w.cfg.SyncFailRate:
+		case f < sf:
 			fault = FaultSyncFail
 			cut = 0
 			w.stats.SyncsFailed++
 			w.stats.RecordsDropped += int64(len(batch))
-		case f < w.cfg.SyncFailRate+w.cfg.ShortWriteRate:
+		case f < sf+sw:
 			fault = FaultShortWrite
 			cut = w.rng.Intn(len(batch)) // strict prefix, possibly empty
 			w.stats.ShortWrites++
 			w.stats.RecordsDropped += int64(len(batch))
-		case f < w.cfg.SyncFailRate+w.cfg.ShortWriteRate+w.cfg.CorruptTailRate:
+		case f < sf+sw+ct:
 			fault = FaultCorruptTail
 			w.stats.CorruptedTails++
 			w.stats.RecordsDropped += int64(len(batch))

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
@@ -115,6 +116,14 @@ type Runtime struct {
 	appPorts   []xrep.PortName
 	registered bool
 	purged     bool
+
+	// pendingReset marks a crash whose reset could not take mu
+	// synchronously: a storage fault during a term-log persist
+	// fail-stops the node from INSIDE a critical section, so reset()
+	// re-entering mu on the same goroutine would deadlock. The flag is
+	// consumed at the next lock acquisition — a spawned finisher, or
+	// attach at the latest — always before any post-restart decision.
+	pendingReset atomic.Bool
 
 	stats Stats
 }
@@ -363,6 +372,13 @@ func (rt *Runtime) attach(ctx *guardian.Ctx) {
 	w := ctx.G.Node().World()
 	t := w.Tuning()
 	rt.mu.Lock()
+	if rt.pendingReset.Load() {
+		// The crash's deferred reset lost the race to this restart:
+		// consume it now so no pre-crash leader state leaks into the
+		// decisions below, then re-take the lock.
+		rt.finishResetLocked()
+		rt.mu.Lock()
+	}
 	rt.g = ctx.G
 	rt.clock = w.Clock()
 	rt.hb = rt.cfg.Heartbeat
@@ -780,8 +796,33 @@ func (rt *Runtime) bounce(pr *guardian.Process, to string) {
 // not only in stepDownLocked. Nothing is persisted: the store has
 // already crashed, and the persisted risk flag covers real process
 // death.
+// A crash triggered by a storage fault arrives from INSIDE one of the
+// runtime's own critical sections (the fault wrapper fail-stops the node
+// before a term-log AppendSync returns, and that persist holds mu), so
+// reset must not block on mu unconditionally: it marks the reset pending
+// and lets the next lock acquisition — the spawned finisher once the
+// persist's section unwinds, or attach on restart at the latest —
+// consume it. Both run before any post-restart decision, and the fork
+// evaluation sees the same volatile ack state either way.
 func (rt *Runtime) reset() {
-	rt.mu.Lock()
+	rt.pendingReset.Store(true)
+	if rt.mu.TryLock() {
+		rt.finishResetLocked()
+		return
+	}
+	go func() {
+		rt.mu.Lock()
+		rt.finishResetLocked()
+	}()
+}
+
+// finishResetLocked consumes a pending reset. Called with mu held; always
+// releases it.
+func (rt *Runtime) finishResetLocked() {
+	if !rt.pendingReset.Swap(false) {
+		rt.mu.Unlock()
+		return
+	}
 	if rt.role == roleLeader && !rt.quorumHeldAllLocked() {
 		if !rt.diverged {
 			rt.stats.ForksDetected++

@@ -181,6 +181,12 @@ type (
 	DSTEvent = dst.Event
 	// DSTViolation is one invariant breach found by a checker.
 	DSTViolation = dst.Violation
+	// DSTTopology shapes a run as many independent guardian groups.
+	DSTTopology = dst.Topology
+	// DSTSweepOptions configures a parallel multi-seed sweep.
+	DSTSweepOptions = dst.SweepOptions
+	// DSTSweepResult aggregates a sweep's verdicts, timing, and repros.
+	DSTSweepResult = dst.SweepResult
 )
 
 // Constructors and helpers.
@@ -257,6 +263,12 @@ var (
 	DSTProfiles = dst.Profiles
 	// DSTProfileByName resolves a fault profile by name.
 	DSTProfileByName = dst.ProfileByName
+	// DSTSweep runs many seeds in parallel, each fully isolated.
+	DSTSweep = dst.Sweep
+	// DSTCombinedProfile composes network, crash, and storage faults.
+	DSTCombinedProfile = dst.CombinedProfile
+	// DSTForkHealProfile forces a replication fork and its heal window.
+	DSTForkHealProfile = dst.ForkHealProfile
 )
 
 // Receive statuses.
