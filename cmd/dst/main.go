@@ -10,6 +10,7 @@
 //	dst -seed 42                          # one bank run under the mixed profile
 //	dst -seeds 100 -par 4                 # parallel sweep of seeds 1..100
 //	dst -profile combined -shards 67 -replfactor 3 -cpevery 4  # 200-node run
+//	dst -profile combined -ring 4,2,1     # consistent-hash ring, live join/leave rebalancing
 //	dst -bug disable-dedup                # inject the control-arm bug
 //	dst -reprofile repro.txt              # write failing repro lines to a file
 //	dst -profiles                         # list fault profiles
@@ -31,6 +32,24 @@ import (
 	"repro/internal/dst"
 	"repro/internal/durable"
 )
+
+// parseRing turns "shards,joins,leaves" into a ring topology — the same
+// triple Repro() prints for ring runs.
+func parseRing(s string) (*dst.RingTopology, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-ring wants shards,joins,leaves, got %q", s)
+	}
+	var topo dst.RingTopology
+	for i, dst := range []*int{&topo.Shards, &topo.Joins, &topo.Leaves} {
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("bad ring count %q: %v", parts[i], err)
+		}
+		*dst = v
+	}
+	return &topo, nil
+}
 
 // parseStorage turns "syncfail,shortwrite,corrupttail" into a fault
 // config — the same triple Repro() prints.
@@ -63,6 +82,7 @@ func main() {
 		bug        = flag.String("bug", "", "inject a known bug (disable-dedup) as a harness check")
 		repl       = flag.Bool("repl", false, "run the replicated-guardian workload")
 		shards     = flag.Int("shards", 0, "sharded topology: number of independent guardian groups")
+		ringTopo   = flag.String("ring", "", "consistent-hash ring with live rebalancing: shards,joins,leaves")
 		replfactor = flag.Int("replfactor", 0, "replicas per shard (0/1 plain, odd >=3 replicated)")
 		cpevery    = flag.Int("cpevery", 0, "checkpoint the branch every N mutations")
 		storage    = flag.String("storage", "", "storage fault rates: syncfail,shortwrite,corrupttail")
@@ -103,6 +123,14 @@ func main() {
 	}
 	if *shards > 0 {
 		opts.Topology = &dst.Topology{Shards: *shards, ReplFactor: *replfactor}
+	}
+	if *ringTopo != "" {
+		topo, err := parseRing(*ringTopo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Ring = topo
 	}
 	if *storage != "" {
 		cfg, err := parseStorage(*storage)

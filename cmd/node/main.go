@@ -20,6 +20,16 @@
 // is the amo port name printed in terminal 1. The -loss/-dup/-delay flags
 // wrap the socket in the same fault model the simulator uses, so the §3.5
 // at-most-once machinery can be watched surviving real packet abuse.
+//
+// Beyond the two-terminal demo: -data makes the hosted guardian durable
+// (WAL + recovery, DESIGN.md §11), -group replicates it across member
+// processes with automatic failover (§12), and -shard makes it one member
+// of a consistent-hash ring (§14) — bootstrapped, joined, and driven by
+// the ring client mode (-ring, with -ringboot/-ringjoin/-ringleave, ops
+// routed by account through an epoch-aware router, cross-shard transfers
+// via a -host txncoord process). -crash POINT:N exits at exact durability,
+// replication, or handoff windows for the crash-matrix tests. The README
+// has a full multi-terminal walkthrough of each mode.
 package main
 
 import (
@@ -42,6 +52,9 @@ import (
 	"repro/internal/guardian"
 	"repro/internal/nameserv"
 	"repro/internal/replica"
+	"repro/internal/ring"
+	"repro/internal/sendprim"
+	"repro/internal/tpc"
 	"repro/internal/transport"
 	"repro/internal/xrep"
 )
@@ -91,6 +104,15 @@ type options struct {
 	flight, capacity int64
 	org              string
 
+	// consistent-hash ring: shard names the member a hosted bank branch
+	// serves as; the ring* flags select the ring client mode.
+	shard     string
+	ringName  string
+	ringBoot  string
+	ringJoin  string
+	ringLeave string
+	coord     string
+
 	// client mode
 	call    string
 	resolve string
@@ -131,6 +153,12 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.Int64Var(&o.flight, "flight", 12, "airline: flight number")
 	fs.Int64Var(&o.capacity, "capacity", 100, "airline: seat capacity")
 	fs.StringVar(&o.org, "org", airline.OrgMonitor, "airline: internal organization")
+	fs.StringVar(&o.shard, "shard", "", "bank: serve as this ring member (shard mode; needs -host bank)")
+	fs.StringVar(&o.ringName, "ring", "", "ring client mode: route -op operations through this consistent-hash ring (needs -ns)")
+	fs.StringVar(&o.ringBoot, "ringboot", "", "bootstrap the ring's epoch-1 membership: 'name=NATIVE,AMO;name=NATIVE,AMO;...' (needs -ring)")
+	fs.StringVar(&o.ringJoin, "ringjoin", "", "rebalance one member into the ring: 'name=NATIVE,AMO' (needs -ring)")
+	fs.StringVar(&o.ringLeave, "ringleave", "", "rebalance one member out of the ring by name (needs -ring)")
+	fs.StringVar(&o.coord, "coord", "", "two-phase-commit coordinator port for cross-shard transfers, as node/guardian/port")
 	fs.StringVar(&o.call, "call", "", "client mode: target port as node/guardian/port")
 	fs.StringVar(&o.resolve, "resolve", "", "client mode: resolve the target by well-known name "+
 		"through the name service, re-resolving on every retry (needs -ns)")
@@ -148,20 +176,43 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 		if err != nil {
 			return nil, err
 		}
-		if spec.replication() {
+		switch {
+		case spec.replication():
 			if o.group == "" {
 				return nil, fmt.Errorf("node: -crash %s needs -group", spec.point)
 			}
-		} else if o.data == "" {
-			return nil, fmt.Errorf("node: -crash %s needs -data", spec.point)
+		case spec.handoff():
+			if o.shard == "" {
+				return nil, fmt.Errorf("node: -crash %s needs -shard", spec.point)
+			}
+			if o.data == "" {
+				return nil, fmt.Errorf("node: -crash %s needs -data", spec.point)
+			}
+		default:
+			if o.data == "" {
+				return nil, fmt.Errorf("node: -crash %s needs -data", spec.point)
+			}
 		}
 		o.crash = spec
 	}
-	if (o.host == "") == (o.call == "" && o.resolve == "") {
-		return nil, fmt.Errorf("node: exactly one of -host (server) or -call/-resolve (client) is required")
+	clientMode := o.call != "" || o.resolve != "" || o.ringName != ""
+	if (o.host == "") == !clientMode {
+		return nil, fmt.Errorf("node: exactly one of -host (server) or -call/-resolve/-ring (client) is required")
 	}
-	if o.call != "" && o.resolve != "" {
-		return nil, fmt.Errorf("node: -call and -resolve are mutually exclusive")
+	if (o.call != "" && o.resolve != "") || (o.ringName != "" && (o.call != "" || o.resolve != "")) {
+		return nil, fmt.Errorf("node: -call, -resolve and -ring are mutually exclusive")
+	}
+	if o.shard != "" && o.host != "bank" {
+		return nil, fmt.Errorf("node: -shard needs -host bank")
+	}
+	if o.shard != "" && o.group != "" {
+		return nil, fmt.Errorf("node: -shard and -group are exclusive")
+	}
+	if o.ringName != "" && o.ns == "" {
+		return nil, fmt.Errorf("node: -ring needs -ns")
+	}
+	if o.ringName == "" && (o.ringBoot != "" || o.ringJoin != "" || o.ringLeave != "") {
+		return nil, fmt.Errorf("node: -ringboot/-ringjoin/-ringleave need -ring")
 	}
 	if o.resolve != "" && o.ns == "" {
 		return nil, fmt.Errorf("node: -resolve needs -ns")
@@ -220,10 +271,11 @@ func parseCrashSpec(s string) (*crashSpec, error) {
 	}
 	switch point {
 	case "before-sync", "after-sync", "mid-checkpoint",
-		"before-ship", "after-ship", "after-quorum":
+		"before-ship", "after-ship", "after-quorum",
+		"before-cut", "after-cut", "before-install", "after-install":
 	default:
 		return nil, fmt.Errorf("node: bad -crash point %q: want before-sync, after-sync, mid-checkpoint, "+
-			"before-ship, after-ship or after-quorum", point)
+			"before-ship, after-ship, after-quorum, before-cut, after-cut, before-install or after-install", point)
 	}
 	n, err := strconv.ParseInt(nStr, 10, 64)
 	if err != nil || n < 1 {
@@ -237,6 +289,16 @@ func parseCrashSpec(s string) (*crashSpec, error) {
 func (c *crashSpec) replication() bool {
 	switch c.point {
 	case "before-ship", "after-ship", "after-quorum":
+		return true
+	}
+	return false
+}
+
+// handoff reports whether the crash point is a shard-handoff window
+// (fired from bank.ShardHooks).
+func (c *crashSpec) handoff() bool {
+	switch c.point {
+	case "before-cut", "after-cut", "before-install", "after-install":
 		return true
 	}
 	return false
@@ -261,6 +323,9 @@ func hostDef(o *options) (def string, bootArgs []any, provides []*guardian.PortT
 	case "bank":
 		def = bank.BranchDefName
 		provides = bank.BranchDef().Provides
+		if o.shard != "" {
+			bootArgs = append(bootArgs, bank.ShardArg(o.shard))
+		}
 		if o.cpevery > 0 {
 			bootArgs = append(bootArgs, o.cpevery)
 		}
@@ -271,8 +336,11 @@ func hostDef(o *options) (def string, bootArgs []any, provides []*guardian.PortT
 	case "nameserv":
 		def = nameserv.DefName
 		provides = nameserv.Def().Provides
+	case "txncoord":
+		def = tpc.CoordinatorDefName
+		provides = tpc.CoordinatorDef().Provides
 	default:
-		err = fmt.Errorf("node: unknown -host %q: want bank, airline or nameserv", o.host)
+		err = fmt.Errorf("node: unknown -host %q: want bank, airline, nameserv or txncoord", o.host)
 	}
 	return def, bootArgs, provides, err
 }
@@ -383,10 +451,21 @@ func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper
 	w.MustRegister(airline.FlightDef())
 	w.MustRegister(nameserv.Def())
 	w.MustRegister(replica.Def())
+	w.MustRegister(tpc.CoordinatorDef())
 	return w, udp, wrap, slot, nil
 }
 
 func serve(o *options, stdout io.Writer) error {
+	if o.shard != "" {
+		// Handoff crash windows fire from the branch's receive process; a
+		// non-matching point leaves the hook nil (a no-op).
+		bank.SetShardHooks(o.name, bank.ShardHooks{
+			BeforeCut:     o.crash.hook("before-cut"),
+			AfterCut:      o.crash.hook("after-cut"),
+			BeforeInstall: o.crash.hook("before-install"),
+			AfterInstall:  o.crash.hook("after-install"),
+		})
+	}
 	w, udp, wrap, slot, err := buildWorld(o)
 	if err != nil {
 		return err
@@ -453,6 +532,9 @@ func serve(o *options, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
+	if o.shard != "" {
+		fmt.Fprintf(stdout, "shard member=%s\n", o.shard)
+	}
 	if recovered {
 		fmt.Fprintf(stdout, "recovered %s guardian %d from catalog\n", def, hosted.ID())
 	}
@@ -520,6 +602,14 @@ func serve(o *options, stdout io.Writer) error {
 	if o.host == "bank" && hosted != nil {
 		if applies, err := bank.Applies(hosted); err == nil {
 			fmt.Fprintf(stdout, "applies %d\n", applies)
+		}
+		if member, epoch, accts, ok := bank.ShardSnapshot(hosted); ok {
+			var total int64
+			for _, bal := range accts {
+				total += bal
+			}
+			fmt.Fprintf(stdout, "shard member=%s epoch=%d accounts=%d total=%d\n",
+				member, epoch, len(accts), total)
 		}
 	}
 	return w.Close()
@@ -634,6 +724,176 @@ func client(o *options, stdout io.Writer) error {
 	return nil
 }
 
+// parseRingMember turns "s1=node/g/p,node/g/p" into a ring member: the
+// first port is the branch's native (migration) port, the second its
+// at-most-once request port — the order the server banner prints them.
+func parseRingMember(spec string) (ring.Member, error) {
+	name, ports, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return ring.Member{}, fmt.Errorf("node: bad ring member %q: want name=NATIVE,AMO", spec)
+	}
+	nat, am, ok := strings.Cut(ports, ",")
+	if !ok {
+		return ring.Member{}, fmt.Errorf("node: bad ring member ports %q: want NATIVE,AMO", ports)
+	}
+	native, err := nameserv.ParsePort(strings.TrimSpace(nat))
+	if err != nil {
+		return ring.Member{}, err
+	}
+	amoPort, err := nameserv.ParsePort(strings.TrimSpace(am))
+	if err != nil {
+		return ring.Member{}, err
+	}
+	return ring.Member{Name: name, Native: native, Amo: amoPort}, nil
+}
+
+// ringClient drives a consistent-hash ring of shard branches: optional
+// membership actions (bootstrap, join, leave) followed by -op operations
+// routed by account hash, with cross-shard transfers riding 2PC through
+// -coord.
+func ringClient(o *options, stdout io.Writer) error {
+	nsPort, err := nameserv.ParsePort(o.ns)
+	if err != nil {
+		return err
+	}
+	if _, ok := o.peers[transport.Addr(nsPort.Node)]; !ok {
+		return fmt.Errorf("node: no -peers route to name-service node %q", nsPort.Node)
+	}
+	w, _, wrap, _, err := buildWorld(o)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	n, err := w.AddNode(o.name)
+	if err != nil {
+		return err
+	}
+	_, proc, err := n.NewDriver("ringcli")
+	if err != nil {
+		return err
+	}
+	nc, err := nameserv.NewClient(proc, nsPort)
+	if err != nil {
+		return err
+	}
+	ropts := bank.RebalanceOptions{
+		NS:      nc,
+		Timeout: o.timeout,
+		Call: sendprim.CallOptions{
+			Timeout: o.timeout,
+			Retries: o.retries,
+			Backoff: o.timeout / 10,
+		},
+	}
+
+	if o.ringBoot != "" {
+		var members []ring.Member
+		for _, spec := range strings.Split(o.ringBoot, ";") {
+			if spec = strings.TrimSpace(spec); spec == "" {
+				continue
+			}
+			m, err := parseRingMember(spec)
+			if err != nil {
+				return err
+			}
+			members = append(members, m)
+		}
+		if err := bank.Bootstrap(proc, ring.New(o.ringName, 0, members...), ropts); err != nil {
+			return fmt.Errorf("node: ring bootstrap: %w", err)
+		}
+		fmt.Fprintf(stdout, "ring %s bootstrapped with %d members\n", o.ringName, len(members))
+	}
+	if o.ringJoin != "" {
+		m, err := parseRingMember(o.ringJoin)
+		if err != nil {
+			return err
+		}
+		next, err := bank.Join(proc, o.ringName, m, ropts)
+		if err != nil {
+			return fmt.Errorf("node: ring join %s: %w", m.Name, err)
+		}
+		fmt.Fprintf(stdout, "ring %s epoch %d committed (join %s)\n", o.ringName, next.Epoch, m.Name)
+	}
+	if o.ringLeave != "" {
+		next, err := bank.Leave(proc, o.ringName, o.ringLeave, ropts)
+		if err != nil {
+			return fmt.Errorf("node: ring leave %s: %w", o.ringLeave, err)
+		}
+		fmt.Fprintf(stdout, "ring %s epoch %d committed (leave %s)\n", o.ringName, next.Epoch, o.ringLeave)
+	}
+
+	if len(o.ops) > 0 {
+		rto := bank.RouterOptions{
+			NS:       nc,
+			RingName: o.ringName,
+			Timeout:  o.timeout,
+			Call: amo.CallerOptions{
+				Timeout: o.timeout,
+				Retries: o.retries,
+				Backoff: amo.BackoffPolicy{Base: o.timeout / 10, Jitter: 0.5},
+			},
+		}
+		if o.coord != "" {
+			p, err := nameserv.ParsePort(o.coord)
+			if err != nil {
+				return err
+			}
+			if _, ok := o.peers[transport.Addr(p.Node)]; !ok {
+				return fmt.Errorf("node: no -peers route to coordinator node %q", p.Node)
+			}
+			rto.Coordinator = p
+		}
+		rt, err := bank.NewRouter(proc, rto)
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		for _, op := range o.ops {
+			cmd, args, err := parseOp(op)
+			if err != nil {
+				return err
+			}
+			if cmd == "transfer" {
+				if len(args) != 3 {
+					return fmt.Errorf("node: op %q: want transfer FROM TO AMOUNT", op)
+				}
+				from, _ := args[0].(string)
+				to, _ := args[1].(string)
+				amt, _ := args[2].(int64)
+				out, err := rt.Transfer(from, to, amt)
+				if err != nil {
+					return fmt.Errorf("node: op %q: %w", op, err)
+				}
+				fmt.Fprintf(stdout, "op %q: %s\n", op, out)
+				continue
+			}
+			if len(args) == 0 {
+				return fmt.Errorf("node: op %q: ring ops name their account first", op)
+			}
+			acct, ok := args[0].(string)
+			if !ok {
+				return fmt.Errorf("node: op %q: account must be a name", op)
+			}
+			r, err := rt.Call(acct, cmd, args...)
+			if err != nil {
+				return fmt.Errorf("node: op %q: %w", op, err)
+			}
+			line := r.Command
+			for _, a := range r.Args {
+				line += fmt.Sprintf(" %v", a)
+			}
+			fmt.Fprintf(stdout, "op %q: %s\n", op, line)
+		}
+	}
+	if wrap != nil {
+		wrap.Quiesce()
+		ws := wrap.InjectedStats()
+		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
+			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	o, err := parseFlags(args, stderr)
 	if err != nil {
@@ -643,9 +903,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if o.host != "" {
+	switch {
+	case o.host != "":
 		err = serve(o, stdout)
-	} else {
+	case o.ringName != "":
+		err = ringClient(o, stdout)
+	default:
 		err = client(o, stdout)
 	}
 	if err != nil {

@@ -56,6 +56,27 @@ const ReqCommand = "amo_req"
 // ReplyCommand is the envelope command of an at-most-once reply.
 const ReplyCommand = "amo_reply"
 
+// OutcomeMoved is the reserved reply outcome a sharded server sends when
+// the request's key is owned elsewhere (package ring): args carry the
+// owner's port and the server's ring epoch. The Caller treats it as a
+// routing correction, not an answer — it re-sends the SAME request id to
+// the new port, so an op the old owner executed before a migration is
+// still deduplicated at the new owner (the dedup table travels with the
+// range). Servers must send it WITHOUT executing or caching: it is
+// regenerable routing state, never an effect.
+const OutcomeMoved = "amo_moved"
+
+// OutcomeSplit is the reserved reply outcome for a multi-key request
+// whose keys no longer share an owner (a transfer straddling a shard
+// boundary after a rebalance). It is terminal: the caller must re-issue
+// the work as a distributed transaction (ring.Router falls back to tpc).
+const OutcomeSplit = "amo_split"
+
+// MaxRedirects bounds the moved-redirects one Call follows, so two
+// servers mid-handoff pointing at each other degrade into a normal retry
+// with backoff instead of a tight ping-pong that burns the budget.
+const MaxRedirects = 16
+
 // ReqType is the port type an at-most-once server provides. The envelope
 // carries the request id (client, seq), the client's prune watermark (ack:
 // the highest seq the client holds a reply for — everything at or below it
@@ -93,6 +114,8 @@ type Metrics struct {
 	RepliesReplayed metrics.Counter
 	// CircuitOpen counts calls that failed fast on a down target.
 	CircuitOpen metrics.Counter
+	// Redirects counts moved-outcome replies followed to a new owner.
+	Redirects metrics.Counter
 	// RetryBackoffTotal accumulates nanoseconds slept in retry backoff.
 	RetryBackoffTotal metrics.Counter
 }

@@ -238,14 +238,21 @@ func (c *Caller) Call(to xrep.PortName, command string, args ...any) (*Reply, er
 	attempts := c.opts.Retries + 1
 	waited := make([]time.Duration, 0, attempts)
 	var backoffTotal time.Duration
+	redirects := 0
+	followingMove := false
+attempt:
 	for i := 0; i < attempts; i++ {
-		if i > 0 && c.opts.Resolve != nil {
+		if i > 0 && c.opts.Resolve != nil && !followingMove {
 			// A retry means the cached address did not answer; ask for a
 			// fresh binding before burning another attempt on it.
 			if fresh, ok := c.opts.Resolve(); ok {
 				to = fresh
 			}
 		}
+		// A moved redirect names a port fresher than anything the resolver
+		// can know (the old owner told us mid-flip); it wins for exactly
+		// one send, then normal re-resolution resumes.
+		followingMove = false
 		if c.opts.Health != nil && c.opts.Health.Down(to.Node) {
 			// Circuit open for the cached address: re-resolve once — the
 			// binding may have moved to a live node — and only fail fast
@@ -289,6 +296,22 @@ func (c *Caller) Call(to xrep.PortName, command string, args ...any) (*Reply, er
 				if rm.Command != ReplyCommand || rm.Int(0) != seq {
 					continue // stale or duplicated reply: discard, keep waiting
 				}
+				if rm.Str(1) == OutcomeMoved && redirects < MaxRedirects {
+					// The key's range migrated: the reply names the new
+					// owner. Re-send the SAME request id there — never a
+					// fresh one, or an op the old owner executed before
+					// the flip (its dedup entry travelled with the range)
+					// would apply twice. The resend does not consume a
+					// retry: a redirect is progress, not a failure.
+					if fresh, ok := movedTarget(rm.Args[2]); ok {
+						redirects++
+						m.Redirects.Inc()
+						to = fresh
+						followingMove = true
+						i--
+						continue attempt
+					}
+				}
 				c.mu.Lock()
 				if seq > c.acked {
 					c.acked = seq
@@ -318,6 +341,20 @@ func (c *Caller) Call(to xrep.PortName, command string, args ...any) (*Reply, er
 	}
 	return nil, &CallError{Client: c.client, Seq: seq, Attempts: attempts,
 		Waited: waited, Backoff: backoffTotal}
+}
+
+// movedTarget extracts the new owner's port from an OutcomeMoved reply's
+// arguments (owner port, ring epoch).
+func movedTarget(v xrep.Value) (xrep.PortName, bool) {
+	args, ok := v.(xrep.Seq)
+	if !ok || len(args) < 1 {
+		return xrep.PortName{}, false
+	}
+	p, ok := args[0].(xrep.PortName)
+	if !ok || p.IsZero() {
+		return xrep.PortName{}, false
+	}
+	return p, true
 }
 
 // drainStale clears leftover replies from earlier calls (duplicates of

@@ -144,6 +144,19 @@ func SendReply(pr *guardian.Process, m *guardian.Message, outcome string, args x
 	_ = pr.Send(m.ReplyTo, ReplyCommand, m.Int(1), outcome, args)
 }
 
+// SendMoved answers an envelope with the OutcomeMoved routing redirect:
+// the key's range is owned by the guardian behind owner, as of the given
+// ring epoch. Deliberately NOT logged and NOT cached — a redirect is
+// derivable routing state, and caching it would burn a durable write per
+// misrouted request. A shard's ownership filter sends it BEFORE the dedup
+// hook runs (guardian.Receiver.Intercept order), which is safe exactly
+// because migration ships the dedup table with the range: a request id the
+// old owner already executed is redirected too, and answered from the NEW
+// owner's cache.
+func SendMoved(pr *guardian.Process, m *guardian.Message, owner xrep.PortName, epoch int64) {
+	SendReply(pr, m, OutcomeMoved, xrep.Seq{owner, xrep.Int(epoch)})
+}
+
 // handle processes one envelope: drop (already pruned), replay (cached),
 // or execute-log-reply (fresh).
 func (d *Dedup) handle(pr *guardian.Process, m *guardian.Message, h Handler) {
@@ -361,26 +374,23 @@ func (d *Dedup) Snapshot() xrep.Value {
 	return out
 }
 
-// Restore rebuilds the table from a Snapshot value, replacing the current
-// contents. A recovering guardian calls Restore with the checkpoint's
-// snapshot first, then Recover to fold in the log records written after
-// the checkpoint was taken.
-func (d *Dedup) Restore(v xrep.Value) error {
+// parseSnapshot decodes a Snapshot value into a fresh session table.
+func parseSnapshot(v xrep.Value) (map[string]*session, error) {
 	seq, ok := v.(xrep.Seq)
 	if !ok {
-		return fmt.Errorf("amo: restore: not a snapshot sequence")
+		return nil, fmt.Errorf("amo: restore: not a snapshot sequence")
 	}
 	sessions := make(map[string]*session, len(seq))
 	for _, sv := range seq {
 		rec, ok := sv.(xrep.Rec)
 		if !ok || rec.Name != "amo/session" || len(rec.Fields) != 3 {
-			return fmt.Errorf("amo: restore: malformed session record")
+			return nil, fmt.Errorf("amo: restore: malformed session record")
 		}
 		client, ok0 := rec.Fields[0].(xrep.Str)
 		pruned, ok1 := rec.Fields[1].(xrep.Int)
 		entries, ok2 := rec.Fields[2].(xrep.Seq)
 		if !ok0 || !ok1 || !ok2 {
-			return fmt.Errorf("amo: restore: malformed session record")
+			return nil, fmt.Errorf("amo: restore: malformed session record")
 		}
 		s := &session{
 			pruned:    int64(pruned),
@@ -390,20 +400,63 @@ func (d *Dedup) Restore(v xrep.Value) error {
 		for _, ev := range entries {
 			e, ok := ev.(xrep.Seq)
 			if !ok || len(e) != 3 {
-				return fmt.Errorf("amo: restore: malformed reply entry")
+				return nil, fmt.Errorf("amo: restore: malformed reply entry")
 			}
 			rseq, ok0 := e[0].(xrep.Int)
 			outcome, ok1 := e[1].(xrep.Str)
 			args, ok2 := e[2].(xrep.Seq)
 			if !ok0 || !ok1 || !ok2 {
-				return fmt.Errorf("amo: restore: malformed reply entry")
+				return nil, fmt.Errorf("amo: restore: malformed reply entry")
 			}
 			s.replies[int64(rseq)] = cached{outcome: string(outcome), args: args}
 		}
 		sessions[string(client)] = s
 	}
+	return sessions, nil
+}
+
+// Restore rebuilds the table from a Snapshot value, replacing the current
+// contents. A recovering guardian calls Restore with the checkpoint's
+// snapshot first, then Recover to fold in the log records written after
+// the checkpoint was taken.
+func (d *Dedup) Restore(v xrep.Value) error {
+	sessions, err := parseSnapshot(v)
+	if err != nil {
+		return err
+	}
 	d.mu.Lock()
 	d.sessions = sessions
 	d.mu.Unlock()
+	return nil
+}
+
+// MergeSnapshot folds another guardian's Snapshot into this table without
+// discarding what is already here — the receiving half of dedup handoff
+// during a shard migration. Watermarks take the max and cached replies
+// union (an id present on both sides carries the same reply, since an id
+// executes on exactly one side before the range moves). After the merge, a
+// client retry of an op the old owner executed is answered from this
+// table's cache instead of re-executing — exactly-once across migration.
+func (d *Dedup) MergeSnapshot(v xrep.Value) error {
+	incoming, err := parseSnapshot(v)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for client, in := range incoming {
+		s, ok := d.sessions[client]
+		if !ok {
+			d.sessions[client] = in
+			continue
+		}
+		for seq, c := range in.replies {
+			if _, dup := s.replies[seq]; !dup && seq > s.pruned {
+				s.replies[seq] = c
+			}
+		}
+		s.prune(in.pruned)
+		s.bound(d.opts.MaxPerClient)
+	}
 	return nil
 }

@@ -1,0 +1,104 @@
+// Package c is the ring-era golden input for the recvhygiene pass: the
+// receive shapes the consistent-hash ring introduced — the nameserver's
+// versioned ring-membership handlers and the shard branch's handoff
+// protocol — checked in both the armed form the real loops use and the
+// armless forms they must never regress to.
+package c
+
+import (
+	"time"
+
+	"repro/internal/bank"
+	"repro/internal/guardian"
+)
+
+// membershipLoop mirrors the nameserver's ring-membership service: the
+// propose/commit/get handlers with the §3.4 failure arm for replies
+// bounced off a caller that died between asking and hearing.
+func membershipLoop(ctx *guardian.Ctx) {
+	nop := func(*guardian.Process, *guardian.Message) {}
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("ring_propose", nop).
+		When("ring_commit", nop).
+		When("ring_get", nop).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// A bounced reply means the proposer crashed; the staged epoch
+			// stays for whoever re-drives it.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// membershipLoopArmless is the regression shape: membership handlers
+// with no failure arm drop the report that a ring reply bounced, and a
+// rebalance driver waiting on that reply retries forever against a
+// guardian that already answered.
+func membershipLoopArmless(ctx *guardian.Ctx) {
+	nop := func(*guardian.Process, *guardian.Message) {}
+	guardian.NewReceiver(ctx.Ports[0]). // want `neither a failure arm`
+						When("ring_propose", nop).
+						When("ring_commit", nop).
+						When("ring_get", nop).
+						Loop(ctx.Proc, nil)
+}
+
+// handoffLoop mirrors the shard branch's migration port: pull, install,
+// the snapshot stream, the cut handshake and the epoch broadcast, with
+// the failure arm present for sends bounced off a peer that died inside
+// its handoff window.
+func handoffLoop(ctx *guardian.Ctx) {
+	nop := func(*guardian.Process, *guardian.Message) {}
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("handoff_pull", nop).
+		When("handoff_install", nop).
+		When("handoff_status", nop).
+		When("ring_update", nop).
+		When("seed", nop).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// The rebalance driver polls handoff_status; a bounced reply is
+			// its problem to re-ask, not ours to track.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// snapshotPump is the destination's pull of the source's snapshot
+// stream: timeout-armed, because a source that dies mid-stream must not
+// wedge the destination's receive process forever.
+func snapshotPump(ctx *guardian.Ctx) {
+	reply, err := ctx.G.NewPort(bank.MigrateReplyType, 8)
+	if err != nil {
+		return
+	}
+	nop := func(*guardian.Process, *guardian.Message) {}
+	guardian.NewReceiver(reply).
+		When("snap_meta", nop).
+		When("snap_part", nop).
+		When("cut_done", nop).
+		When("cut_busy", nop).
+		WhenTimeout(250*time.Millisecond, func(pr *guardian.Process) {
+			// Source went quiet mid-handoff: abandon this attempt; the
+			// driver's re-issued pull starts a fresh one.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// snapshotPumpArmless is the regression shape: a snapshot pull with
+// neither arm waits forever on parts a crashed source will never send.
+func snapshotPumpArmless(ctx *guardian.Ctx) {
+	reply, err := ctx.G.NewPort(bank.MigrateReplyType, 8)
+	if err != nil {
+		return
+	}
+	nop := func(*guardian.Process, *guardian.Message) {}
+	guardian.NewReceiver(reply). // want `neither a failure arm`
+					When("snap_meta", nop).
+					When("snap_part", nop).
+					Loop(ctx.Proc, nil)
+}
+
+// installBlocked is the driver-side regression shape: waiting forever
+// for a migrate ack a killed destination will never send, with no
+// failure handling at all.
+func installBlocked(pr *guardian.Process, dest guardian.Port) {
+	m, _ := pr.Receive(guardian.Infinite, &dest) // want `Infinite timeout and no failure handling`
+	_ = m
+}

@@ -54,7 +54,36 @@ var BranchPortType = guardian.NewPortType("bank_branch_port").
 	Msg("transfer_in", xrep.KindString, xrep.KindInt, xrep.KindString).
 	Replies("transfer_in", OutcomeOK, OutcomeNoAccount).
 	Msg("audit").
-	Replies("audit", "audit_info")
+	Replies("audit", "audit_info").
+	// Shard-mode vocabulary (shard.go): ring adoption, bulk seeding, the
+	// destination-pull handoff protocol, and 2PC escrow participation.
+	Msg("ring_update", xrep.KindString).
+	Replies("ring_update", "ring_ok").
+	Msg("seed", xrep.KindString, xrep.KindInt, xrep.KindInt).
+	Replies("seed", "seeded").
+	Msg("handoff_pull", xrep.KindString, xrep.KindString, xrep.KindPortName).
+	Replies("handoff_pull", "pull_ok", "pull_denied").
+	Msg("handoff_status", xrep.KindString).
+	Replies("handoff_status", "handoff_state").
+	Msg("handoff_fail", xrep.KindString).
+	Msg("handoff_stage", xrep.KindString, xrep.KindSeq).
+	Replies("handoff_stage", "staged").
+	Msg("handoff_install", xrep.KindString, xrep.KindString, xrep.KindSeq, guardian.AnyKind).
+	Replies("handoff_install", "installed", "install_denied").
+	Msg("migrate_snap", xrep.KindString, xrep.KindString, xrep.KindString).
+	Replies("migrate_snap", "snap_meta", "migrate_denied").
+	Msg("migrate_part", xrep.KindString, xrep.KindInt, xrep.KindInt).
+	Replies("migrate_part", "snap_part", "migrate_denied").
+	Msg("migrate_cut", xrep.KindString).
+	Replies("migrate_cut", "cut_done", "cut_busy", "migrate_denied").
+	Msg("migrate_ack", xrep.KindString).
+	Replies("migrate_ack", "ack_ok").
+	Msg("prepare", xrep.KindString, guardian.AnyKind).
+	Replies("prepare", "vote_yes", "vote_no").
+	Msg("commit", xrep.KindString).
+	Replies("commit", "ack_commit").
+	Msg("abort", xrep.KindString).
+	Replies("abort", "ack_abort")
 
 // ClientReplyType receives every branch reply.
 var ClientReplyType = guardian.NewPortType("bank_client_port").
@@ -72,11 +101,28 @@ type branchState struct {
 	// applied maps op_id → outcome command, for idempotent replay and
 	// duplicate suppression.
 	applied map[string]string
+	// holds is the aggregate 2PC debit escrow per account (shard mode):
+	// balance checks subtract it, so a prepared-but-undecided debit can
+	// never be overdrawn by a concurrent withdrawal.
+	holds map[string]int64
+	// shard is the shard-mode runtime, nil-safe to ignore elsewhere.
+	shard *shardRuntime
 	// applies counts mutating executions taken through the at-most-once
 	// port — the ground truth a double-apply audit compares against the
 	// number of logical operations clients issued. Atomic because tests
 	// read it while the guardian runs.
 	applies atomic.Int64
+}
+
+// hold adjusts the debit escrow against one account.
+func (st *branchState) hold(acct string, delta int64) {
+	if st.holds == nil {
+		st.holds = make(map[string]int64)
+	}
+	st.holds[acct] += delta
+	if st.holds[acct] <= 0 {
+		delete(st.holds, acct)
+	}
 }
 
 // BranchDef returns the branch guardian definition.
@@ -231,12 +277,25 @@ func decodeCheckpoint(data []byte, st *branchState) (dedupSnap xrep.Value, err e
 // invented an effect.
 func ReplayAccounts(records []stable.Record) map[string]int64 {
 	st := &branchState{accounts: make(map[string]int64), applied: make(map[string]string)}
+	replayInto(st, newShardCore(""), records)
+	return st.accounts
+}
+
+// replayInto folds records into st in log order: shard records (ring
+// flips, seeds, migrations, escrow) through the deterministic shard fold,
+// everything else through the op-record apply. Foreign records (dedup
+// table entries) are skipped by both decoders.
+func replayInto(st *branchState, core *shardCore, records []stable.Record) {
 	for _, r := range records {
+		if v, err := wire.UnmarshalValue(r.Data); err == nil {
+			if _, ok := core.fold(st, v); ok {
+				continue
+			}
+		}
 		if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
 			st.apply(kind, acct, amount, opID)
 		}
 	}
-	return st.accounts
 }
 
 // ReplayAccountsFrom is ReplayAccounts for a checkpointing branch: the
@@ -250,11 +309,7 @@ func ReplayAccountsFrom(checkpoint []byte, records []stable.Record) (map[string]
 			return nil, err
 		}
 	}
-	for _, r := range records {
-		if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
-			st.apply(kind, acct, amount, opID)
-		}
-	}
+	replayInto(st, newShardCore(""), records)
 	return st.accounts, nil
 }
 
@@ -285,7 +340,9 @@ func (st *branchState) apply(kind, acct string, amount int64, opID string) strin
 			if !ok {
 				return OutcomeNoAccount
 			}
-			if bal < amount {
+			// Escrowed debits (shard-mode 2PC holds) are unavailable; the
+			// map is nil outside shard mode and reads as zero.
+			if bal-st.holds[acct] < amount {
 				return OutcomeInsufficient
 			}
 			st.accounts[acct] = bal - amount
@@ -310,6 +367,7 @@ func branchMain(ctx *guardian.Ctx) {
 
 	raw := false
 	cpEvery := 0
+	member := ""
 	for _, a := range ctx.Args {
 		switch v := a.(type) {
 		case xrep.Str:
@@ -318,6 +376,10 @@ func branchMain(ctx *guardian.Ctx) {
 			}
 		case xrep.Int:
 			cpEvery = int(v)
+		case xrep.Rec:
+			if name, ok := shardMember(v); ok {
+				member = name
+			}
 		}
 	}
 
@@ -329,6 +391,13 @@ func branchMain(ctx *guardian.Ctx) {
 		// write).
 		dedup = amo.NewDedup(amo.DedupOptions{Log: log})
 	}
+
+	// Every branch carries the shard runtime; with no ShardArg the member
+	// is "" and the ownership filter stays uninstalled, so the shard
+	// vocabulary still answers (a plain branch accepts seed and escrow)
+	// while routing behavior is unchanged.
+	sh := newShardRuntime(member, st, log, dedup, ctx.G, ctx.Ports[0].Name())
+	st.shard = sh
 
 	if ctx.Recovering {
 		cp, recs, err := log.Recover()
@@ -346,6 +415,9 @@ func branchMain(ctx *guardian.Ctx) {
 			cpDedup = snap
 		}
 		for _, r := range recs {
+			if sh.replayData(r.Data) {
+				continue
+			}
 			if kind, acct, amount, opID, ok := decodeOpRecord(r.Data); ok {
 				st.apply(kind, acct, amount, opID)
 			}
@@ -361,6 +433,9 @@ func branchMain(ctx *guardian.Ctx) {
 				panic(err)
 			}
 		}
+		// Merge the dedup snapshots replayed install records carried, after
+		// Restore/Recover so the merge lands on the rebuilt table.
+		sh.afterRecover()
 	}
 
 	// maybeCheckpoint folds the branch's whole state into a checkpoint
@@ -371,7 +446,10 @@ func branchMain(ctx *guardian.Ctx) {
 	// client retry re-execute an effect the checkpoint already holds.
 	opsSinceCP := 0
 	maybeCheckpoint := func() {
-		if cpEvery <= 0 {
+		if cpEvery <= 0 || sh.dirty {
+			// The checkpoint format does not capture shard state (rings,
+			// handoffs, escrow): once any shard record exists, compaction
+			// would lose it, so checkpointing is suppressed.
 			return
 		}
 		opsSinceCP++
@@ -396,6 +474,9 @@ func branchMain(ctx *guardian.Ctx) {
 		}
 		log.AppendSync(opRecord(kind, acct, amount, opID))
 		outcome := st.apply(kind, acct, amount, opID)
+		if outcome == OutcomeOK {
+			sh.journal(kind, acct, amount)
+		}
 		if !replyTo.IsZero() {
 			_ = pr.Send(replyTo, outcome)
 		}
@@ -445,6 +526,7 @@ func branchMain(ctx *guardian.Ctx) {
 			outcome := st.apply(kind, str(0), num(1), "")
 			if outcome == OutcomeOK {
 				st.applies.Add(1)
+				sh.journal(kind, str(0), num(1))
 			}
 			return outcome, nil
 		}
@@ -456,14 +538,23 @@ func branchMain(ctx *guardian.Ctx) {
 			// check precedes any logging.
 			maybeCheckpoint()
 			from, to, amount := str(0), str(1), num(2)
+			// An account absent here but owned by another shard makes this
+			// a cross-shard pair: answer split (the Router re-plans through
+			// 2PC) rather than a false no_account.
 			bal, ok := st.accounts[from]
 			if !ok {
+				if sh.member != "" && !sh.owned(from) {
+					return amo.OutcomeSplit, nil
+				}
 				return OutcomeNoAccount, nil
 			}
 			if _, ok := st.accounts[to]; !ok {
+				if sh.member != "" && !sh.owned(to) {
+					return amo.OutcomeSplit, nil
+				}
 				return OutcomeNoAccount, nil
 			}
-			if bal < amount {
+			if bal-st.holds[from] < amount {
 				return OutcomeInsufficient, nil
 			}
 			log.Append(opRecord("withdraw", from, amount, ""))
@@ -471,6 +562,8 @@ func branchMain(ctx *guardian.Ctx) {
 			st.apply("withdraw", from, amount, "")
 			st.apply("deposit", to, amount, "")
 			st.applies.Add(1)
+			sh.journal("withdraw", from, amount)
+			sh.journal("deposit", to, amount)
 			return OutcomeOK, nil
 		case "balance":
 			bal, ok := st.accounts[str(0)]
@@ -483,6 +576,12 @@ func branchMain(ctx *guardian.Ctx) {
 	}
 
 	recv := guardian.NewReceiver(ctx.Ports[0], ctx.Ports[1])
+	if member != "" {
+		// Ring ownership filter, installed BEFORE the dedup hook so a
+		// misrouted request is redirected without touching the dedup
+		// table; requests it declines fall through and execute normally.
+		recv.Intercept(sh.ownershipHook(), amo.ReqCommand)
+	}
 	if raw {
 		// Control arm: execute every delivery, duplicates included — the
 		// bare remote-transaction-send behavior of §3.5.
@@ -541,6 +640,8 @@ func branchMain(ctx *guardian.Ctx) {
 			if m.ReplyTo.IsZero() {
 				return
 			}
+			// Escrowed holds are still part of this branch's money; the
+			// audit total includes them (they are not yet applied).
 			var total int64
 			for _, b := range st.accounts {
 				total += b
@@ -551,8 +652,9 @@ func branchMain(ctx *guardian.Ctx) {
 			// §3.4 failure arm: a discarded transfer_in named this port as
 			// its replyto — the peer branch's port vanished or overflowed.
 			// The at-most-once retry loop re-sends until acknowledged.
-		}).
-		Loop(ctx.Proc, nil)
+		})
+	sh.installArms(recv)
+	recv.Loop(ctx.Proc, nil)
 }
 
 // Snapshot reads a branch's account table. Owner-side test facility.

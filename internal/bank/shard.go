@@ -1,0 +1,1129 @@
+package bank
+
+// Shard mode: a branch guardian as one member of a consistent-hash ring
+// (package ring), with live range migration. The branch keeps its whole
+// vocabulary — at-most-once ops, native idempotent ops, audit — and gains:
+//
+//   - an ownership filter in front of the amo dedup hook: a request whose
+//     key hashes to another member is answered with amo.OutcomeMoved (a
+//     routing redirect carrying the owner's port and the ring epoch), and
+//     a multi-key request whose keys no longer share an owner with
+//     amo.OutcomeSplit (the Router re-issues it as a 2PC transaction);
+//   - guardian-to-guardian handoff: the DESTINATION pulls a moving range
+//     with a snapshot copy (migrate_snap/migrate_part), a tail catch-up
+//     and atomic ownership cut at the source (migrate_cut), and a single
+//     durable install at the destination (handoff_install) that carries
+//     the account state AND the source's amo dedup snapshot, so
+//     exactly-once survives the migration;
+//   - escrow-style 2PC participation (prepare/commit/abort on the native
+//     port, tpc vocabulary) for cross-shard transfers.
+//
+// Authority is presence-based: an account present in the table is served
+// here, full stop; an absent account is resolved through the latest
+// adopted ring. The source deletes a range's accounts in the same durable
+// record that flips its ring (bank/moved_out), and the destination creates
+// them in the record that flips its own (bank/install), so at every
+// instant each account has exactly one serving owner. The window between
+// cut and install — where both sides redirect — costs liveness (bounded by
+// amo.MaxRedirects plus retry backoff), never safety.
+//
+// Every shard state change is a logged record folded through ONE
+// deterministic function (shardCore.fold), used identically by the live
+// arms, crash recovery, and the independent replay checker
+// (ReplayAccountsFrom), so the recovery-equals-replay invariant extends to
+// migrations.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/durable"
+	"repro/internal/guardian"
+	"repro/internal/ring"
+	"repro/internal/sendprim"
+	"repro/internal/wire"
+	"repro/internal/xrep"
+)
+
+// Shard record names (stable-log and argument records).
+const (
+	shardArgRec = "bank/shard"
+	ringRec     = "bank/ring"
+	seedRec     = "bank/seed"
+	movedOutRec = "bank/moved_out"
+	installRec  = "bank/install"
+	ackedRec    = "bank/acked"
+	tpcRec      = "bank/tpc"
+)
+
+// ShardArg builds the creation argument that puts a branch in shard mode
+// as the named ring member. Pass it to CreateGuardian alongside the usual
+// branch arguments.
+func ShardArg(member string) xrep.Rec {
+	return xrep.Rec{Name: shardArgRec, Fields: xrep.Seq{xrep.Str(member)}}
+}
+
+// shardMember extracts a ShardArg's member name; ok is false for other
+// argument values.
+func shardMember(v xrep.Value) (string, bool) {
+	rec, isRec := v.(xrep.Rec)
+	if !isRec || rec.Name != shardArgRec || len(rec.Fields) != 1 {
+		return "", false
+	}
+	name, isStr := rec.Fields[0].(xrep.Str)
+	return string(name), isStr
+}
+
+// HandoffID names one range migration deterministically, so a driver
+// retrying after any crash converges on the same handoff state.
+func HandoffID(ringName string, epoch int64, from, to string) string {
+	return fmt.Sprintf("%s/%d/%s>%s", ringName, epoch, from, to)
+}
+
+// MigrateReplyType receives the replies of the shard-control vocabulary:
+// the rebalance driver's calls (ring_update, seed, handoff_pull,
+// handoff_status, migrate_ack) and the destination puller's calls
+// (migrate_snap, migrate_part, migrate_cut, handoff_stage,
+// handoff_install).
+var MigrateReplyType = guardian.NewPortType("bank_migrate_reply_port").
+	Msg("ring_ok", xrep.KindInt).              // adopted epoch
+	Msg("seeded", xrep.KindInt, xrep.KindInt). // created, total accounts
+	Msg("pull_ok").
+	Msg("pull_denied", xrep.KindString).
+	Msg("handoff_state", xrep.KindString). // "installed" | "pulling" | "unknown"
+	Msg("staged", xrep.KindInt).           // staged account count so far
+	Msg("installed").
+	Msg("install_denied", xrep.KindString).
+	Msg("snap_meta", xrep.KindInt, xrep.KindInt).                  // generation, account count
+	Msg("snap_part", xrep.KindInt, xrep.KindInt, xrep.KindSeq).    // next cursor, done flag, entries
+	Msg("cut_done", xrep.KindInt, xrep.KindSeq, guardian.AnyKind). // generation echo, tail ops, dedup snapshot
+	Msg("cut_busy").
+	Msg("migrate_denied", xrep.KindString).
+	Msg("ack_ok")
+
+// ShardHooks are crash-window callbacks for the cross-process handoff
+// demo: cmd/node registers hooks that exit the process at a chosen point,
+// so a crash matrix can kill a guardian immediately before or after each
+// durable handoff step. Hooks run on the guardian's receive process.
+type ShardHooks struct {
+	BeforeCut, AfterCut         func(hid string)
+	BeforeInstall, AfterInstall func(hid string)
+	// AfterPrepare runs after an escrow prepare is durable but before the
+	// yes vote is sent — the window a coordinator-crash test uses to hold
+	// a participant in its prepared state while the decision is made.
+	AfterPrepare func(txid string)
+}
+
+var shardHooks = struct {
+	mu sync.Mutex
+	m  map[string]ShardHooks
+}{m: make(map[string]ShardHooks)}
+
+// SetShardHooks registers handoff crash-window hooks for every shard
+// branch on the named node. Passing the zero value clears them.
+func SetShardHooks(node string, h ShardHooks) {
+	shardHooks.mu.Lock()
+	defer shardHooks.mu.Unlock()
+	shardHooks.m[node] = h
+}
+
+func hooksFor(node string) ShardHooks {
+	shardHooks.mu.Lock()
+	defer shardHooks.mu.Unlock()
+	return shardHooks.m[node]
+}
+
+// shardTxn is one 2PC escrow transaction's state.
+type shardTxn struct {
+	phase  string // "prepared", "committed", "aborted"
+	kind   string // "debit" or "credit"
+	acct   string
+	amount int64
+}
+
+// journalOp is one mutation captured for tail catch-up.
+type journalOp struct {
+	kind   string
+	acct   string
+	amount int64
+}
+
+// outboundHandoff is the source side of one range migration.
+type outboundHandoff struct {
+	hid  string
+	dest string
+	ring *ring.Ring // the pending ring the cut flips to
+	blob []byte
+
+	// Pre-cut copy state. Volatile by design: if the source crashes before
+	// the cut, nothing moved, and the puller restarts from a fresh snap.
+	gen    int64            // bumped per snap, so a puller detects a restarted copy
+	copied map[string]int64 // balances frozen at snap time
+	order  []string         // deterministic part order over copied
+	tail   []journalOp      // mutations on the moving range since the snap
+
+	// Post-cut state, durable via the bank/moved_out record. final is
+	// retained until the driver's migrate_ack so an amnesiac destination
+	// can re-pull the already-cut range.
+	cut      bool
+	cutTail  []journalOp // the tail merged at cut, retained to re-reply
+	final    map[string]int64
+	finalOrd []string
+	acked    bool
+}
+
+// list returns the account order parts are served in.
+func (o *outboundHandoff) list() []string {
+	if o.cut {
+		return o.finalOrd
+	}
+	return o.order
+}
+
+// balances returns the frozen map parts are served from.
+func (o *outboundHandoff) balances() map[string]int64 {
+	if o.cut {
+		return o.final
+	}
+	return o.copied
+}
+
+// shardCore is the deterministic part of shard state: everything rebuilt
+// by folding logged records, shared by the live runtime and the pure
+// replay checker.
+type shardCore struct {
+	member    string
+	ring      *ring.Ring
+	txns      map[string]*shardTxn
+	out       map[string]*outboundHandoff
+	installed map[string]bool
+}
+
+func newShardCore(member string) *shardCore {
+	return &shardCore{
+		member:    member,
+		txns:      make(map[string]*shardTxn),
+		out:       make(map[string]*outboundHandoff),
+		installed: make(map[string]bool),
+	}
+}
+
+// owned reports whether this member serves key under the latest adopted
+// ring. A branch that has not adopted any ring serves everything (the
+// pre-ring bootstrap state).
+func (c *shardCore) owned(key string) bool {
+	if c.ring == nil {
+		return true
+	}
+	m, ok := c.ring.Owner(key)
+	return !ok || m.Name == c.member
+}
+
+// adopt switches to r if it is newer than the current ring.
+func (c *shardCore) adopt(r *ring.Ring) {
+	if r != nil && (c.ring == nil || r.Epoch > c.ring.Epoch) {
+		c.ring = r
+	}
+}
+
+// seedKey names account i of a seeded range.
+func seedKey(prefix string, i int) string {
+	return fmt.Sprintf("%s%07d", prefix, i)
+}
+
+// accountsSeq renders a balance map as a sorted (name, balance) sequence.
+func accountsSeq(m map[string]int64) xrep.Seq {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(xrep.Seq, 0, len(names))
+	for _, n := range names {
+		out = append(out, xrep.Seq{xrep.Str(n), xrep.Int(m[n])})
+	}
+	return out
+}
+
+// parseAccounts is accountsSeq's inverse.
+func parseAccounts(v xrep.Value) (map[string]int64, []string, bool) {
+	seq, ok := v.(xrep.Seq)
+	if !ok {
+		return nil, nil, false
+	}
+	m := make(map[string]int64, len(seq))
+	order := make([]string, 0, len(seq))
+	for _, ev := range seq {
+		pair, ok := ev.(xrep.Seq)
+		if !ok || len(pair) != 2 {
+			return nil, nil, false
+		}
+		name, ok0 := pair[0].(xrep.Str)
+		bal, ok1 := pair[1].(xrep.Int)
+		if !ok0 || !ok1 {
+			return nil, nil, false
+		}
+		m[string(name)] = int64(bal)
+		order = append(order, string(name))
+	}
+	return m, order, true
+}
+
+// tailSeq renders journal ops for the wire and the log.
+func tailSeq(ops []journalOp) xrep.Seq {
+	out := make(xrep.Seq, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, xrep.Seq{xrep.Str(op.kind), xrep.Str(op.acct), xrep.Int(op.amount)})
+	}
+	return out
+}
+
+// parseTail is tailSeq's inverse.
+func parseTail(v xrep.Value) ([]journalOp, bool) {
+	seq, ok := v.(xrep.Seq)
+	if !ok {
+		return nil, false
+	}
+	out := make([]journalOp, 0, len(seq))
+	for _, ev := range seq {
+		t, ok := ev.(xrep.Seq)
+		if !ok || len(t) != 3 {
+			return nil, false
+		}
+		kind, ok0 := t[0].(xrep.Str)
+		acct, ok1 := t[1].(xrep.Str)
+		amount, ok2 := t[2].(xrep.Int)
+		if !ok0 || !ok1 || !ok2 {
+			return nil, false
+		}
+		out = append(out, journalOp{kind: string(kind), acct: string(acct), amount: int64(amount)})
+	}
+	return out, true
+}
+
+// applyTailOp folds one journaled mutation into a bare balance map. The
+// ops were validated when first executed, so the fold is unconditional.
+func applyTailOp(m map[string]int64, op journalOp) {
+	switch op.kind {
+	case "open":
+		if _, ok := m[op.acct]; !ok {
+			m[op.acct] = 0
+		}
+	case "deposit", "transfer_in", "credit":
+		m[op.acct] += op.amount
+	case "withdraw", "transfer_out", "debit":
+		m[op.acct] -= op.amount
+	}
+}
+
+// shardRecord marshals one shard log record.
+func shardRecord(name string, fields xrep.Seq) []byte {
+	b, err := wire.MarshalValue(xrep.Rec{Name: name, Fields: fields})
+	if err != nil {
+		panic(fmt.Errorf("bank: marshal %s: %v", name, err))
+	}
+	return b
+}
+
+// fold applies one shard record to the core and the branch state. It is
+// the single source of truth for shard semantics: the live arms append
+// the record and fold it; recovery and the replay checker fold the same
+// records in log order. The returned value is an install record's dedup
+// snapshot (nil otherwise) for the caller to merge; ok is false for
+// records that are not shard records.
+func (c *shardCore) fold(st *branchState, v xrep.Value) (dedupSnap xrep.Value, ok bool) {
+	rec, isRec := v.(xrep.Rec)
+	if !isRec {
+		return nil, false
+	}
+	switch rec.Name {
+	case ringRec:
+		if len(rec.Fields) != 1 {
+			return nil, true
+		}
+		blob, _ := rec.Fields[0].(xrep.Str)
+		if r, err := ring.Unmarshal([]byte(blob)); err == nil {
+			c.adopt(r)
+		}
+		return nil, true
+
+	case seedRec:
+		if len(rec.Fields) != 4 {
+			return nil, true
+		}
+		prefix, _ := rec.Fields[0].(xrep.Str)
+		n, _ := rec.Fields[1].(xrep.Int)
+		amount, _ := rec.Fields[2].(xrep.Int)
+		member, _ := rec.Fields[3].(xrep.Str)
+		if c.member == "" {
+			c.member = string(member)
+		}
+		for i := 0; i < int(n); i++ {
+			key := seedKey(string(prefix), i)
+			if !c.owned(key) {
+				continue
+			}
+			if _, exists := st.accounts[key]; !exists {
+				st.accounts[key] = int64(amount)
+			}
+		}
+		return nil, true
+
+	case movedOutRec:
+		if len(rec.Fields) != 4 {
+			return nil, true
+		}
+		hid, _ := rec.Fields[0].(xrep.Str)
+		dest, _ := rec.Fields[1].(xrep.Str)
+		blob, _ := rec.Fields[2].(xrep.Str)
+		final, order, okA := parseAccounts(rec.Fields[3])
+		if !okA {
+			return nil, true
+		}
+		for _, name := range order {
+			delete(st.accounts, name)
+		}
+		o := &outboundHandoff{
+			hid: string(hid), dest: string(dest), blob: []byte(blob),
+			cut: true, final: final, finalOrd: order,
+		}
+		if r, err := ring.Unmarshal([]byte(blob)); err == nil {
+			o.ring = r
+			c.adopt(r)
+		}
+		c.out[string(hid)] = o
+		return nil, true
+
+	case installRec:
+		if len(rec.Fields) != 4 {
+			return nil, true
+		}
+		hid, _ := rec.Fields[0].(xrep.Str)
+		blob, _ := rec.Fields[1].(xrep.Str)
+		accounts, _, okA := parseAccounts(rec.Fields[2])
+		if !okA {
+			return nil, true
+		}
+		for name, bal := range accounts {
+			st.accounts[name] = bal
+		}
+		if r, err := ring.Unmarshal([]byte(blob)); err == nil {
+			c.adopt(r)
+		}
+		c.installed[string(hid)] = true
+		return rec.Fields[3], true
+
+	case ackedRec:
+		if len(rec.Fields) != 1 {
+			return nil, true
+		}
+		hid, _ := rec.Fields[0].(xrep.Str)
+		if o := c.out[string(hid)]; o != nil {
+			o.acked = true
+			o.final, o.finalOrd, o.cutTail = nil, nil, nil
+		}
+		return nil, true
+
+	case tpcRec:
+		if len(rec.Fields) != 5 {
+			return nil, true
+		}
+		phase, _ := rec.Fields[0].(xrep.Str)
+		txid, _ := rec.Fields[1].(xrep.Str)
+		kind, _ := rec.Fields[2].(xrep.Str)
+		acct, _ := rec.Fields[3].(xrep.Str)
+		amount, _ := rec.Fields[4].(xrep.Int)
+		switch string(phase) {
+		case "prepared":
+			c.txns[string(txid)] = &shardTxn{
+				phase: "prepared", kind: string(kind), acct: string(acct), amount: int64(amount),
+			}
+			if string(kind) == "debit" {
+				st.hold(string(acct), int64(amount))
+			}
+		case "committed":
+			if t := c.txns[string(txid)]; t != nil && t.phase == "prepared" {
+				t.phase = "committed"
+				// Release the hold first, then apply, so the escrow never
+				// double-counts against the balance.
+				if t.kind == "debit" {
+					st.hold(t.acct, -t.amount)
+					st.accounts[t.acct] -= t.amount
+				} else {
+					st.accounts[t.acct] += t.amount
+				}
+			}
+		case "aborted":
+			if t := c.txns[string(txid)]; t != nil && t.phase == "prepared" {
+				t.phase = "aborted"
+				if t.kind == "debit" {
+					st.hold(t.acct, -t.amount)
+				}
+			}
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+// shardRuntime is the live shard state: the deterministic core plus the
+// volatile pull-side scaffolding and the guardian plumbing.
+type shardRuntime struct {
+	*shardCore
+	st    *branchState
+	log   durable.Log
+	dedup *amo.Dedup
+	g     *guardian.Guardian
+	self  xrep.PortName // this branch's native port
+
+	genCounter int64
+	staging    map[string]map[string]int64 // hid → accounts staged so far
+	pulling    map[string]bool
+	recovSnaps []xrep.Value // install dedup snapshots collected during replay
+
+	// dirty is set once any shard record exists in the log. The branch
+	// checkpoint format does not capture shard state (rings, handoffs,
+	// escrow), so checkpointing is suppressed from then on: compacting
+	// shard records away would corrupt recovery.
+	dirty bool
+}
+
+func newShardRuntime(member string, st *branchState, log durable.Log, dedup *amo.Dedup, g *guardian.Guardian, self xrep.PortName) *shardRuntime {
+	return &shardRuntime{
+		shardCore: newShardCore(member),
+		st:        st, log: log, dedup: dedup, g: g, self: self,
+		staging: make(map[string]map[string]int64),
+		pulling: make(map[string]bool),
+	}
+}
+
+// replayData folds one recovered log record; ok is false for non-shard
+// records (op records, dedup records), which the caller handles.
+func (sh *shardRuntime) replayData(data []byte) bool {
+	v, err := wire.UnmarshalValue(data)
+	if err != nil {
+		return false
+	}
+	snap, ok := sh.fold(sh.st, v)
+	if ok {
+		sh.dirty = true
+		if snap != nil {
+			sh.recovSnaps = append(sh.recovSnaps, snap)
+		}
+	}
+	return ok
+}
+
+// afterRecover merges the dedup snapshots carried by replayed install
+// records. It runs after dedup.Restore/Recover so the merge lands on the
+// rebuilt table; merge order does not matter (an id present twice carries
+// the same reply).
+func (sh *shardRuntime) afterRecover() {
+	if sh.dedup == nil {
+		sh.recovSnaps = nil
+		return
+	}
+	for _, snap := range sh.recovSnaps {
+		if err := sh.dedup.MergeSnapshot(snap); err != nil {
+			panic(fmt.Errorf("bank: shard %s: bad install dedup snapshot: %w", sh.member, err))
+		}
+	}
+	sh.recovSnaps = nil
+}
+
+// appendAndFold logs one shard record durably and folds it into the live
+// state — the live arms' single mutation path, guaranteeing recovery
+// replays exactly what ran.
+func (sh *shardRuntime) appendAndFold(name string, fields xrep.Seq) xrep.Value {
+	rec := xrep.Rec{Name: name, Fields: fields}
+	sh.log.AppendSync(shardRecord(name, fields))
+	sh.dirty = true
+	snap, _ := sh.fold(sh.st, rec)
+	return snap
+}
+
+// journal captures one applied mutation into every active pre-cut
+// outbound handoff whose destination owns the account — the tail the cut
+// ships for catch-up. Cheap when no handoff is active.
+func (sh *shardRuntime) journal(kind, acct string, amount int64) {
+	for _, o := range sh.out {
+		if o.cut || o.ring == nil {
+			continue
+		}
+		if m, ok := o.ring.Owner(acct); ok && m.Name == o.dest {
+			o.tail = append(o.tail, journalOp{kind: kind, acct: acct, amount: amount})
+		}
+	}
+}
+
+// ownershipHook is the amo-layer ring filter, installed BEFORE the dedup
+// hook: a request whose keys live elsewhere is redirected (OutcomeMoved)
+// or declared split (OutcomeSplit) without touching the dedup table — a
+// redirect is derivable routing state, never an effect. Requests this
+// hook declines fall through to the dedup hook and execute normally.
+func (sh *shardRuntime) ownershipHook() func(pr *guardian.Process, m *guardian.Message) bool {
+	return func(pr *guardian.Process, m *guardian.Message) bool {
+		req, _ := amo.ParseRequest(m)
+		var keys []string
+		switch req.Command {
+		case "open", "deposit", "withdraw", "balance":
+			if len(req.Args) >= 1 {
+				if s, ok := req.Args[0].(xrep.Str); ok {
+					keys = []string{string(s)}
+				}
+			}
+		case "transfer":
+			if len(req.Args) >= 2 {
+				s0, ok0 := req.Args[0].(xrep.Str)
+				s1, ok1 := req.Args[1].(xrep.Str)
+				if ok0 && ok1 {
+					keys = []string{string(s0), string(s1)}
+				}
+			}
+		}
+		if len(keys) == 0 || sh.ring == nil {
+			return false
+		}
+		// Presence is authority: a key present here is served here even if
+		// the latest ring disagrees (its range has not been cut yet).
+		owners := make([]ring.Member, 0, len(keys))
+		for _, k := range keys {
+			if _, present := sh.st.accounts[k]; present || sh.owned(k) {
+				return false // at least one key is ours: serve locally
+			}
+			if m, ok := sh.ring.Owner(k); ok {
+				owners = append(owners, m)
+			}
+		}
+		if len(owners) != len(keys) {
+			return false
+		}
+		for _, o := range owners[1:] {
+			if o.Name != owners[0].Name {
+				// Keys straddle shards: terminal, the Router re-issues the
+				// op as a 2PC transaction. Not cached, not logged.
+				amo.SendReply(pr, m, amo.OutcomeSplit, nil)
+				return true
+			}
+		}
+		amo.SendMoved(pr, m, owners[0].Amo, sh.ring.Epoch)
+		return true
+	}
+}
+
+// Transfer "one key ours, one key theirs" handling: the hook above serves
+// the request locally when ANY key is present or owned, which makes the
+// local apply fail with no_account for the foreign key — a correct, safe
+// outcome the Router also treats as a split signal. The strict split
+// reply is only produced when every key is provably elsewhere.
+
+func (sh *shardRuntime) hooks() ShardHooks { return hooksFor(sh.g.Node().Name()) }
+
+// callOpts are the puller's per-step retry settings, scaled by the world
+// tuning so DST runs shrink them with everything else.
+func (sh *shardRuntime) callOpts() sendprim.CallOptions {
+	hb := sh.g.Node().World().Tuning().HeartbeatInterval
+	return sendprim.CallOptions{
+		Timeout: 4 * hb,
+		Retries: 8,
+		Backoff: hb / 4,
+	}
+}
+
+const partChunk = 64 // accounts per migrate_part reply
+
+// installArms registers the shard-control vocabulary on the branch
+// receiver. Every arm also answers in non-shard mode (sh carries the
+// receiver closure even then via nil checks at the call sites in bank.go).
+func (sh *shardRuntime) installArms(recv *guardian.Receiver) {
+	reply := func(pr *guardian.Process, m *guardian.Message, cmd string, args ...any) {
+		if !m.ReplyTo.IsZero() {
+			_ = pr.Send(m.ReplyTo, cmd, args...)
+		}
+	}
+
+	recv.
+		When("ring_update", func(pr *guardian.Process, m *guardian.Message) {
+			blob := m.Str(0)
+			r, err := ring.Unmarshal([]byte(blob))
+			if err != nil {
+				reply(pr, m, "ring_ok", int64(0))
+				return
+			}
+			if sh.ring == nil || r.Epoch > sh.ring.Epoch {
+				sh.appendAndFold(ringRec, xrep.Seq{xrep.Str(blob)})
+			}
+			epoch := int64(0)
+			if sh.ring != nil {
+				epoch = sh.ring.Epoch
+			}
+			reply(pr, m, "ring_ok", epoch)
+		}).
+		When("seed", func(pr *guardian.Process, m *guardian.Message) {
+			prefix, n, amount := m.Str(0), m.Int(1), m.Int(2)
+			// If a pre-cut handoff is active, the tail must carry any
+			// account this seed creates; find them before the fold.
+			var createdKeys []string
+			if sh.activePrecut() {
+				for i := 0; i < int(n); i++ {
+					key := seedKey(prefix, i)
+					if _, exists := sh.st.accounts[key]; !exists && sh.owned(key) {
+						createdKeys = append(createdKeys, key)
+					}
+				}
+			}
+			before := len(sh.st.accounts)
+			sh.appendAndFold(seedRec, xrep.Seq{
+				xrep.Str(prefix), xrep.Int(n), xrep.Int(amount), xrep.Str(sh.member),
+			})
+			created := len(sh.st.accounts) - before
+			for _, key := range createdKeys {
+				sh.journal("open", key, 0)
+				sh.journal("deposit", key, amount)
+			}
+			reply(pr, m, "seeded", int64(created), int64(len(sh.st.accounts)))
+		}).
+		When("handoff_pull", func(pr *guardian.Process, m *guardian.Message) {
+			hid, blob, src := m.Str(0), m.Str(1), m.Port(2)
+			if sh.installed[hid] {
+				reply(pr, m, "pull_ok")
+				return
+			}
+			if _, err := ring.Unmarshal([]byte(blob)); err != nil {
+				reply(pr, m, "pull_denied", "bad ring")
+				return
+			}
+			if sh.pulling[hid] {
+				reply(pr, m, "pull_ok")
+				return
+			}
+			sh.pulling[hid] = true
+			sh.spawnPuller(hid, blob, src)
+			reply(pr, m, "pull_ok")
+		}).
+		When("handoff_status", func(pr *guardian.Process, m *guardian.Message) {
+			hid := m.Str(0)
+			state := "unknown"
+			switch {
+			case sh.installed[hid]:
+				state = "installed"
+			case sh.pulling[hid]:
+				state = "pulling"
+			}
+			reply(pr, m, "handoff_state", state)
+		}).
+		When("handoff_fail", func(_ *guardian.Process, m *guardian.Message) {
+			// The puller gave up; clear the marker so the driver's next
+			// handoff_pull spawns a fresh one.
+			delete(sh.pulling, m.Str(0))
+		}).
+		When("handoff_stage", func(pr *guardian.Process, m *guardian.Message) {
+			hid := m.Str(0)
+			entries, _, ok := parseAccounts(m.Args[1])
+			if !ok {
+				reply(pr, m, "staged", int64(0))
+				return
+			}
+			stage := sh.staging[hid]
+			if stage == nil {
+				stage = make(map[string]int64)
+				sh.staging[hid] = stage
+			}
+			for name, bal := range entries {
+				stage[name] = bal
+			}
+			reply(pr, m, "staged", int64(len(stage)))
+		}).
+		When("handoff_install", func(pr *guardian.Process, m *guardian.Message) {
+			hid, blob := m.Str(0), m.Str(1)
+			if sh.installed[hid] {
+				reply(pr, m, "installed")
+				return
+			}
+			tail, okT := parseTail(m.Args[2])
+			if !okT {
+				reply(pr, m, "install_denied", "bad tail")
+				return
+			}
+			dsnap, _ := m.Arg(3)
+			final := make(map[string]int64, len(sh.staging[hid]))
+			for name, bal := range sh.staging[hid] {
+				final[name] = bal
+			}
+			for _, op := range tail {
+				applyTailOp(final, op)
+			}
+			h := sh.hooks()
+			if h.BeforeInstall != nil {
+				h.BeforeInstall(hid)
+			}
+			snap := sh.appendAndFold(installRec, xrep.Seq{
+				xrep.Str(hid), xrep.Str(blob), accountsSeq(final), dsnap,
+			})
+			if sh.dedup != nil && snap != nil {
+				if err := sh.dedup.MergeSnapshot(snap); err != nil {
+					panic(fmt.Errorf("bank: shard %s: handoff %s: bad dedup snapshot: %w", sh.member, hid, err))
+				}
+			}
+			delete(sh.staging, hid)
+			delete(sh.pulling, hid)
+			if h.AfterInstall != nil {
+				h.AfterInstall(hid)
+			}
+			reply(pr, m, "installed")
+		}).
+		When("migrate_snap", func(pr *guardian.Process, m *guardian.Message) {
+			hid, blob, dest := m.Str(0), m.Str(1), m.Str(2)
+			if o := sh.out[hid]; o != nil {
+				if o.acked {
+					reply(pr, m, "migrate_denied", "acked")
+					return
+				}
+				if o.cut {
+					reply(pr, m, "snap_meta", o.gen, int64(len(o.final)))
+					return
+				}
+			}
+			r, err := ring.Unmarshal([]byte(blob))
+			if err != nil {
+				reply(pr, m, "migrate_denied", "bad ring")
+				return
+			}
+			if _, ok := r.Member(dest); !ok {
+				reply(pr, m, "migrate_denied", "dest not a member")
+				return
+			}
+			if sh.ring != nil && (r.Epoch < sh.ring.Epoch || r.Epoch > sh.ring.Epoch+1) {
+				reply(pr, m, "migrate_denied", "stale epoch")
+				return
+			}
+			sh.genCounter++
+			o := &outboundHandoff{
+				hid: hid, dest: dest, ring: r, blob: []byte(blob),
+				gen: sh.genCounter, copied: make(map[string]int64),
+			}
+			for name, bal := range sh.st.accounts {
+				if mem, ok := r.Owner(name); ok && mem.Name == dest {
+					o.copied[name] = bal
+					o.order = append(o.order, name)
+				}
+			}
+			sort.Strings(o.order)
+			sh.out[hid] = o
+			reply(pr, m, "snap_meta", o.gen, int64(len(o.copied)))
+		}).
+		When("migrate_part", func(pr *guardian.Process, m *guardian.Message) {
+			hid, gen, cursor := m.Str(0), m.Int(1), int(m.Int(2))
+			o := sh.out[hid]
+			if o == nil || o.acked {
+				reply(pr, m, "migrate_denied", "no snap")
+				return
+			}
+			if gen != o.gen {
+				reply(pr, m, "migrate_denied", "snap restarted")
+				return
+			}
+			list := o.list()
+			if cursor < 0 || cursor > len(list) {
+				reply(pr, m, "migrate_denied", "bad cursor")
+				return
+			}
+			end := cursor + partChunk
+			if end > len(list) {
+				end = len(list)
+			}
+			chunk := make(map[string]int64, end-cursor)
+			bals := o.balances()
+			for _, name := range list[cursor:end] {
+				chunk[name] = bals[name]
+			}
+			done := int64(0)
+			if end == len(list) {
+				done = 1
+			}
+			reply(pr, m, "snap_part", int64(end), done, accountsSeq(chunk))
+		}).
+		When("migrate_cut", func(pr *guardian.Process, m *guardian.Message) {
+			hid := m.Str(0)
+			o := sh.out[hid]
+			if o == nil || o.acked {
+				reply(pr, m, "migrate_denied", "no snap")
+				return
+			}
+			dsnap := func() xrep.Value {
+				if sh.dedup == nil {
+					return xrep.Seq{}
+				}
+				return sh.dedup.Snapshot()
+			}
+			if o.cut {
+				reply(pr, m, "cut_done", o.gen, tailSeq(o.cutTail), dsnap())
+				return
+			}
+			// Refuse the cut while 2PC escrow holds pin any moving account:
+			// the coordinator settles acks by participant identity, so a
+			// hold must resolve where it was prepared. The puller retries;
+			// holds are short-lived by construction.
+			for _, t := range sh.txns {
+				if t.phase != "prepared" {
+					continue
+				}
+				if mem, ok := o.ring.Owner(t.acct); ok && mem.Name == o.dest {
+					reply(pr, m, "cut_busy")
+					return
+				}
+			}
+			final := make(map[string]int64, len(o.copied))
+			for name, bal := range o.copied {
+				final[name] = bal
+			}
+			tail := o.tail
+			for _, op := range tail {
+				applyTailOp(final, op)
+			}
+			h := sh.hooks()
+			if h.BeforeCut != nil {
+				h.BeforeCut(hid)
+			}
+			sh.appendAndFold(movedOutRec, xrep.Seq{
+				xrep.Str(hid), xrep.Str(o.dest), xrep.Str(string(o.blob)), accountsSeq(final),
+			})
+			// fold replaced sh.out[hid] with the durable post-cut entry;
+			// carry over the volatile bits the re-reply path needs.
+			if no := sh.out[hid]; no != nil {
+				no.gen = o.gen
+				no.cutTail = tail
+			}
+			if h.AfterCut != nil {
+				h.AfterCut(hid)
+			}
+			reply(pr, m, "cut_done", o.gen, tailSeq(tail), dsnap())
+		}).
+		When("migrate_ack", func(pr *guardian.Process, m *guardian.Message) {
+			hid := m.Str(0)
+			if o := sh.out[hid]; o != nil && o.cut && !o.acked {
+				sh.appendAndFold(ackedRec, xrep.Seq{xrep.Str(hid)})
+			}
+			reply(pr, m, "ack_ok")
+		}).
+		// 2PC escrow participation (tpc vocabulary) for cross-shard
+		// transfers: op is (kind "debit"|"credit", account, amount). A
+		// debit prepare places a durable hold the balance checks subtract,
+		// so a committed debit can never overdraw.
+		When("prepare", func(pr *guardian.Process, m *guardian.Message) {
+			txid := m.Str(0)
+			if t := sh.txns[txid]; t != nil {
+				switch t.phase {
+				case "prepared", "committed":
+					reply(pr, m, "vote_yes", txid)
+				default:
+					reply(pr, m, "vote_no", txid)
+				}
+				return
+			}
+			op, _ := m.Arg(1)
+			kind, acct, amount, ok := parseEscrowOp(op)
+			if !ok || amount <= 0 {
+				reply(pr, m, "vote_no", txid)
+				return
+			}
+			// Presence is authority: an absent account is either foreign
+			// (the coordinator used a stale ring) or nonexistent — vote no
+			// either way, and let the client re-plan against a fresh ring.
+			bal, present := sh.st.accounts[acct]
+			if !present {
+				reply(pr, m, "vote_no", txid)
+				return
+			}
+			if kind == "debit" && bal-sh.st.holds[acct] < amount {
+				reply(pr, m, "vote_no", txid)
+				return
+			}
+			// The refusal above is deliberately unlogged (presumed abort):
+			// a re-prepare after a crash re-evaluates, which is safe before
+			// any coordinator decision. The yes vote is a durable promise.
+			sh.appendAndFold(tpcRec, xrep.Seq{
+				xrep.Str("prepared"), xrep.Str(txid), xrep.Str(kind), xrep.Str(acct), xrep.Int(amount),
+			})
+			if h := sh.hooks().AfterPrepare; h != nil {
+				h(txid)
+			}
+			reply(pr, m, "vote_yes", txid)
+		}).
+		When("commit", func(pr *guardian.Process, m *guardian.Message) {
+			txid := m.Str(0)
+			t := sh.txns[txid]
+			switch {
+			case t == nil:
+				// A commit needs our yes vote; unknown means impossible
+				// under 2PC. Ignore rather than invent an ack.
+			case t.phase == "committed":
+				reply(pr, m, "ack_commit", txid)
+			case t.phase == "prepared":
+				sh.appendAndFold(tpcRec, xrep.Seq{
+					xrep.Str("committed"), xrep.Str(txid), xrep.Str(""), xrep.Str(""), xrep.Int(0),
+				})
+				if t.kind == "debit" {
+					sh.journal("withdraw", t.acct, t.amount)
+				} else {
+					sh.journal("deposit", t.acct, t.amount)
+				}
+				reply(pr, m, "ack_commit", txid)
+			}
+		}).
+		When("abort", func(pr *guardian.Process, m *guardian.Message) {
+			txid := m.Str(0)
+			t := sh.txns[txid]
+			switch {
+			case t == nil, t.phase == "aborted":
+				reply(pr, m, "ack_abort", txid) // presumed abort
+			case t.phase == "prepared":
+				sh.appendAndFold(tpcRec, xrep.Seq{
+					xrep.Str("aborted"), xrep.Str(txid), xrep.Str(""), xrep.Str(""), xrep.Int(0),
+				})
+				reply(pr, m, "ack_abort", txid)
+			}
+		})
+}
+
+// parseEscrowOp decodes a 2PC escrow operation value.
+func parseEscrowOp(v xrep.Value) (kind, acct string, amount int64, ok bool) {
+	seq, isSeq := v.(xrep.Seq)
+	if !isSeq || len(seq) != 3 {
+		return "", "", 0, false
+	}
+	k, ok0 := seq[0].(xrep.Str)
+	a, ok1 := seq[1].(xrep.Str)
+	n, ok2 := seq[2].(xrep.Int)
+	if !ok0 || !ok1 || !ok2 || (string(k) != "debit" && string(k) != "credit") {
+		return "", "", 0, false
+	}
+	return string(k), string(a), int64(n), true
+}
+
+// EscrowOp builds the tpc operation value a cross-shard transfer sends a
+// branch participant: kind is "debit" or "credit".
+func EscrowOp(kind, acct string, amount int64) xrep.Value {
+	return xrep.Seq{xrep.Str(kind), xrep.Str(acct), xrep.Int(amount)}
+}
+
+// activePrecut reports whether any outbound handoff is mid-copy.
+func (sh *shardRuntime) activePrecut() bool {
+	for _, o := range sh.out {
+		if !o.cut && !o.acked {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnPuller starts the destination-side pull for one handoff. The
+// puller drives the source with retried calls and funnels every state
+// change back through the guardian's own receive loop (handoff_stage /
+// handoff_install), preserving the single-writer discipline.
+func (sh *shardRuntime) spawnPuller(hid, blob string, src xrep.PortName) {
+	self := sh.self
+	opts := sh.callOpts()
+	member := sh.member
+	sh.g.Spawn("handoff-pull", func(q *guardian.Process) {
+		giveUp := func() {
+			_ = q.Send(self, "handoff_fail", hid)
+		}
+		for round := 0; round < 8; round++ {
+			sm, err := sendprim.Call(q, src, MigrateReplyType, opts, "migrate_snap", hid, blob, member)
+			if err != nil || sm.Command != "snap_meta" {
+				giveUp()
+				return
+			}
+			gen := sm.Int(0)
+
+			cursor := int64(0)
+			restarted := false
+			for {
+				pm, err := sendprim.Call(q, src, MigrateReplyType, opts, "migrate_part", hid, gen, cursor)
+				if err != nil {
+					giveUp()
+					return
+				}
+				if pm.Command != "snap_part" {
+					restarted = true // source restarted the copy: re-snap
+					break
+				}
+				next, done := pm.Int(0), pm.Int(1)
+				entries := pm.Args[2]
+				if _, err := sendprim.Call(q, self, MigrateReplyType, opts, "handoff_stage", hid, entries); err != nil {
+					giveUp()
+					return
+				}
+				cursor = next
+				if done == 1 {
+					break
+				}
+			}
+			if restarted {
+				continue
+			}
+
+			var cm *guardian.Message
+			busy := 0
+			for {
+				cm, err = sendprim.Call(q, src, MigrateReplyType, opts, "migrate_cut", hid)
+				if err != nil {
+					giveUp()
+					return
+				}
+				if cm.Command != "cut_busy" {
+					break
+				}
+				busy++
+				if busy > 256 {
+					giveUp()
+					return
+				}
+				if !q.Pause(opts.Backoff + time.Millisecond) {
+					return
+				}
+			}
+			if cm.Command != "cut_done" {
+				continue // denied: re-snap from the top
+			}
+			if cm.Int(0) != gen {
+				// The source recovered between our parts and the cut: its
+				// durable final may differ from what we staged. Re-pull
+				// everything from the final (idempotent overwrites).
+				continue
+			}
+			tail := cm.Args[1]
+			dsnap, _ := cm.Arg(2)
+			im, err := sendprim.Call(q, self, MigrateReplyType, opts, "handoff_install", hid, blob, tail, dsnap)
+			if err != nil || im.Command != "installed" {
+				giveUp()
+				return
+			}
+			return
+		}
+		giveUp()
+	})
+}
+
+// ShardSnapshot reports a shard branch's member name, adopted ring epoch,
+// and account table — the owner-side facility DST invariant checkers use
+// to assert single-owner-per-epoch after a drain.
+func ShardSnapshot(g *guardian.Guardian) (member string, epoch int64, accounts map[string]int64, ok bool) {
+	st, isBranch := g.State().(*branchState)
+	if !isBranch || st.shard == nil {
+		return "", 0, nil, false
+	}
+	sh := st.shard
+	if sh.ring != nil {
+		epoch = sh.ring.Epoch
+	}
+	out := make(map[string]int64, len(st.accounts))
+	for k, v := range st.accounts {
+		out[k] = v
+	}
+	return sh.member, epoch, out, true
+}

@@ -236,6 +236,14 @@ type Options struct {
 	// (ReplFactor ≥ 3), plus the shared clients node. Bank-only;
 	// exclusive with ReplicationFaults and Bug.
 	Topology *Topology
+	// Ring, when non-nil, replaces the workload's fixed node set with a
+	// consistent-hash ring of shard-mode bank branches behind a
+	// nameserver-hosted membership view: client session 0 becomes the
+	// rebalance driver (bootstrap, then live joins and leaves mid-run)
+	// while the rest route traffic through bank.Router, with cross-shard
+	// transfers on a 2PC coordinator node. Bank-only; exclusive with
+	// Topology, ReplicationFaults, and Bug; needs Clients >= 2.
+	Ring *RingTopology
 	// CheckpointEvery, when positive, makes every bank branch checkpoint
 	// its state each N mutating operations — exercising the
 	// checkpoint-shipping and quarantine-heal paths of the replication

@@ -49,6 +49,10 @@ type Report struct {
 	OpsFailed int64
 	// Retries counts re-send attempts beyond each call's first.
 	Retries int64
+	// Ring-workload counters (Options.Ring): membership flips that
+	// committed and the final committed epoch.
+	Rebalances int
+	RingEpoch  int64
 
 	Net netsim.Stats
 	// Storage aggregates injected storage-fault counters across all
@@ -93,6 +97,9 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  storage: syncs=%d sync-failed=%d short-writes=%d corrupted-tails=%d records-dropped=%d\n",
 			r.Storage.Syncs, r.Storage.SyncsFailed, r.Storage.ShortWrites,
 			r.Storage.CorruptedTails, r.Storage.RecordsDropped)
+	}
+	if r.RingEpoch > 0 {
+		fmt.Fprintf(&b, "  ring: epoch=%d rebalances=%d\n", r.RingEpoch, r.Rebalances)
 	}
 	if r.Replicated {
 		fmt.Fprintf(&b, "  repl: leader=%s shipped=%d applied=%d checkpoints=%d fenced=%d elections=%d takeovers=%d forks=%d heals=%d\n",
@@ -151,6 +158,9 @@ func (r *Report) Repro() string {
 		if t.ReplFactor > 1 {
 			fmt.Fprintf(&b, " -replfactor %d", t.ReplFactor)
 		}
+	}
+	if rt := o.Ring; rt != nil {
+		fmt.Fprintf(&b, " -ring %d,%d,%d", rt.Shards, rt.Joins, rt.Leaves)
 	}
 	if o.CheckpointEvery > 0 {
 		fmt.Fprintf(&b, " -cpevery %d", o.CheckpointEvery)

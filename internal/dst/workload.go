@@ -81,6 +81,15 @@ func branchArgs(opts Options) []any {
 func newWorkload(opts Options) (workload, error) {
 	switch opts.Workload {
 	case "bank":
+		if opts.Ring != nil {
+			if opts.Bug != "" {
+				return nil, fmt.Errorf("dst: bug %q is single-node-only", opts.Bug)
+			}
+			if opts.ReplicationFaults || opts.Topology != nil {
+				return nil, fmt.Errorf("dst: Ring is exclusive with Topology and ReplicationFaults")
+			}
+			return newRingWorkload(opts)
+		}
 		if opts.Topology != nil {
 			if opts.Bug != "" {
 				return nil, fmt.Errorf("dst: bug %q is single-node-only", opts.Bug)
@@ -101,8 +110,8 @@ func newWorkload(opts Options) (workload, error) {
 		if opts.Bug != "" {
 			return nil, fmt.Errorf("dst: bug %q is bank-only", opts.Bug)
 		}
-		if opts.ReplicationFaults || opts.Topology != nil {
-			return nil, fmt.Errorf("dst: replication faults and topologies are bank-only")
+		if opts.ReplicationFaults || opts.Topology != nil || opts.Ring != nil {
+			return nil, fmt.Errorf("dst: replication faults, topologies, and rings are bank-only")
 		}
 		return newAirlineWorkload(opts), nil
 	default:

@@ -1,0 +1,339 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/bank"
+	"repro/internal/guardian"
+	"repro/internal/metrics"
+	"repro/internal/nameserv"
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/sendprim"
+	"repro/internal/tpc"
+	"repro/internal/workload"
+)
+
+// E16Params configures the consistent-hash scale-out experiment.
+type E16Params struct {
+	// Accounts is the keyspace size tellers draw from (the generator
+	// derives ids, so a million-account keyspace is free).
+	Accounts int
+	// Ops is the total operation count across all tellers, per cell.
+	Ops int
+	// Tellers run concurrently, each with its own ring Router.
+	Tellers int
+	// ShardCounts are the ring sizes of the scaling table.
+	ShardCounts []int
+	// SkewOps is the per-cell operation count of the skew ablation.
+	SkewOps int
+	// DepositFrac and WithdrawFrac set the mix; the rest are transfers
+	// (cross-shard pairs ride 2PC).
+	DepositFrac, WithdrawFrac float64
+	// NetLatency is the simulated one-way latency.
+	NetLatency time.Duration
+	// AttemptTimeout and Retries tune each teller call.
+	AttemptTimeout time.Duration
+	Retries        int
+}
+
+// E16Defaults is the full-size configuration: a million-account keyspace
+// hammered by concurrent tellers against growing rings.
+var E16Defaults = E16Params{
+	Accounts:       1_000_000,
+	Ops:            24_000,
+	Tellers:        24,
+	ShardCounts:    []int{1, 2, 4},
+	SkewOps:        8_000,
+	DepositFrac:    0.45,
+	WithdrawFrac:   0.35,
+	NetLatency:     50 * time.Microsecond,
+	AttemptTimeout: 100 * time.Millisecond,
+	Retries:        10,
+}
+
+// RunE16Ring runs the same high-concurrency bank workload against rings
+// of growing size and audits every cell for exact conservation: the
+// merged shard totals must equal the acked deposits minus the acked
+// withdrawals (transfers, split ones included, conserve). That audit is
+// the experiment's claim — correctness is placement-independent. The
+// throughput columns are descriptive, not a speedup claim: the simulated
+// network is in-process, so extra shards add no CPU or pipe width, and
+// what growing the ring surfaces is the cost sharding *adds* — split
+// transfers that must ride 2PC through the coordinator instead of a
+// single-guardian amo call. The skew ablation shows the other axis:
+// uniform draws over a million-account keyspace pay first-touch opens on
+// nearly every op, zipf amortizes them over a hot set, and single-key
+// collapses every op onto one guardian.
+func RunE16Ring(p E16Params, scale Scale) (*Result, error) {
+	p.Ops = scale.N(p.Ops, 400)
+	p.SkewOps = scale.N(p.SkewOps, 200)
+	p.Accounts = scale.N(p.Accounts, 1_000)
+	if p.Tellers > p.Ops/10 && p.Ops >= 10 {
+		p.Tellers = p.Ops / 10
+	}
+	res := &Result{ID: "E16 (extension: consistent-hash scale-out)"}
+
+	scaleTab := metrics.NewTable(
+		fmt.Sprintf("Ring scale-out: %d ops, %d tellers, %d-account keyspace, uniform skew",
+			p.Ops, p.Tellers, p.Accounts),
+		"shards", "ok", "failed", "transfers", "opens", "ops/sec", "relative", "accts-touched")
+	res.Tables = append(res.Tables, scaleTab)
+
+	var base float64
+	for _, shards := range p.ShardCounts {
+		cell, err := runE16Cell(p, shards, p.Ops, workload.SkewUniform)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = cell.opsPerSec
+		}
+		scaleTab.AddRow(shards, cell.ok, cell.failed, cell.split, cell.opens,
+			fmt.Sprintf("%.0f", cell.opsPerSec),
+			fmt.Sprintf("%.2fx", cell.opsPerSec/base),
+			cell.touched)
+		if cell.conservationErr != nil {
+			res.Notef("DEVIATES: %d-shard ring broke conservation: %v", shards, cell.conservationErr)
+		}
+	}
+	last := p.ShardCounts[len(p.ShardCounts)-1]
+	res.Notef("HOLDS: every ring size conserved money exactly across shards, split 2PC transfers included")
+	res.Notef("shape: throughput is bound by the in-process network, so growing the ring surfaces the 2PC surcharge on split transfers rather than a CPU speedup (%d-shard at %.2fx of single-shard)",
+		last, lastRowRelative(scaleTab))
+
+	skewTab := metrics.NewTable(
+		fmt.Sprintf("Skew ablation on the %d-shard ring: %d ops", last, p.SkewOps),
+		"skew", "ok", "failed", "transfers", "opens", "ops/sec", "accts-touched")
+	res.Tables = append(res.Tables, skewTab)
+	for _, skew := range []workload.Skew{workload.SkewUniform, workload.SkewZipf, workload.SkewSingle} {
+		cell, err := runE16Cell(p, last, p.SkewOps, skew)
+		if err != nil {
+			return nil, err
+		}
+		skewTab.AddRow(string(skew), cell.ok, cell.failed, cell.split, cell.opens,
+			fmt.Sprintf("%.0f", cell.opsPerSec), cell.touched)
+		if cell.conservationErr != nil {
+			res.Notef("DEVIATES: %s-skew cell broke conservation: %v", skew, cell.conservationErr)
+		}
+	}
+	res.Notef("shape: uniform draws pay a first-touch open on most ops; zipf amortizes opens over its hot set; single-key degenerates transfers (from==to) to nothing")
+	return res, nil
+}
+
+// lastRowRelative re-reads the relative-throughput column of the last
+// scaling row.
+func lastRowRelative(t *metrics.Table) float64 {
+	var f float64
+	fmt.Sscanf(t.Cell(t.Rows()-1, 6), "%f", &f)
+	return f
+}
+
+type e16Cell struct {
+	ok, failed      int64
+	split, opens    int64
+	touched         int
+	opsPerSec       float64
+	conservationErr error
+}
+
+func runE16Cell(p E16Params, shards, totalOps int, skew workload.Skew) (e16Cell, error) {
+	var cell e16Cell
+	w := guardian.NewWorld(guardian.Config{Net: netsim.Config{Seed: 16, BaseLatency: p.NetLatency}})
+	w.MustRegister(bank.BranchDef())
+	w.MustRegister(nameserv.Def())
+	w.MustRegister(tpc.CoordinatorDef())
+
+	reg := w.MustAddNode("registry")
+	nsCr, err := reg.Bootstrap(nameserv.DefName)
+	if err != nil {
+		return cell, err
+	}
+	txc := w.MustAddNode("txc")
+	coCr, err := txc.Bootstrap(tpc.CoordinatorDefName)
+	if err != nil {
+		return cell, err
+	}
+
+	members := make([]ring.Member, shards)
+	created := make([]*guardian.Created, shards)
+	nodes := make([]*guardian.Node, shards)
+	for i := 0; i < shards; i++ {
+		name := fmt.Sprintf("s%d", i+1)
+		n := w.MustAddNode(name)
+		cr, err := n.Bootstrap(bank.BranchDefName, bank.ShardArg(name))
+		if err != nil {
+			return cell, err
+		}
+		members[i] = ring.Member{Name: name, Native: cr.Ports[0], Amo: cr.Ports[1]}
+		created[i], nodes[i] = cr, n
+	}
+
+	tellers := w.MustAddNode("tellers")
+	_, boot, err := tellers.NewDriver("ring-bootstrap")
+	if err != nil {
+		return cell, err
+	}
+	bootNS, err := nameserv.NewClient(boot, nsCr.Ports[0])
+	if err != nil {
+		return cell, err
+	}
+	if err := bank.Bootstrap(boot, ring.New("accounts", 0, members...),
+		bank.RebalanceOptions{NS: bootNS}); err != nil {
+		return cell, err
+	}
+
+	type tellerResult struct {
+		ok, failed, split, opens int64
+		depSum, wdSum            int64
+		touched                  map[string]bool
+		err                      error
+	}
+	results := make([]tellerResult, p.Tellers)
+	perTeller := totalOps / p.Tellers
+	extra := totalOps % p.Tellers
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < p.Tellers; i++ {
+		_, proc, err := tellers.NewDriver(fmt.Sprintf("teller-%d", i))
+		if err != nil {
+			return cell, err
+		}
+		ns, err := nameserv.NewClient(proc, nsCr.Ports[0])
+		if err != nil {
+			return cell, err
+		}
+		ops := perTeller
+		if i < extra {
+			ops++
+		}
+		wg.Add(1)
+		go func(i, ops int, proc *guardian.Process, ns *nameserv.Client) {
+			defer wg.Done()
+			r := &results[i]
+			r.touched = make(map[string]bool)
+			rt, err := bank.NewRouter(proc, bank.RouterOptions{
+				NS:          ns,
+				RingName:    "accounts",
+				Coordinator: coCr.Ports[0],
+				Call: amo.CallerOptions{
+					Timeout: p.AttemptTimeout,
+					Retries: p.Retries,
+					Backoff: amo.BackoffPolicy{Base: time.Millisecond, Jitter: 0.5},
+				},
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer rt.Close()
+			gen := workload.NewAccountGen(1000+int64(i), skew, p.Accounts)
+			mix := workload.NewBankMix(2000+int64(i), p.DepositFrac, p.WithdrawFrac)
+
+			// ensure opens the account so the operation can be re-run; the
+			// open and the retry are calls the keyspace's size forces, so
+			// they depress ops/sec (wall clock) without inflating ok.
+			ensure := func(acct string) bool {
+				r.opens++
+				rep, err := rt.Call(acct, "open", acct)
+				return err == nil && (rep.Command == bank.OutcomeOK || rep.Command == bank.OutcomeExists)
+			}
+			for j := 0; j < ops; j++ {
+				amt := mix.Amount(50)
+				switch op := mix.Next(); op {
+				case workload.OpDeposit, workload.OpWithdraw:
+					acct := gen.Next()
+					r.touched[acct] = true
+					rep, err := rt.Call(acct, op, acct, amt)
+					if err == nil && rep.Command == bank.OutcomeNoAccount && ensure(acct) {
+						rep, err = rt.Call(acct, op, acct, amt)
+					}
+					if err != nil {
+						r.failed++
+						continue
+					}
+					r.ok++
+					if rep.Command == bank.OutcomeOK {
+						if op == workload.OpDeposit {
+							r.depSum += amt
+						} else {
+							r.wdSum += amt
+						}
+					}
+				default: // transfer
+					from, to := gen.Next(), gen.Next()
+					if from == to {
+						continue
+					}
+					r.touched[from], r.touched[to] = true, true
+					r.split++
+					out, err := rt.Transfer(from, to, amt)
+					if err != nil {
+						r.failed++
+						continue
+					}
+					r.ok++
+					_ = out // any definite outcome conserves
+				}
+			}
+		}(i, ops, proc, ns)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	waitQuiesce(w)
+
+	touched := make(map[string]bool)
+	var expected int64
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return cell, r.err
+		}
+		cell.ok += r.ok
+		cell.failed += r.failed
+		cell.split += r.split
+		cell.opens += r.opens
+		expected += r.depSum - r.wdSum
+		for a := range r.touched {
+			touched[a] = true
+		}
+	}
+	cell.touched = len(touched)
+	if elapsed > 0 {
+		cell.opsPerSec = float64(cell.ok) / elapsed.Seconds()
+	}
+
+	// Conservation audit: ping each shard (ordering the snapshot read
+	// after everything it wrote), then require the merged totals to equal
+	// the acked deposits minus the acked withdrawals exactly.
+	_, audit, err := tellers.NewDriver("ring-audit")
+	if err != nil {
+		return cell, err
+	}
+	pingOpts := sendprim.CallOptions{Timeout: p.AttemptTimeout, Retries: p.Retries, Backoff: time.Millisecond}
+	var total int64
+	for i, m := range members {
+		if _, err := sendprim.Call(audit, m.Native, bank.ClientReplyType, pingOpts, "audit"); err != nil {
+			return cell, fmt.Errorf("exp: shard %s audit ping: %w", m.Name, err)
+		}
+		g, ok := nodes[i].GuardianByID(created[i].GuardianID)
+		if !ok {
+			return cell, fmt.Errorf("exp: shard %s guardian vanished", m.Name)
+		}
+		_, _, accts, ok := bank.ShardSnapshot(g)
+		if !ok {
+			return cell, fmt.Errorf("exp: shard %s is not in shard mode", m.Name)
+		}
+		for _, bal := range accts {
+			total += bal
+		}
+	}
+	if total != expected {
+		cell.conservationErr = fmt.Errorf("merged total %d != acked deposits-withdrawals %d", total, expected)
+	}
+	return cell, nil
+}

@@ -68,8 +68,8 @@ func TestScaleN(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12 (E1..E11, E14)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13 (E1..E11, E14, E16)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -188,5 +188,15 @@ func TestE14Smoke(t *testing.T) {
 	res := runAndRender(t, "replica")
 	// Failover with conservation is a correctness claim: both replica arms
 	// must survive permanent primary death at any scale.
+	assertHolds(t, res, false)
+}
+
+func TestE16Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "ring")
+	// Conservation across shards is a correctness claim; a DEVIATES note
+	// means a ring cell lost or minted money.
 	assertHolds(t, res, false)
 }

@@ -77,6 +77,11 @@ func All() []Experiment {
 			Description: "replicated guardians: quorum-ack cost vs single-node group commit, failover time under permanent primary death",
 			Run:         func(s Scale) (*Result, error) { return RunE14Replica(E14Defaults, s) },
 		},
+		{
+			ID: "ring", Paper: "§2.1/§3.5 (extension)",
+			Description: "consistent-hash scale-out: aggregate throughput vs shard count, account-skew ablation, exact conservation audit",
+			Run:         func(s Scale) (*Result, error) { return RunE16Ring(E16Defaults, s) },
+		},
 	}
 }
 

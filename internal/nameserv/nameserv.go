@@ -46,7 +46,13 @@ var PortType = guardian.NewPortType("name_service_port").
 	Msg("lookup", xrep.KindString).
 	Replies("lookup", "binding", OutcomeNotBound).
 	Msg("list").
-	Replies("list", "bindings")
+	Replies("list", "bindings").
+	Msg("ring_get", xrep.KindString).
+	Replies("ring_get", RingStateReply).
+	Msg("ring_propose", xrep.KindString, xrep.KindInt, xrep.KindString).
+	Replies("ring_propose", RingStaged, RingStale).
+	Msg("ring_commit", xrep.KindString, xrep.KindInt).
+	Replies("ring_commit", RingCommitted, RingStale)
 
 // ClientReplyType receives name-service replies.
 var ClientReplyType = guardian.NewPortType("name_service_client_port").
@@ -55,7 +61,11 @@ var ClientReplyType = guardian.NewPortType("name_service_client_port").
 	Msg(OutcomeDropped).
 	Msg(OutcomeDenied).
 	Msg("binding", xrep.KindPortName, xrep.KindInt).
-	Msg("bindings", xrep.KindSeq)
+	Msg("bindings", xrep.KindSeq).
+	Msg(RingStateReply, xrep.KindInt, xrep.KindString, xrep.KindInt, xrep.KindString).
+	Msg(RingStaged, xrep.KindInt).
+	Msg(RingCommitted, xrep.KindInt).
+	Msg(RingStale, xrep.KindInt, xrep.KindString)
 
 // binding is one name's durable state.
 type binding struct {
@@ -75,6 +85,8 @@ type binding struct {
 type state struct {
 	mu       sync.Mutex
 	bindings map[string]*binding
+	// rings holds the versioned consistent-hash rings (see ring.go).
+	rings map[string]*ringEntry
 }
 
 func record(kind, name string, port xrep.PortName, version int64, owner guardian.Principal, key string) []byte {
@@ -97,6 +109,9 @@ func record(kind, name string, port xrep.PortName, version int64, owner guardian
 func (st *state) replay(data []byte) {
 	v, err := wire.UnmarshalValue(data)
 	if err != nil {
+		return
+	}
+	if st.replayRing(v) {
 		return
 	}
 	seq, ok := v.(xrep.Seq)
@@ -131,7 +146,7 @@ func (st *state) replay(data []byte) {
 // Def returns the name-service guardian definition. No creation arguments.
 func Def() *guardian.GuardianDef {
 	main := func(ctx *guardian.Ctx) {
-		st := &state{bindings: make(map[string]*binding)}
+		st := &state{bindings: make(map[string]*binding), rings: make(map[string]*ringEntry)}
 		ctx.G.SetState(st)
 		log := ctx.G.Log()
 		if ctx.Recovering {
@@ -225,6 +240,67 @@ func Def() *guardian.GuardianDef {
 					return
 				}
 				reply(pr, m, "binding", b.port, b.version)
+			}).
+			When("ring_get", func(pr *guardian.Process, m *guardian.Message) {
+				st.mu.Lock()
+				e := st.rings[m.Str(0)]
+				if e == nil {
+					e = &ringEntry{}
+				}
+				cEpoch, cBlob := e.committedEpoch, e.committed
+				pEpoch, pBlob := e.pendingEpoch, e.pending
+				st.mu.Unlock()
+				reply(pr, m, RingStateReply, cEpoch, cBlob, pEpoch, pBlob)
+			}).
+			When("ring_propose", func(pr *guardian.Process, m *guardian.Message) {
+				name, epoch, blob := m.Str(0), m.Int(1), m.Str(2)
+				st.mu.Lock()
+				e := st.rings[name]
+				if e == nil {
+					e = &ringEntry{}
+					st.rings[name] = e
+				}
+				if epoch != e.committedEpoch+1 {
+					cEpoch, cBlob := e.committedEpoch, e.committed
+					st.mu.Unlock()
+					reply(pr, m, RingStale, cEpoch, cBlob)
+					return
+				}
+				st.mu.Unlock()
+				log.AppendSync(ringRecord("stage", name, epoch, blob))
+				st.mu.Lock()
+				e.pendingEpoch, e.pending = epoch, blob
+				st.mu.Unlock()
+				reply(pr, m, RingStaged, epoch)
+			}).
+			When("ring_commit", func(pr *guardian.Process, m *guardian.Message) {
+				name, epoch := m.Str(0), m.Int(1)
+				st.mu.Lock()
+				e := st.rings[name]
+				if e == nil {
+					e = &ringEntry{}
+				}
+				// A retried commit of the live epoch converges; only the
+				// staged epoch may flip.
+				if epoch == e.committedEpoch {
+					st.mu.Unlock()
+					reply(pr, m, RingCommitted, epoch)
+					return
+				}
+				if epoch != e.pendingEpoch {
+					cEpoch, cBlob := e.committedEpoch, e.committed
+					st.mu.Unlock()
+					reply(pr, m, RingStale, cEpoch, cBlob)
+					return
+				}
+				blob := e.pending
+				st.mu.Unlock()
+				log.AppendSync(ringRecord("commit", name, epoch, blob))
+				st.mu.Lock()
+				e.committedEpoch, e.committed = epoch, blob
+				e.pendingEpoch, e.pending = 0, ""
+				st.mu.Unlock()
+				reply(pr, m, RingCommitted, epoch)
 			}).
 			When("list", func(pr *guardian.Process, m *guardian.Message) {
 				st.mu.Lock()

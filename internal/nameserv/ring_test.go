@@ -1,0 +1,102 @@
+package nameserv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRingProposeCommitGet(t *testing.T) {
+	_, _, c, _ := deploy(t)
+
+	// Fresh ring: all zeros.
+	rs, err := c.RingGet("accts", testTimeout)
+	if err != nil || rs.CommittedEpoch != 0 || rs.PendingEpoch != 0 {
+		t.Fatalf("fresh ring: %+v err=%v", rs, err)
+	}
+
+	// Bootstrap is proposing epoch 1.
+	blob1 := []byte("ring-epoch-1")
+	if _, err := c.RingPropose("accts", 1, blob1, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = c.RingGet("accts", testTimeout)
+	if rs.PendingEpoch != 1 || !bytes.Equal(rs.Pending, blob1) || rs.CommittedEpoch != 0 {
+		t.Fatalf("after propose: %+v", rs)
+	}
+
+	// Idempotent re-propose (a driver retrying after a lost reply).
+	if _, err := c.RingPropose("accts", 1, blob1, testTimeout); err != nil {
+		t.Fatalf("re-propose: %v", err)
+	}
+
+	if err := c.RingCommit("accts", 1, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = c.RingGet("accts", testTimeout)
+	if rs.CommittedEpoch != 1 || !bytes.Equal(rs.Committed, blob1) || rs.PendingEpoch != 0 {
+		t.Fatalf("after commit: %+v", rs)
+	}
+
+	// Idempotent re-commit of the live epoch.
+	if err := c.RingCommit("accts", 1, testTimeout); err != nil {
+		t.Fatalf("re-commit: %v", err)
+	}
+
+	// Wrong-epoch proposals and commits are refused with the live state.
+	if _, err := c.RingPropose("accts", 3, []byte("x"), testTimeout); err != ErrRingStale {
+		t.Fatalf("skip-epoch propose: err=%v", err)
+	}
+	if st, err := c.RingPropose("accts", 1, []byte("x"), testTimeout); err != ErrRingStale {
+		t.Fatalf("replay-epoch propose: err=%v", err)
+	} else if st.CommittedEpoch != 1 || !bytes.Equal(st.Committed, blob1) {
+		t.Fatalf("stale propose reply state: %+v", st)
+	}
+	if err := c.RingCommit("accts", 2, testTimeout); err != ErrRingStale {
+		t.Fatalf("commit of unstaged epoch: err=%v", err)
+	}
+}
+
+func TestRingSurvivesCrash(t *testing.T) {
+	_, _, c, nsNode := deploy(t)
+
+	blob1, blob2 := []byte("epoch-1"), []byte("epoch-2")
+	if _, err := c.RingPropose("accts", 1, blob1, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RingCommit("accts", 1, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Stage epoch 2 but crash before committing: the staged state must
+	// survive so the rebalance driver can resume and commit.
+	if _, err := c.RingPropose("accts", 2, blob2, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	nsNode.Crash()
+	if err := nsNode.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := c.RingGet("accts", testTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CommittedEpoch != 1 || !bytes.Equal(rs.Committed, blob1) {
+		t.Fatalf("committed ring lost: %+v", rs)
+	}
+	if rs.PendingEpoch != 2 || !bytes.Equal(rs.Pending, blob2) {
+		t.Fatalf("staged ring lost: %+v", rs)
+	}
+	if err := c.RingCommit("accts", 2, testTimeout); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = c.RingGet("accts", testTimeout)
+	if rs.CommittedEpoch != 2 || !bytes.Equal(rs.Committed, blob2) {
+		t.Fatalf("post-recovery commit: %+v", rs)
+	}
+
+	// Name bindings and rings share the log without interference.
+	if _, err := c.Register("svc", somePort("app", 9, 1), testTimeout); err != nil {
+		t.Fatal(err)
+	}
+}

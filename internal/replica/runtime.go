@@ -1201,6 +1201,12 @@ func (rt *Runtime) receiveLoop(ctx *guardian.Ctx) {
 		When(nameserv.OutcomeDenied, nop).  // foreign owner holds the name; retrying is harmless
 		When("binding", nop).
 		When("bindings", nop).
+		// Ring-membership replies (§14) are deliverable on any name-service
+		// client port; the replicator never asks for them, so they are noise.
+		When(nameserv.RingStateReply, nop).
+		When(nameserv.RingStaged, nop).
+		When(nameserv.RingCommitted, nop).
+		When(nameserv.RingStale, nop).
 		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
 			// §3.4 failure arm: a send to a crashed member bounced (their
 			// primordial guardian reported the dead port). The failure

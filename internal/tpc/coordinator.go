@@ -133,6 +133,11 @@ func CoordinatorDef() *guardian.GuardianDef {
 		log := ctx.G.Log()
 		if ctx.Recovering {
 			_, recs, _ := log.Recover()
+			// Rebuild under the state lock: owner-side audits
+			// (CoordinatorUnsettled) may read the map as soon as the
+			// guardian exists, which is before this loop finishes.
+			st.mu.Lock()
+			var unsettled []*decision
 			for _, r := range recs {
 				kind, d, ok := parseDecisionRecord(r.Data)
 				if !ok {
@@ -147,14 +152,18 @@ func CoordinatorDef() *guardian.GuardianDef {
 					}
 				}
 			}
-			// Finish the decision phase of every unsettled transaction.
 			for _, d := range st.decisions {
 				if !d.settled {
-					d := d
-					ctx.G.Spawn("resettle", func(pr *guardian.Process) {
-						settle(pr, log, st, d)
-					})
+					unsettled = append(unsettled, d)
 				}
+			}
+			st.mu.Unlock()
+			// Finish the decision phase of every unsettled transaction.
+			for _, d := range unsettled {
+				d := d
+				ctx.G.Spawn("resettle", func(pr *guardian.Process) {
+					settle(pr, log, st, d)
+				})
 			}
 		}
 
@@ -342,6 +351,25 @@ func replyOutcome(pr *guardian.Process, client xrep.PortName, d *decision) {
 // interface keeps settle testable.
 type logAppender interface {
 	AppendSync(data []byte) uint64
+}
+
+// CoordinatorUnsettled lists the transactions whose decision is durable
+// but not yet acknowledged by every participant (owner-side audit
+// facility: a drain checker polls this to empty after recovery).
+func CoordinatorUnsettled(g *guardian.Guardian) ([]string, bool) {
+	st, ok := g.State().(*coordState)
+	if !ok {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []string
+	for txid, d := range st.decisions {
+		if !d.settled {
+			out = append(out, txid)
+		}
+	}
+	return out, true
 }
 
 // CoordinatorDecision inspects the coordinator's durable outcome for a

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AccountGen draws account ids from an n-account keyspace under a skew,
+// without materializing the keyspace: ids are derived from the drawn
+// index, so a million-account generator costs the same as a ten-account
+// one. Zipf concentrates traffic on a hot subset (s=1.2) — the shape that
+// stresses one shard of a ring while the rest idle; uniform spreads it,
+// the shape that exercises placement breadth.
+type AccountGen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	skew Skew
+	n    int
+}
+
+// NewAccountGen builds a generator over an n-account keyspace.
+// SkewSingle pins every draw to one account (pure contention).
+func NewAccountGen(seed int64, skew Skew, n int) *AccountGen {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &AccountGen{rng: rng, skew: skew, n: n}
+	if skew == SkewZipf && n > 1 {
+		g.zipf = rand.NewZipf(rng, 1.2, 1.0, uint64(n-1))
+	}
+	return g
+}
+
+// Next draws the next account id.
+func (g *AccountGen) Next() string {
+	var i uint64
+	switch {
+	case g.skew == SkewSingle:
+		i = 0
+	case g.zipf != nil:
+		i = g.zipf.Uint64()
+	default:
+		i = uint64(g.rng.Intn(g.n))
+	}
+	return AccountID(i)
+}
+
+// Size is the keyspace size.
+func (g *AccountGen) Size() int { return g.n }
+
+// AccountID names the i-th account of the keyspace. The fixed width keeps
+// ids collision-free up to 10^8 accounts.
+func AccountID(i uint64) string { return fmt.Sprintf("a%08d", i) }
+
+// Bank operation kinds drawn by BankMix.
+const (
+	OpDeposit  = "deposit"
+	OpWithdraw = "withdraw"
+	OpTransfer = "transfer"
+)
+
+// BankMix chooses among deposit, withdraw, and transfer with fixed
+// fractions (transfer takes the remainder).
+type BankMix struct {
+	rng             *rand.Rand
+	depFrac, wdFrac float64
+}
+
+// NewBankMix builds a mix chooser; depositFrac + withdrawFrac must be
+// <= 1, the rest are transfers.
+func NewBankMix(seed int64, depositFrac, withdrawFrac float64) *BankMix {
+	return &BankMix{
+		rng:     rand.New(rand.NewSource(seed)),
+		depFrac: depositFrac,
+		wdFrac:  withdrawFrac,
+	}
+}
+
+// Next draws the next operation kind.
+func (m *BankMix) Next() string {
+	f := m.rng.Float64()
+	switch {
+	case f < m.depFrac:
+		return OpDeposit
+	case f < m.depFrac+m.wdFrac:
+		return OpWithdraw
+	default:
+		return OpTransfer
+	}
+}
+
+// Amount draws an operation amount in [1, max].
+func (m *BankMix) Amount(max int64) int64 {
+	if max < 1 {
+		return 1
+	}
+	return 1 + m.rng.Int63n(max)
+}

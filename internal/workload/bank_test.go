@@ -1,0 +1,91 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAccountGenDeterministic(t *testing.T) {
+	a := workload.NewAccountGen(7, workload.SkewZipf, 1_000_000)
+	b := workload.NewAccountGen(7, workload.SkewZipf, 1_000_000)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("draw %d diverged: %s vs %s", i, ga, gb)
+		}
+	}
+}
+
+func TestAccountGenKeyspace(t *testing.T) {
+	g := workload.NewAccountGen(1, workload.SkewUniform, 50)
+	if g.Size() != 50 {
+		t.Fatalf("size %d", g.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		id := g.Next()
+		if !strings.HasPrefix(id, "a") || len(id) != 9 {
+			t.Fatalf("malformed id %q", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("uniform draws over 50 accounts touched %d", len(seen))
+	}
+	if workload.AccountID(3) != "a00000003" {
+		t.Fatalf("AccountID(3) = %q", workload.AccountID(3))
+	}
+}
+
+func TestAccountGenSkewShapes(t *testing.T) {
+	single := workload.NewAccountGen(2, workload.SkewSingle, 1000)
+	for i := 0; i < 100; i++ {
+		if single.Next() != workload.AccountID(0) {
+			t.Fatal("single skew drew a second account")
+		}
+	}
+	// Zipf concentrates: the hottest account of a million-key zipf draw
+	// must absorb far more than the uniform 1/n share.
+	zipf := workload.NewAccountGen(3, workload.SkewZipf, 1_000_000)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[zipf.Next()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < draws/100 {
+		t.Fatalf("zipf hottest account got only %d of %d draws", max, draws)
+	}
+}
+
+func TestBankMixFractions(t *testing.T) {
+	m := workload.NewBankMix(11, 0.5, 0.3)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[m.Next()]++
+	}
+	check := func(op string, frac float64) {
+		got := float64(counts[op]) / draws
+		if got < frac-0.05 || got > frac+0.05 {
+			t.Fatalf("%s fraction %.3f, want ~%.2f", op, got, frac)
+		}
+	}
+	check(workload.OpDeposit, 0.5)
+	check(workload.OpWithdraw, 0.3)
+	check(workload.OpTransfer, 0.2)
+	for i := 0; i < 200; i++ {
+		if a := m.Amount(50); a < 1 || a > 50 {
+			t.Fatalf("amount %d out of [1,50]", a)
+		}
+	}
+	if m.Amount(0) != 1 {
+		t.Fatal("degenerate max must clamp to 1")
+	}
+}
