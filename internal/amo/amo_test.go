@@ -405,3 +405,56 @@ func TestCallerSequential(t *testing.T) {
 		t.Fatalf("first call: %v", err)
 	}
 }
+
+// TestMovedRedirectExhaustion pins the redirect budget's failure edge
+// with a server that answers every request by redirecting to itself.
+// Once the budget is spent the Caller must fall back to ordinary retries
+// and surface ErrTimeout — OutcomeMoved is routing vocabulary, and must
+// never reach the application as a final Reply.
+func TestMovedRedirectExhaustion(t *testing.T) {
+	w := guardian.NewWorld(guardian.Config{})
+	defer func() { _ = w.Close() }()
+	w.MustRegister(&guardian.GuardianDef{
+		TypeName: "movedloop",
+		Provides: []*guardian.PortType{amo.ReqType},
+		Init: func(ctx *guardian.Ctx) {
+			self := ctx.Ports[0].Name()
+			guardian.NewReceiver(ctx.Ports[0]).
+				When(amo.ReqCommand, func(pr *guardian.Process, m *guardian.Message) {
+					amo.SendMoved(pr, m, self, 99)
+				}).
+				Loop(ctx.Proc, nil)
+		},
+	})
+	srv := w.MustAddNode("srv")
+	created, err := srv.Bootstrap("movedloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := w.MustAddNode("cli")
+	_, proc, err := cli.NewDriver("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := &amo.Metrics{}
+	c, err := amo.NewCaller(proc, amo.CallerOptions{
+		Timeout: 50 * time.Millisecond,
+		Retries: 2,
+		Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rep, err := c.Call(created.Ports[0], "add", int64(1))
+	if err == nil {
+		t.Fatalf("redirect loop returned a final reply %q %v; want an error", rep.Command, rep.Args)
+	}
+	if !errors.Is(err, amo.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if n := met.Redirects.Load(); n < amo.MaxRedirects {
+		t.Fatalf("Redirects = %d, want the full budget of %d burnt", n, amo.MaxRedirects)
+	}
+}

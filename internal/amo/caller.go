@@ -296,21 +296,29 @@ attempt:
 				if rm.Command != ReplyCommand || rm.Int(0) != seq {
 					continue // stale or duplicated reply: discard, keep waiting
 				}
-				if rm.Str(1) == OutcomeMoved && redirects < MaxRedirects {
-					// The key's range migrated: the reply names the new
-					// owner. Re-send the SAME request id there — never a
-					// fresh one, or an op the old owner executed before
-					// the flip (its dedup entry travelled with the range)
-					// would apply twice. The resend does not consume a
-					// retry: a redirect is progress, not a failure.
-					if fresh, ok := movedTarget(rm.Args[2]); ok {
-						redirects++
-						m.Redirects.Inc()
-						to = fresh
-						followingMove = true
-						i--
-						continue attempt
+				if rm.Str(1) == OutcomeMoved {
+					if redirects < MaxRedirects {
+						// The key's range migrated: the reply names the new
+						// owner. Re-send the SAME request id there — never a
+						// fresh one, or an op the old owner executed before
+						// the flip (its dedup entry travelled with the range)
+						// would apply twice. The resend does not consume a
+						// retry: a redirect is progress, not a failure.
+						if fresh, ok := movedTarget(rm.Args[2]); ok {
+							redirects++
+							m.Redirects.Inc()
+							to = fresh
+							followingMove = true
+							i--
+							continue attempt
+						}
 					}
+					// Redirect budget exhausted (or a malformed target): a
+					// moved reply is routing state, never an answer — discard
+					// it and fall into the normal retry with backoff, which
+					// re-resolves against the (by then settled) ring instead
+					// of leaking an amo_* routing outcome to the application.
+					break
 				}
 				c.mu.Lock()
 				if seq > c.acked {

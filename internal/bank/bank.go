@@ -74,7 +74,7 @@ var BranchPortType = guardian.NewPortType("bank_branch_port").
 	Replies("migrate_snap", "snap_meta", "migrate_denied").
 	Msg("migrate_part", xrep.KindString, xrep.KindInt, xrep.KindInt).
 	Replies("migrate_part", "snap_part", "migrate_denied").
-	Msg("migrate_cut", xrep.KindString).
+	Msg("migrate_cut", xrep.KindString, xrep.KindInt).
 	Replies("migrate_cut", "cut_done", "cut_busy", "migrate_denied").
 	Msg("migrate_ack", xrep.KindString).
 	Replies("migrate_ack", "ack_ok").
@@ -192,10 +192,11 @@ func decodeOpRecord(data []byte) (kind, acct string, amount int64, opID string, 
 const checkpointRec = "bank/checkpoint"
 
 // encodeCheckpoint marshals the branch's whole durable state — accounts,
-// the applied-op table, and the dedup filter's snapshot — so the log
-// records it folds in can be compacted away. Maps are emitted in sorted
-// order: the same state always checkpoints to the same bytes.
-func encodeCheckpoint(st *branchState, dedup *amo.Dedup) []byte {
+// the applied-op table, the dedup filter's snapshot, and the shard core
+// (adopted ring, handoffs, escrow) — so the log records it folds in can
+// be compacted away. Maps are emitted in sorted order: the same state
+// always checkpoints to the same bytes.
+func encodeCheckpoint(st *branchState, dedup *amo.Dedup, core *shardCore) []byte {
 	accts := make([]string, 0, len(st.accounts))
 	for a := range st.accounts {
 		accts = append(accts, a)
@@ -218,7 +219,7 @@ func encodeCheckpoint(st *branchState, dedup *amo.Dedup) []byte {
 	if dedup != nil {
 		dsnap = dedup.Snapshot()
 	}
-	rec := xrep.Rec{Name: checkpointRec, Fields: xrep.Seq{accounts, applied, dsnap}}
+	rec := xrep.Rec{Name: checkpointRec, Fields: xrep.Seq{accounts, applied, dsnap, core.checkpointField()}}
 	buf, err := wire.MarshalValue(rec)
 	if err != nil {
 		panic(fmt.Errorf("bank: marshal checkpoint: %v", err))
@@ -227,46 +228,51 @@ func encodeCheckpoint(st *branchState, dedup *amo.Dedup) []byte {
 }
 
 // decodeCheckpoint is encodeCheckpoint's inverse: it loads accounts and
-// applied ops into st and returns the dedup snapshot for the amo layer.
-func decodeCheckpoint(data []byte, st *branchState) (dedupSnap xrep.Value, err error) {
+// applied ops into st and returns the dedup snapshot for the amo layer
+// and the shard-state field for shardCore.restoreCheckpoint (nil for a
+// checkpoint written before the format carried shard state).
+func decodeCheckpoint(data []byte, st *branchState) (dedupSnap, shardState xrep.Value, err error) {
 	v, err := wire.UnmarshalValue(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec, ok := v.(xrep.Rec)
-	if !ok || rec.Name != checkpointRec || len(rec.Fields) != 3 {
-		return nil, fmt.Errorf("not a %s record", checkpointRec)
+	if !ok || rec.Name != checkpointRec || len(rec.Fields) < 3 || len(rec.Fields) > 4 {
+		return nil, nil, fmt.Errorf("not a %s record", checkpointRec)
 	}
 	accounts, ok0 := rec.Fields[0].(xrep.Seq)
 	applied, ok1 := rec.Fields[1].(xrep.Seq)
 	if !ok0 || !ok1 {
-		return nil, fmt.Errorf("malformed %s record", checkpointRec)
+		return nil, nil, fmt.Errorf("malformed %s record", checkpointRec)
 	}
 	for _, av := range accounts {
 		pair, ok := av.(xrep.Seq)
 		if !ok || len(pair) != 2 {
-			return nil, fmt.Errorf("malformed account entry")
+			return nil, nil, fmt.Errorf("malformed account entry")
 		}
 		name, ok0 := pair[0].(xrep.Str)
 		bal, ok1 := pair[1].(xrep.Int)
 		if !ok0 || !ok1 {
-			return nil, fmt.Errorf("malformed account entry")
+			return nil, nil, fmt.Errorf("malformed account entry")
 		}
 		st.accounts[string(name)] = int64(bal)
 	}
 	for _, ov := range applied {
 		pair, ok := ov.(xrep.Seq)
 		if !ok || len(pair) != 2 {
-			return nil, fmt.Errorf("malformed applied-op entry")
+			return nil, nil, fmt.Errorf("malformed applied-op entry")
 		}
 		id, ok0 := pair[0].(xrep.Str)
 		outcome, ok1 := pair[1].(xrep.Str)
 		if !ok0 || !ok1 {
-			return nil, fmt.Errorf("malformed applied-op entry")
+			return nil, nil, fmt.Errorf("malformed applied-op entry")
 		}
 		st.applied[string(id)] = string(outcome)
 	}
-	return rec.Fields[2], nil
+	if len(rec.Fields) == 4 {
+		shardState = rec.Fields[3]
+	}
+	return rec.Fields[2], shardState, nil
 }
 
 // ReplayAccounts rebuilds a branch's account table by replaying durable
@@ -299,17 +305,24 @@ func replayInto(st *branchState, core *shardCore, records []stable.Record) {
 }
 
 // ReplayAccountsFrom is ReplayAccounts for a checkpointing branch: the
-// account table is seeded from the checkpoint state (nil means none) and
-// the post-checkpoint records are replayed on top — the exact
+// account table and shard state are seeded from the checkpoint (nil means
+// none) and the post-checkpoint records are replayed on top — the exact
 // reconstruction a recovery or a replica takeover performs.
 func ReplayAccountsFrom(checkpoint []byte, records []stable.Record) (map[string]int64, error) {
 	st := &branchState{accounts: make(map[string]int64), applied: make(map[string]string)}
+	core := newShardCore("")
 	if len(checkpoint) > 0 {
-		if _, err := decodeCheckpoint(checkpoint, st); err != nil {
+		_, shardState, err := decodeCheckpoint(checkpoint, st)
+		if err != nil {
 			return nil, err
 		}
+		if shardState != nil {
+			if err := core.restoreCheckpoint(st, shardState); err != nil {
+				return nil, err
+			}
+		}
 	}
-	replayInto(st, newShardCore(""), records)
+	replayInto(st, core, records)
 	return st.accounts, nil
 }
 
@@ -408,11 +421,18 @@ func branchMain(ctx *guardian.Ctx) {
 		}
 		var cpDedup xrep.Value
 		if len(cp) > 0 {
-			snap, derr := decodeCheckpoint(cp, st)
+			snap, shardState, derr := decodeCheckpoint(cp, st)
 			if derr != nil {
 				panic(fmt.Errorf("bank: branch %d: bad checkpoint: %w", ctx.G.ID(), derr))
 			}
 			cpDedup = snap
+			// Shard state restores BEFORE the tail replay, so tail records
+			// (acks, commits) find the handoffs and txns they refer to.
+			if shardState != nil {
+				if err := sh.restoreCheckpoint(st, shardState); err != nil {
+					panic(fmt.Errorf("bank: branch %d: bad checkpoint: %w", ctx.G.ID(), err))
+				}
+			}
 		}
 		for _, r := range recs {
 			if sh.replayData(r.Data) {
@@ -446,10 +466,7 @@ func branchMain(ctx *guardian.Ctx) {
 	// client retry re-execute an effect the checkpoint already holds.
 	opsSinceCP := 0
 	maybeCheckpoint := func() {
-		if cpEvery <= 0 || sh.dirty {
-			// The checkpoint format does not capture shard state (rings,
-			// handoffs, escrow): once any shard record exists, compaction
-			// would lose it, so checkpointing is suppressed.
+		if cpEvery <= 0 {
 			return
 		}
 		opsSinceCP++
@@ -457,7 +474,11 @@ func branchMain(ctx *guardian.Ctx) {
 			return
 		}
 		opsSinceCP = 0
-		log.Checkpoint(encodeCheckpoint(st, dedup), log.LastDurableSeq())
+		// The checkpoint captures shard state too (ring, handoffs, escrow),
+		// so compaction keeps running in shard mode; only the volatile
+		// pre-cut copy state is omitted — a recovery would not have it
+		// either, and the puller re-snaps.
+		log.Checkpoint(encodeCheckpoint(st, dedup, sh.shardCore), log.LastDurableSeq())
 	}
 
 	// mutate logs then applies (log-then-ack) and reports the outcome.

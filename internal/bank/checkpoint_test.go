@@ -1,13 +1,17 @@
 package bank
 
 import (
+	"fmt"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/amo"
 	"repro/internal/durable"
 	"repro/internal/guardian"
+	"repro/internal/ring"
+	"repro/internal/sendprim"
 )
 
 // walBankWorld builds a world whose branch node keeps its storage in an
@@ -187,5 +191,172 @@ func TestCheckpointCoversDedupSnapshot(t *testing.T) {
 	}
 	if m := c2.call(t, a, "balance", "alice"); m.Int(0) != 150 {
 		t.Fatalf("balance = %d: duplicate executed after recovery (dedup snapshot lost)", m.Int(0))
+	}
+}
+
+// TestShardCheckpointRoundTrip is the pure-data half of shard-mode
+// checkpointing: everything checkpointField captures must come back
+// identical through decode + restoreCheckpoint — the adopted ring,
+// installed handoffs, cut outbound handoffs (retained and acked), and
+// escrow transactions with their derived holds. Volatile pre-cut copy
+// state and the retained cut tail are deliberately NOT durable: a
+// recovered source must never re-serve a tail it cannot prove unapplied.
+func TestShardCheckpointRoundTrip(t *testing.T) {
+	r1 := ring.New("accounts", 0, ring.Member{Name: "s1"}, ring.Member{Name: "s2"})
+	r2, err := r1.WithJoin(ring.Member{Name: "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := r2.Marshal()
+
+	core := newShardCore("s1")
+	core.adopt(r2)
+	core.installed["accounts/1/s2->s1"] = true
+	core.out["accounts/2/s1->s3"] = &outboundHandoff{
+		hid: "accounts/2/s1->s3", dest: "s3", ring: r2, blob: blob,
+		cut: true, gen: 4, cutGen: 3,
+		cutTail:  []journalOp{{kind: "deposit", acct: "a", amount: 7}},
+		final:    map[string]int64{"a": 57, "b": 50},
+		finalOrd: []string{"a", "b"},
+	}
+	core.out["accounts/2/s1->s4"] = &outboundHandoff{
+		hid: "accounts/2/s1->s4", dest: "s4", blob: blob,
+		cut: true, acked: true,
+	}
+	// A pre-cut handoff is volatile by design and must not be captured.
+	core.out["accounts/3/s1->s5"] = &outboundHandoff{
+		hid: "accounts/3/s1->s5", dest: "s5", gen: 9,
+		copied: map[string]int64{"c": 1}, order: []string{"c"},
+	}
+	core.txns["cli/tx1"] = &shardTxn{phase: "prepared", kind: "debit", acct: "d", amount: 25}
+	core.txns["cli/tx2"] = &shardTxn{phase: "committed", kind: "credit", acct: "e", amount: 10}
+
+	st := &branchState{
+		accounts: map[string]int64{"d": 100, "e": 20},
+		applied:  map[string]string{"op1": OutcomeOK},
+	}
+	st.hold("d", 25)
+
+	buf := encodeCheckpoint(st, nil, core)
+	st2 := &branchState{accounts: make(map[string]int64), applied: make(map[string]string)}
+	_, shardState, err := decodeCheckpoint(buf, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardState == nil {
+		t.Fatal("checkpoint carried no shard state")
+	}
+	core2 := newShardCore("s1")
+	if err := core2.restoreCheckpoint(st2, shardState); err != nil {
+		t.Fatal(err)
+	}
+
+	if core2.ring == nil || core2.ring.Epoch != r2.Epoch {
+		t.Fatalf("restored ring %v, want epoch %d", core2.ring, r2.Epoch)
+	}
+	if !core2.installed["accounts/1/s2->s1"] {
+		t.Fatal("installed handoff lost")
+	}
+	o := core2.out["accounts/2/s1->s3"]
+	if o == nil || !o.cut || o.acked || o.dest != "s3" {
+		t.Fatalf("retained cut handoff came back as %+v", o)
+	}
+	if !reflect.DeepEqual(o.final, map[string]int64{"a": 57, "b": 50}) ||
+		!reflect.DeepEqual(o.finalOrd, []string{"a", "b"}) {
+		t.Fatalf("retained final = %v / %v", o.final, o.finalOrd)
+	}
+	if o.cutGen != 0 || o.cutTail != nil {
+		t.Fatalf("cut tail survived recovery (cutGen=%d, %d ops): a re-pull could double-apply it", o.cutGen, len(o.cutTail))
+	}
+	oa := core2.out["accounts/2/s1->s4"]
+	if oa == nil || !oa.acked || oa.final != nil {
+		t.Fatalf("acked handoff came back as %+v", oa)
+	}
+	if _, leaked := core2.out["accounts/3/s1->s5"]; leaked {
+		t.Fatal("volatile pre-cut handoff leaked into the checkpoint")
+	}
+	if !reflect.DeepEqual(core2.txns, core.txns) {
+		t.Fatalf("txns = %v, want %v", core2.txns, core.txns)
+	}
+	if st2.holds["d"] != 25 {
+		t.Fatalf("prepared debit hold = %d, want 25", st2.holds["d"])
+	}
+	if st2.accounts["d"] != 100 || st2.applied["op1"] != OutcomeOK {
+		t.Fatalf("branch state lost: %v %v", st2.accounts, st2.applied)
+	}
+	// The restored core must re-encode to the identical field: a lossy
+	// round trip would drift a little more on every checkpoint cycle.
+	if !reflect.DeepEqual(core2.checkpointField(), core.checkpointField()) {
+		t.Fatalf("re-encoded shard state differs:\n  got  %v\n  want %v", core2.checkpointField(), core.checkpointField())
+	}
+}
+
+// TestShardCheckpointCompactsAndRecovers pins the liveness half: a branch
+// that has adopted a ring (a shard record in its log) must KEEP taking
+// checkpoints — an earlier build latched a dirty flag on the first shard
+// record and silently stopped compacting forever — and a restart over the
+// compacted log must restore the adopted epoch from the checkpoint,
+// because the ring record it folded away is gone.
+func TestShardCheckpointCompactsAndRecovers(t *testing.T) {
+	root := t.TempDir()
+
+	w1 := walBankWorld(t, root)
+	nb := w1.MustAddNode("branch")
+	nt := w1.MustAddNode("teller-node")
+	created, err := nb.Bootstrap(BranchDefName, 3, ShardArg("s1")) // checkpoint every 3 mutations
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := created.Ports[0]
+	c := newClient(t, nt)
+
+	r := ring.New("accounts", 0, ring.Member{Name: "s1", Native: a, Amo: created.Ports[1]})
+	rm, err := sendprim.Call(c.proc, a, MigrateReplyType,
+		sendprim.CallOptions{Timeout: time.Second}, "ring_update", string(r.Marshal()))
+	if err != nil || rm.Command != "ring_ok" || rm.Int(0) != 1 {
+		t.Fatalf("ring_update: %v %v", rm, err)
+	}
+
+	c.call(t, a, "open", "alice")
+	for i, amt := range []int64{100, 400, 50, 25} {
+		if m := c.call(t, a, "deposit", "alice", amt, fmt.Sprintf("d%d", i)); m.Command != OutcomeOK {
+			t.Fatalf("deposit %d: %v", i, m.Command)
+		}
+	}
+
+	bg, ok := nb.GuardianByID(created.GuardianID)
+	if !ok {
+		t.Fatal("branch guardian vanished")
+	}
+	cp, _, err := bg.Log().Recover()
+	if err != nil {
+		t.Fatalf("live recover: %v", err)
+	}
+	if len(cp) == 0 {
+		t.Fatal("no checkpoint after 5 mutations at cadence 3: shard mode stopped compacting")
+	}
+	if n := bg.Log().DurableLen(); n > 3 {
+		t.Fatalf("log holds %d records after checkpoint, want <= 3 (not compacted?)", n)
+	}
+
+	if err := w1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := walBankWorld(t, root)
+	defer w2.Close()
+	nb2 := w2.MustAddNode("branch")
+	nt2 := w2.MustAddNode("teller-node")
+	c2 := newClient(t, nt2)
+	if m := c2.call(t, a, "balance", "alice"); m.Command != "balance_is" || m.Int(0) != 575 {
+		t.Fatalf("recovered balance: %v %v", m.Command, m.Args)
+	}
+	bg2, ok := nb2.GuardianByID(created.GuardianID)
+	if !ok {
+		t.Fatal("recovered branch guardian missing")
+	}
+	member, epoch, _, ok := ShardSnapshot(bg2)
+	if !ok || member != "s1" || epoch != 1 {
+		t.Fatalf("recovered shard state member=%q epoch=%d ok=%v, want s1/1 (ring lost with the compacted record?)", member, epoch, ok)
 	}
 }

@@ -148,8 +148,9 @@ func (r *Router) Call(account, command string, args ...any) (*amo.Reply, error) 
 // Transfer moves amount between two accounts: a single amo op when both
 // live on one shard, a 2PC escrow transaction when they do not. The
 // returned outcome is a bank outcome (OutcomeOK, OutcomeInsufficient,
-// OutcomeNoAccount) or tpc.OutcomeAborted for a failed cross-shard
-// transaction.
+// OutcomeNoAccount) or tpc.OutcomeAborted — for a failed cross-shard
+// transaction, or for a transfer that kept landing in a migration's
+// cut→commit window after every re-plan (retryable: the flip commits).
 func (r *Router) Transfer(from, to string, amount int64) (string, error) {
 	const attempts = 3
 	var lastOutcome string
@@ -170,8 +171,15 @@ func (r *Router) Transfer(from, to string, amount int64) (string, error) {
 			if rep.Command != amo.OutcomeSplit {
 				return rep.Command, nil
 			}
-			// The shard's ring is ahead of ours: refresh and re-plan.
-			lastOutcome = rep.Command
+			// The shard's ring is ahead of ours (a range was cut but the
+			// epoch is not committed yet): wait a beat for the flip, then
+			// refresh and re-plan. The raw split constant is routing
+			// vocabulary, never a Transfer outcome — if every attempt lands
+			// in the window, report the abort callers know how to retry.
+			lastOutcome = tpc.OutcomeAborted
+			if !r.pr.Pause(r.splitWait()) {
+				return "", guardian.ErrKilled
+			}
 			r.refresh()
 			continue
 		}
@@ -188,6 +196,17 @@ func (r *Router) Transfer(from, to string, amount int64) (string, error) {
 		r.refresh()
 	}
 	return lastOutcome, nil
+}
+
+// splitWait is the pause before re-planning a transfer that hit the
+// cut→commit window: long enough for a typical epoch flip to finish,
+// scaled off the per-call timeout like everything else client-side.
+func (r *Router) splitWait() time.Duration {
+	timeout := r.opts.Call.Timeout
+	if timeout <= 0 {
+		timeout = 100 * time.Millisecond
+	}
+	return 2 * timeout
 }
 
 // transferTPC runs the cross-shard leg pair through the coordinator.

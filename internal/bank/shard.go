@@ -167,8 +167,13 @@ type outboundHandoff struct {
 
 	// Post-cut state, durable via the bank/moved_out record. final is
 	// retained until the driver's migrate_ack so an amnesiac destination
-	// can re-pull the already-cut range.
+	// can re-pull the already-cut range. The cut re-keys gen: post-cut
+	// pulls serve final (tail already folded in) under a FRESH generation,
+	// while cutGen remembers the pre-cut generation whose staged pages
+	// still owe the tail — migrate_cut ships cutTail only to that one, so
+	// the tail can never be applied on top of balances that contain it.
 	cut      bool
+	cutGen   int64       // pre-cut generation entitled to cutTail (0 after recovery)
 	cutTail  []journalOp // the tail merged at cut, retained to re-reply
 	final    map[string]int64
 	finalOrd []string
@@ -317,6 +322,139 @@ func applyTailOp(m map[string]int64, op journalOp) {
 	case "withdraw", "transfer_out", "debit":
 		m[op.acct] -= op.amount
 	}
+}
+
+// checkpointField renders the shard core's durable state for the branch
+// checkpoint: the adopted ring, installed handoff ids, retained post-cut
+// handoffs, and escrow transactions — everything a recovery would rebuild
+// by folding the compacted shard records. Pre-cut copy state is
+// deliberately absent: it is volatile by design (a crash loses it and the
+// puller re-snaps), so a checkpoint must capture no more than a recovery
+// would restore. Maps are emitted in sorted order: same state, same bytes.
+func (c *shardCore) checkpointField() xrep.Value {
+	blob := ""
+	if c.ring != nil {
+		blob = string(c.ring.Marshal())
+	}
+	hids := make([]string, 0, len(c.installed))
+	for hid := range c.installed {
+		hids = append(hids, hid)
+	}
+	sort.Strings(hids)
+	installed := make(xrep.Seq, 0, len(hids))
+	for _, hid := range hids {
+		installed = append(installed, xrep.Str(hid))
+	}
+	outIDs := make([]string, 0, len(c.out))
+	for hid, o := range c.out {
+		if o.cut {
+			outIDs = append(outIDs, hid)
+		}
+	}
+	sort.Strings(outIDs)
+	outs := make(xrep.Seq, 0, len(outIDs))
+	for _, hid := range outIDs {
+		o := c.out[hid]
+		acked := int64(0)
+		if o.acked {
+			acked = 1
+		}
+		outs = append(outs, xrep.Seq{
+			xrep.Str(hid), xrep.Str(o.dest), xrep.Str(string(o.blob)),
+			xrep.Int(acked), accountsSeq(o.final),
+		})
+	}
+	txids := make([]string, 0, len(c.txns))
+	for id := range c.txns {
+		txids = append(txids, id)
+	}
+	sort.Strings(txids)
+	txns := make(xrep.Seq, 0, len(txids))
+	for _, id := range txids {
+		t := c.txns[id]
+		txns = append(txns, xrep.Seq{
+			xrep.Str(id), xrep.Str(t.phase), xrep.Str(t.kind), xrep.Str(t.acct), xrep.Int(t.amount),
+		})
+	}
+	return xrep.Seq{xrep.Str(blob), installed, outs, txns}
+}
+
+// restoreCheckpoint is checkpointField's inverse. It rebuilds the shard
+// core — and the escrow holds, which are derived from prepared debits —
+// and must run BEFORE any post-checkpoint record is folded on top, so
+// tail records (an ack, a commit) find the state they refer to.
+func (c *shardCore) restoreCheckpoint(st *branchState, v xrep.Value) error {
+	seq, ok := v.(xrep.Seq)
+	if !ok || len(seq) != 4 {
+		return fmt.Errorf("malformed shard state")
+	}
+	blob, okB := seq[0].(xrep.Str)
+	installed, okI := seq[1].(xrep.Seq)
+	outs, okO := seq[2].(xrep.Seq)
+	txns, okT := seq[3].(xrep.Seq)
+	if !okB || !okI || !okO || !okT {
+		return fmt.Errorf("malformed shard state")
+	}
+	if len(blob) > 0 {
+		r, err := ring.Unmarshal([]byte(blob))
+		if err != nil {
+			return fmt.Errorf("shard state ring: %w", err)
+		}
+		c.adopt(r)
+	}
+	for _, hv := range installed {
+		hid, ok := hv.(xrep.Str)
+		if !ok {
+			return fmt.Errorf("malformed installed handoff id")
+		}
+		c.installed[string(hid)] = true
+	}
+	for _, ov := range outs {
+		e, ok := ov.(xrep.Seq)
+		if !ok || len(e) != 5 {
+			return fmt.Errorf("malformed outbound handoff")
+		}
+		hid, ok0 := e[0].(xrep.Str)
+		dest, ok1 := e[1].(xrep.Str)
+		rblob, ok2 := e[2].(xrep.Str)
+		acked, ok3 := e[3].(xrep.Int)
+		final, order, ok4 := parseAccounts(e[4])
+		if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 {
+			return fmt.Errorf("malformed outbound handoff")
+		}
+		o := &outboundHandoff{
+			hid: string(hid), dest: string(dest), blob: []byte(rblob),
+			cut: true, final: final, finalOrd: order, acked: acked == 1,
+		}
+		if r, err := ring.Unmarshal([]byte(rblob)); err == nil {
+			o.ring = r
+		}
+		if o.acked {
+			o.final, o.finalOrd = nil, nil
+		}
+		c.out[string(hid)] = o
+	}
+	for _, tv := range txns {
+		e, ok := tv.(xrep.Seq)
+		if !ok || len(e) != 5 {
+			return fmt.Errorf("malformed escrow txn")
+		}
+		txid, ok0 := e[0].(xrep.Str)
+		phase, ok1 := e[1].(xrep.Str)
+		kind, ok2 := e[2].(xrep.Str)
+		acct, ok3 := e[3].(xrep.Str)
+		amount, ok4 := e[4].(xrep.Int)
+		if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 {
+			return fmt.Errorf("malformed escrow txn")
+		}
+		c.txns[string(txid)] = &shardTxn{
+			phase: string(phase), kind: string(kind), acct: string(acct), amount: int64(amount),
+		}
+		if string(phase) == "prepared" && string(kind) == "debit" {
+			st.hold(string(acct), int64(amount))
+		}
+	}
+	return nil
 }
 
 // shardRecord marshals one shard log record.
@@ -483,12 +621,6 @@ type shardRuntime struct {
 	staging    map[string]map[string]int64 // hid → accounts staged so far
 	pulling    map[string]bool
 	recovSnaps []xrep.Value // install dedup snapshots collected during replay
-
-	// dirty is set once any shard record exists in the log. The branch
-	// checkpoint format does not capture shard state (rings, handoffs,
-	// escrow), so checkpointing is suppressed from then on: compacting
-	// shard records away would corrupt recovery.
-	dirty bool
 }
 
 func newShardRuntime(member string, st *branchState, log durable.Log, dedup *amo.Dedup, g *guardian.Guardian, self xrep.PortName) *shardRuntime {
@@ -508,11 +640,8 @@ func (sh *shardRuntime) replayData(data []byte) bool {
 		return false
 	}
 	snap, ok := sh.fold(sh.st, v)
-	if ok {
-		sh.dirty = true
-		if snap != nil {
-			sh.recovSnaps = append(sh.recovSnaps, snap)
-		}
+	if ok && snap != nil {
+		sh.recovSnaps = append(sh.recovSnaps, snap)
 	}
 	return ok
 }
@@ -540,7 +669,6 @@ func (sh *shardRuntime) afterRecover() {
 func (sh *shardRuntime) appendAndFold(name string, fields xrep.Seq) xrep.Value {
 	rec := xrep.Rec{Name: name, Fields: fields}
 	sh.log.AppendSync(shardRecord(name, fields))
-	sh.dirty = true
 	snap, _ := sh.fold(sh.st, rec)
 	return snap
 }
@@ -847,7 +975,7 @@ func (sh *shardRuntime) installArms(recv *guardian.Receiver) {
 			reply(pr, m, "snap_part", int64(end), done, accountsSeq(chunk))
 		}).
 		When("migrate_cut", func(pr *guardian.Process, m *guardian.Message) {
-			hid := m.Str(0)
+			hid, gen := m.Str(0), m.Int(1)
 			o := sh.out[hid]
 			if o == nil || o.acked {
 				reply(pr, m, "migrate_denied", "no snap")
@@ -860,7 +988,28 @@ func (sh *shardRuntime) installArms(recv *guardian.Receiver) {
 				return sh.dedup.Snapshot()
 			}
 			if o.cut {
-				reply(pr, m, "cut_done", o.gen, tailSeq(o.cutTail), dsnap())
+				// The retained tail is owed ONLY to the puller that staged
+				// pre-cut pages (cutGen): its balances lack the tail. A
+				// post-cut puller staged pages from final — tail already
+				// folded in — and must get an empty tail, or every account
+				// mutated between snap and cut would be double-counted. Any
+				// other generation (a dead puller's duplicate, a pre-recovery
+				// puller) is denied so it re-pulls from the durable final.
+				switch {
+				case gen == o.cutGen && o.cutGen != 0:
+					reply(pr, m, "cut_done", gen, tailSeq(o.cutTail), dsnap())
+				case gen == o.gen:
+					reply(pr, m, "cut_done", gen, xrep.Seq{}, dsnap())
+				default:
+					reply(pr, m, "migrate_denied", "snap restarted")
+				}
+				return
+			}
+			if gen != o.gen {
+				// A stale cut request (a dead puller's duplicate arriving
+				// after a newer snapshot) must not seal a copy it never
+				// staged: the live puller would mix pre- and post-cut pages.
+				reply(pr, m, "migrate_denied", "snap restarted")
 				return
 			}
 			// Refuse the cut while 2PC escrow holds pin any moving account:
@@ -892,9 +1041,13 @@ func (sh *shardRuntime) installArms(recv *guardian.Receiver) {
 				xrep.Str(hid), xrep.Str(o.dest), xrep.Str(string(o.blob)), accountsSeq(final),
 			})
 			// fold replaced sh.out[hid] with the durable post-cut entry;
-			// carry over the volatile bits the re-reply path needs.
+			// carry over the volatile bits the re-reply paths need. The
+			// servable generation is re-keyed so a re-pull of final pages
+			// can never match cutGen and receive the tail a second time.
 			if no := sh.out[hid]; no != nil {
-				no.gen = o.gen
+				sh.genCounter++
+				no.gen = sh.genCounter
+				no.cutGen = o.gen
 				no.cutTail = tail
 			}
 			if h.AfterCut != nil {
@@ -1070,7 +1223,7 @@ func (sh *shardRuntime) spawnPuller(hid, blob string, src xrep.PortName) {
 			var cm *guardian.Message
 			busy := 0
 			for {
-				cm, err = sendprim.Call(q, src, MigrateReplyType, opts, "migrate_cut", hid)
+				cm, err = sendprim.Call(q, src, MigrateReplyType, opts, "migrate_cut", hid, gen)
 				if err != nil {
 					giveUp()
 					return
@@ -1088,12 +1241,15 @@ func (sh *shardRuntime) spawnPuller(hid, blob string, src xrep.PortName) {
 				}
 			}
 			if cm.Command != "cut_done" {
-				continue // denied: re-snap from the top
+				// Denied — our generation no longer matches the source's
+				// servable snapshot (it restarted the copy, recovered, or
+				// cut under another generation): re-pull from the top so the
+				// staged pages and the tail come from one generation.
+				continue
 			}
 			if cm.Int(0) != gen {
-				// The source recovered between our parts and the cut: its
-				// durable final may differ from what we staged. Re-pull
-				// everything from the final (idempotent overwrites).
+				// Defensive: a cut_done for a generation we did not request
+				// can only be a stale duplicate; restage rather than trust it.
 				continue
 			}
 			tail := cm.Args[1]

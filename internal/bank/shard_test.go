@@ -666,6 +666,166 @@ func TestRingCoordinatorCrashBetweenPrepareAndCommit(t *testing.T) {
 	}
 }
 
+// movingAccounts generates keys owned by from under r1 that r2 hands to
+// to — the witnesses of one planned move.
+func movingAccounts(r1, r2 *ring.Ring, from, to, prefix string, n int) []string {
+	var out []string
+	for i := 0; len(out) < n && i < 100000; i++ {
+		k := fmt.Sprintf("%s-%04d", prefix, i)
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if ok1 && ok2 && o1.Name == from && o2.Name == to {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestRingAmnesicRepullAfterCut pins the destination-crash-before-install
+// window with a NON-EMPTY tail. The sequence, played puller-by-hand so the
+// window is deterministic: a snapshot is staged under generation G, client
+// traffic mutates the moving range (those ops ride the tail), the source
+// cuts durably — and then the destination never installs (its staged pages
+// and the received cut died with it). The re-driven pull serves pages from
+// the source's durable final, which already has the tail folded in; the
+// cut re-reply for that pull must carry an EMPTY tail, or every account
+// mutated between snap and cut is double-counted.
+func TestRingAmnesicRepullAfterCut(t *testing.T) {
+	shards := []string{"s1", "s2"}
+	c := deployShardCluster(t, netsim.Config{Seed: 8}, shards...)
+	r1 := c.bootstrapRing(shards...)
+	m3 := c.addShard("s3")
+	r2, err := r1.WithJoin(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moving := movingAccounts(r1, r2, "s1", "s3", "mv", 3)
+	staying := accountsOwnedBy(r1, "s2", "st", 2)
+	if len(moving) < 3 || len(staying) < 2 {
+		t.Fatalf("placement found %d moving / %d staying accounts", len(moving), len(staying))
+	}
+	all := append(append([]string{}, moving...), staying...)
+	rt := c.router()
+	defer rt.Close()
+	for _, a := range all {
+		rep, err := rt.Call(a, "open", a)
+		mustOK(t, rep, err, "open "+a)
+		rep, err = rt.Call(a, "deposit", a, int64(50))
+		mustOK(t, rep, err, "seed "+a)
+	}
+
+	// Stage the snapshot, as the destination's puller would.
+	hid := bank.HandoffID(c.ringNm, r2.Epoch, "s1", "s3")
+	blob := string(r2.Marshal())
+	pr, _ := c.driver()
+	opts := sendprim.CallOptions{Timeout: 200 * time.Millisecond, Retries: 20, Backoff: 5 * time.Millisecond}
+	src := c.members["s1"].Native
+	sm, err := sendprim.Call(pr, src, bank.MigrateReplyType, opts, "migrate_snap", hid, blob, "s3")
+	if err != nil || sm.Command != "snap_meta" {
+		t.Fatalf("migrate_snap: %v %v", sm, err)
+	}
+	gen := sm.Int(0)
+
+	// Concurrent traffic on the moving range: these land after the frozen
+	// copy, so the cut must ship them as the tail.
+	for _, a := range moving {
+		rep, err := rt.Call(a, "deposit", a, int64(7))
+		mustOK(t, rep, err, "tail deposit "+a)
+	}
+
+	cm, err := sendprim.Call(pr, src, bank.MigrateReplyType, opts, "migrate_cut", hid, gen)
+	if err != nil || cm.Command != "cut_done" || cm.Int(0) != gen {
+		t.Fatalf("migrate_cut: %v %v", cm, err)
+	}
+	if tail, ok := cm.Args[1].(xrep.Seq); !ok || len(tail) == 0 {
+		t.Fatalf("setup: cut shipped an empty tail %v; the regression needs traffic between snap and cut", cm.Args[1])
+	}
+
+	// The install never happens — the destination is amnesiac. The
+	// re-driven rebalance re-pulls the already-cut range; with the tail
+	// folded into the durable final, it must be applied exactly once.
+	pr2, ns := c.driver()
+	if err := bank.Rebalance(pr2, r2, bank.RebalanceOptions{NS: ns}); err != nil {
+		t.Fatalf("re-driven rebalance: %v", err)
+	}
+	for _, a := range moving {
+		rep, err := rt.Call(a, "balance", a)
+		if err != nil || rep.Command != "balance_is" {
+			t.Fatalf("balance %s: %v %v", a, rep, err)
+		}
+		if got := rep.Int(0); got != 57 {
+			t.Errorf("exactly-once: %s balance %d, want 57 (tail applied twice?)", a, got)
+		}
+	}
+	want := int64(len(all)) * 50
+	want += int64(len(moving)) * 7
+	if total := c.auditPlacement(r2, []string{"s1", "s2", "s3"}, all); total != want {
+		t.Errorf("conservation: cluster total %d, want %d", total, want)
+	}
+}
+
+// TestRingTransferSplitWindowAborts parks a transfer in the cut→commit
+// window: the source has durably cut a range toward the joiner (so it
+// answers split for pairs straddling the pending epoch) while the
+// committed ring the Router plans against still co-locates both accounts.
+// Transfer must report the abort outcome its callers know to retry, never
+// the raw amo_split routing constant.
+func TestRingTransferSplitWindowAborts(t *testing.T) {
+	shards := []string{"s1", "s2"}
+	c := deployShardCluster(t, netsim.Config{Seed: 9}, shards...)
+	r1 := c.bootstrapRing(shards...)
+	m3 := c.addShard("s3")
+	r2, err := r1.WithJoin(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay := movingAccounts(r1, r2, "s1", "s1", "sw", 1)
+	move := movingAccounts(r1, r2, "s1", "s3", "sw", 1)
+	if len(stay) == 0 || len(move) == 0 {
+		t.Fatalf("placement found no witness pair (stay=%d move=%d)", len(stay), len(move))
+	}
+	rt := c.router()
+	defer rt.Close()
+	for _, a := range []string{stay[0], move[0]} {
+		rep, err := rt.Call(a, "open", a)
+		mustOK(t, rep, err, "open "+a)
+	}
+	rep, err := rt.Call(stay[0], "deposit", stay[0], int64(100))
+	mustOK(t, rep, err, "seed")
+
+	// Cut the moving range by hand and stop: no install, no commit — the
+	// window stays open for the whole Transfer below.
+	hid := bank.HandoffID(c.ringNm, r2.Epoch, "s1", "s3")
+	pr, _ := c.driver()
+	opts := sendprim.CallOptions{Timeout: 200 * time.Millisecond, Retries: 20, Backoff: 5 * time.Millisecond}
+	src := c.members["s1"].Native
+	sm, err := sendprim.Call(pr, src, bank.MigrateReplyType, opts, "migrate_snap", hid, string(r2.Marshal()), "s3")
+	if err != nil || sm.Command != "snap_meta" {
+		t.Fatalf("migrate_snap: %v %v", sm, err)
+	}
+	cm, err := sendprim.Call(pr, src, bank.MigrateReplyType, opts, "migrate_cut", hid, sm.Int(0))
+	if err != nil || cm.Command != "cut_done" {
+		t.Fatalf("migrate_cut: %v %v", cm, err)
+	}
+
+	out, err := rt.Transfer(stay[0], move[0], 10)
+	if err != nil {
+		t.Fatalf("transfer in the split window: %v", err)
+	}
+	if out == amo.OutcomeSplit {
+		t.Fatalf("Transfer leaked the raw %s routing constant", amo.OutcomeSplit)
+	}
+	if out != tpc.OutcomeAborted {
+		t.Fatalf("split-window transfer outcome %q, want %q", out, tpc.OutcomeAborted)
+	}
+	// The window never closes in this test, so the money must not move.
+	rep, err = rt.Call(stay[0], "balance", stay[0])
+	if err != nil || rep.Int(0) != 100 {
+		t.Fatalf("balance after aborted transfer: %v %v, want 100", rep, err)
+	}
+}
+
 // TestRingSourceCrashAfterCut kills the handoff source right after its
 // durable cut and lets it recover: the destination's puller sees the
 // generation mismatch (the retained tail was volatile) and re-pulls the
