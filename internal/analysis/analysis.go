@@ -32,6 +32,13 @@ type Analyzer struct {
 	// pass.Report. The returned error aborts the whole run (reserved for
 	// internal failures, not findings).
 	Run func(*Pass) error
+	// Finish, when non-nil, runs once after every package of a standalone
+	// run has been analyzed, reporting the whole-program directions the
+	// per-package Run only accumulated evidence for (into pass.Program).
+	// Under go vet -vettool each package is its own process, Program is
+	// nil, and Finish never runs — passes degrade to their per-package
+	// directions.
+	Finish func(*Program) []Diagnostic
 }
 
 // Pass carries one type-checked package to an Analyzer's Run function.

@@ -1,0 +1,12 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ackorder"
+)
+
+func TestAckOrder(t *testing.T) {
+	analysistest.RunWithFinish(t, ackorder.Analyzer, ackorder.Finish, "a")
+}

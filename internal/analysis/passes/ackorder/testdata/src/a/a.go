@@ -1,0 +1,85 @@
+// Package a holds the ackorder goldens: the PR 8 cut-before-install reply
+// shape, the cross-function window, the sync-skipped arm, and the clean
+// orderings that must stay silent.
+package a
+
+import (
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// Wal mimics durable.Log's shape so the summaries treat it as the durable
+// boundary.
+type Wal struct{ n int }
+
+func (w *Wal) Append(b []byte) error     { w.n++; return nil }
+func (w *Wal) Sync() error               { return nil }
+func (w *Wal) AppendSync(b []byte) error { w.n++; return nil }
+
+// HandleCut is the seeded PR 8 shape: the handoff handler logs the cut
+// record, acks the mover, and only then forces the log — a crash between
+// ack and sync forgets an acknowledged cut.
+func HandleCut(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	_ = w.Append([]byte("cut"))
+	amo.SendReply(pr, m, "ok", nil) // want `reply \(amo.SendReply\) sent before the pending Wal.Append is forced durable`
+	_ = w.Sync()
+}
+
+// HandleCutOrdered forces the write first: clean.
+func HandleCutOrdered(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	_ = w.Append([]byte("cut"))
+	_ = w.Sync()
+	amo.SendReply(pr, m, "ok", nil)
+}
+
+// HandleCutAtomic uses the log-then-ack primitive, which leaves nothing
+// pending: clean.
+func HandleCutAtomic(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	_ = w.AppendSync([]byte("cut"))
+	amo.SendReply(pr, m, "ok", nil)
+}
+
+// mutate is the helper that leaves the append pending for its caller.
+func mutate(w *Wal) {
+	_ = w.Append([]byte("op"))
+}
+
+// ack replies through a raw send to the message's reply port. On its own
+// it is clean; reached from HandleSplit with an append pending, its send
+// is the finding.
+func ack(pr *guardian.Process, m *guardian.Message) {
+	_ = pr.Send(m.ReplyTo, "done") // want `reply \(Process.Send to a reply port\) sent before the pending Wal.Append is forced durable`
+}
+
+// HandleSplit opens the window across two helpers: mutate leaves the
+// append volatile and ack's send escapes before any sync.
+func HandleSplit(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	mutate(w)
+	ack(pr, m)
+	_ = w.Sync()
+}
+
+// HandleSkipped acks first and then mutates without ever forcing the
+// write: the sync-skipped arm.
+func HandleSkipped(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	amo.SendReply(pr, m, "ok", nil)
+	_ = w.Append([]byte("late")) // want `Wal.Append on a replying handler path is never forced durable`
+}
+
+// HandleInternal sends protocol traffic (not a reply port) while pending:
+// internal forwarding is not an ack, so this stays silent.
+func HandleInternal(pr *guardian.Process, m *guardian.Message, w *Wal, peer xrep.PortName) {
+	_ = w.Append([]byte("op"))
+	_ = pr.Send(peer, "replicate")
+	_ = w.Sync()
+}
+
+// HandleAccepted documents a deliberate early ack: the effect is
+// reconstructible from the peer, so the suppression is justified.
+func HandleAccepted(pr *guardian.Process, m *guardian.Message, w *Wal) {
+	_ = w.Append([]byte("hint"))
+	//lint:allow ackorder hint record is advisory; recovery rebuilds it from the peer snapshot
+	amo.SendReply(pr, m, "ok", nil)
+	_ = w.Sync()
+}

@@ -1,0 +1,51 @@
+// Package b holds the lockorder goldens that exercise the real repro
+// blocking surfaces: a guardian receive parked inside a critical section
+// (the PR 3 lost-wakeup class) and an at-most-once call issued under a
+// lock.
+package b
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// Server guards its table with a mutex and talks to a guardian process.
+type Server struct {
+	mu    sync.Mutex
+	table map[string]int
+}
+
+// WaitLocked parks the handler inside the critical section: any peer that
+// needs mu to produce the awaited message deadlocks us.
+func (s *Server) WaitLocked(pr *guardian.Process) {
+	s.mu.Lock()
+	m, _ := pr.Receive(time.Second) // want `guardian Process.Receive while b.Server.mu is held`
+	_ = m
+	s.mu.Unlock()
+}
+
+// CallLocked issues a remote at-most-once call — unbounded network wait —
+// under the lock, through a helper so the whole-program composition is
+// what finds it.
+func (s *Server) CallLocked(c *amo.Caller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refresh(c)
+}
+
+func (s *Server) refresh(c *amo.Caller) {
+	r, err := c.Call(xrep.PortName{Node: "peer"}, "get") // want `amo Caller.Call while b.Server.mu is held`
+	_, _ = r, err
+}
+
+// WaitUnlocked releases before parking: no diagnostic.
+func (s *Server) WaitUnlocked(pr *guardian.Process) {
+	s.mu.Lock()
+	s.table["x"] = 1
+	s.mu.Unlock()
+	_, _ = pr.Receive(time.Second)
+}

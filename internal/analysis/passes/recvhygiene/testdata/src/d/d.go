@@ -1,0 +1,80 @@
+// Package d is the transaction/scale-era golden input for the
+// recvhygiene pass: the two receive shapes the 2PC coordinator and the
+// bank's workload-driven audit port use — a deadline-bounded raw Receive
+// vote loop and the audit handler chain — checked armed as the real
+// loops are and in the unbounded/armless forms they must never regress
+// to.
+package d
+
+import (
+	"time"
+
+	"repro/internal/guardian"
+)
+
+// voteLoop mirrors tpc's coordinator vote collection: a raw Receive
+// bounded by the round deadline, with kill and timeout statuses handled.
+// No diagnostic — the finite timeout IS the §3.4 timeout arm, and the
+// presumed-abort round logic owns the silence.
+func voteLoop(pr *guardian.Process, votes *guardian.Port, deadline time.Time, clock interface{ Now() time.Time }) bool {
+	for {
+		remain := deadline.Sub(clock.Now())
+		if remain <= 0 {
+			return false
+		}
+		m, status := pr.Receive(remain, votes)
+		if status == guardian.RecvKilled {
+			return false
+		}
+		if status != guardian.RecvOK {
+			return false
+		}
+		switch m.Command {
+		case "vote_yes":
+			return true
+		case "vote_no", guardian.FailureCommand:
+			return false
+		}
+	}
+}
+
+// voteLoopUnbounded is the regression shape: the same collection with an
+// infinite wait and no failure inspection — a participant that died
+// before voting parks the coordinator forever, and the presumed-abort
+// deadline never arrives.
+func voteLoopUnbounded(pr *guardian.Process, votes *guardian.Port) []string {
+	var got []string
+	for {
+		m, status := pr.Receive(guardian.Infinite, votes) // want `Receive with an Infinite timeout and no failure handling`
+		if status != guardian.RecvOK {
+			return got
+		}
+		got = append(got, m.Str(0))
+	}
+}
+
+// auditLoop mirrors the branch's workload-driven audit port: the audit
+// probe replies with the account census, and the failure arm catches the
+// reply bouncing off an auditor that gave up before the answer arrived.
+func auditLoop(ctx *guardian.Ctx) {
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("audit", func(pr *guardian.Process, m *guardian.Message) {
+			_ = pr.Send(m.ReplyTo, "audit_info", int64(0), int64(0))
+		}).
+		WhenFailure(func(_ *guardian.Process, _ string, _ *guardian.Message) {
+			// The auditor died mid-probe; the census answer is void.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// auditLoopArmless is the regression shape: an audit port with no
+// failure arm never learns its census reply bounced, and the workload's
+// synchronizing audit ping retries forever against a branch that already
+// answered.
+func auditLoopArmless(ctx *guardian.Ctx) {
+	guardian.NewReceiver(ctx.Ports[0]). // want `neither a failure arm`
+						When("audit", func(pr *guardian.Process, m *guardian.Message) {
+			_ = pr.Send(m.ReplyTo, "audit_info", int64(0), int64(0))
+		}).
+		Loop(ctx.Proc, nil)
+}

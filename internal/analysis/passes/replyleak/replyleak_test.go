@@ -1,0 +1,12 @@
+package replyleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/replyleak"
+)
+
+func TestReplyLeak(t *testing.T) {
+	analysistest.Run(t, replyleak.Analyzer, "a")
+}

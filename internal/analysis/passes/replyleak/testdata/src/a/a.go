@@ -1,0 +1,73 @@
+// Package a holds the replyleak goldens: reserved routing outcomes and
+// rep_* protocol vocabulary escaping to clients, unscreened Command
+// passthroughs, and the screened variants that must stay silent.
+package a
+
+import (
+	"repro/internal/amo"
+	"repro/internal/guardian"
+	"repro/internal/xrep"
+)
+
+// ForwardMoved forwards the reserved redirect outcome verbatim: the client
+// gets "amo_moved" with no coordinates to follow.
+func ForwardMoved(pr *guardian.Process, m *guardian.Message) {
+	amo.SendReply(pr, m, amo.OutcomeMoved, nil) // want `internal routing outcome amo_moved must not be sent as a client reply`
+}
+
+// ForwardMovedProperly uses the redirect primitive.
+func ForwardMovedProperly(pr *guardian.Process, m *guardian.Message) {
+	amo.SendMoved(pr, m, xrep.PortName{Node: "n2"}, 7)
+}
+
+// Notice leaks replica protocol vocabulary to the caller's reply port.
+func Notice(pr *guardian.Process, m *guardian.Message) {
+	_ = pr.Send(m.ReplyTo, "rep_handoff") // want `internal protocol command "rep_handoff" escapes to a client reply port`
+}
+
+// NoticeInternal sends the same command to an internal peer: protocol
+// traffic, not a reply.
+func NoticeInternal(pr *guardian.Process, peer xrep.PortName) {
+	_ = pr.Send(peer, "rep_handoff")
+}
+
+// Passthrough returns the raw outcome with no screen: a mid-rebalance
+// amo_moved would become the final answer.
+func Passthrough(r *amo.Reply) string {
+	return r.Command // want `amo.Reply.Command returned without screening`
+}
+
+// Screened checks the reserved outcomes first, so the passthrough is
+// deliberate.
+func Screened(r *amo.Reply) (string, bool) {
+	if r.Command == amo.OutcomeMoved || r.Command == amo.OutcomeSplit {
+		return "", false
+	}
+	return r.Command, true
+}
+
+// Build promotes raw message data to a client-visible outcome without a
+// screen.
+func Build(m *guardian.Message) *amo.Reply {
+	return &amo.Reply{Command: m.Command} // want `amo.Reply constructed from raw message data without screening`
+}
+
+// BuildScreened rejects the reserved outcomes before constructing.
+func BuildScreened(m *guardian.Message) *amo.Reply {
+	if m.Command == amo.OutcomeMoved || m.Command == amo.OutcomeSplit {
+		return nil
+	}
+	return &amo.Reply{Command: m.Command}
+}
+
+// BuildFixed uses a fixed command constant: nothing dynamic to screen.
+func BuildFixed() *amo.Reply {
+	return &amo.Reply{Command: "ok"}
+}
+
+// Accepted documents a deliberate passthrough: the caller is itself
+// routing infrastructure.
+func Accepted(r *amo.Reply) string {
+	//lint:allow replyleak consumed by the ring rebalancer, which handles amo_moved itself
+	return r.Command
+}

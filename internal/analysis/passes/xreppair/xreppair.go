@@ -39,9 +39,10 @@ import (
 
 // Analyzer is the pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "xreppair",
-	Doc:  "flag incomplete or inconsistent encode/decode pairs for transmittable types",
-	Run:  run,
+	Name:   "xreppair",
+	Doc:    "flag incomplete or inconsistent encode/decode pairs for transmittable types",
+	Run:    run,
+	Finish: Finish,
 }
 
 // Index is the whole-program accumulator: which type names have encoders,

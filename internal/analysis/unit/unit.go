@@ -128,7 +128,7 @@ type Finding struct {
 // standalone callers pass one to enable whole-program directions.
 func RunAnalyzers(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Program) []Finding {
 	allows := analysis.CollectAllows(u.Fset, u.Files)
-	out := Analyze(u, analyzers, prog, allows)
+	out, _ := Analyze(u, analyzers, prog, allows)
 	out = append(out, ReasonlessAllows(allows)...)
 	return out
 }
@@ -136,9 +136,10 @@ func RunAnalyzers(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.P
 // Analyze applies every pass to one unit, suppressing findings through the
 // given directives (marking the ones that fire as Used). Callers that need
 // the allow inventory afterwards — the standalone driver's whole-program
-// filtering and staleness report — use this instead of RunAnalyzers.
-func Analyze(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Program, allows []*analysis.Allow) []Finding {
-	var out []Finding
+// filtering and staleness report — use this instead of RunAnalyzers. The
+// suppressed findings come back separately so machine-readable output can
+// show what the allow inventory is holding down.
+func Analyze(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Program, allows []*analysis.Allow) (out, suppressed []Finding) {
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -152,6 +153,7 @@ func Analyze(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Progra
 			for _, al := range allows {
 				if al.Suppresses(u.Fset, a.Name, d.Pos) {
 					al.Used = true
+					suppressed = append(suppressed, Finding{Diagnostic: d, Pass: a.Name})
 					return
 				}
 			}
@@ -164,7 +166,7 @@ func Analyze(u *load.Unit, analyzers []*analysis.Analyzer, prog *analysis.Progra
 			})
 		}
 	}
-	return out
+	return out, suppressed
 }
 
 // ReasonlessAllows reports every used directive that carries no reason.

@@ -260,6 +260,7 @@ func (l *wrapLog) Sync() {
 			l.taintedBytes += len(data)
 		}
 	}
+	//lint:allow lockorder the inner store is the in-memory simulator: its Sync decides fault outcomes and returns, it cannot park the goroutine
 	l.inner.Sync()
 	l.mu.Unlock()
 
@@ -280,6 +281,7 @@ func (l *wrapLog) AppendSync(data []byte) uint64 {
 func (l *wrapLog) Checkpoint(state []byte, upTo uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//lint:allow lockorder the inner store is the in-memory simulator: Checkpoint folds records and returns, it cannot park the goroutine
 	l.inner.Checkpoint(state, upTo)
 	for seq := range l.tainted {
 		if seq <= upTo {

@@ -53,9 +53,11 @@ func brokenLedgerDef() *guardian.GuardianDef {
 		}
 		guardian.NewReceiver(ctx.Ports[0]).
 			When("inc", func(pr *guardian.Process, m *guardian.Message) {
+				//lint:allow ackorder the broken ledger is the experiment's control arm: it leaves the append volatile so e7 can measure recovery losing it
 				log.Append([]byte{1}) // volatile: no Sync before the ack
 				count++
 				if !m.ReplyTo.IsZero() {
+					//lint:allow ackorder deliberately unsynced ack — the violation e7 exists to demonstrate
 					_ = pr.Send(m.ReplyTo, "ok")
 				}
 			}).

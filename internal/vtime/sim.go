@@ -52,6 +52,7 @@ func (s *Sim) NewTimer(d time.Duration) Timer {
 	}
 	if d <= 0 {
 		t.fired = true
+		//lint:allow lockorder the timer channel is buffered(1) and fired guards the only send, so it cannot block
 		t.ch <- s.now
 		return t
 	}
@@ -94,6 +95,7 @@ func (s *Sim) AdvanceTo(t time.Time) {
 		}
 		if !tm.stopped {
 			tm.fired = true
+			//lint:allow lockorder the timer channel is buffered(1) and fired/stopped guard the only send, so it cannot block
 			tm.ch <- s.now
 		}
 		s.mu.Unlock()
