@@ -520,19 +520,20 @@ func BenchmarkE10AtMostOnceCall(b *testing.B) {
 // --- E12 / transport: simulator adapter vs real UDP loopback ---
 
 // BenchmarkTransportLoopback measures one full guardian-level round trip —
-// no-wait send out, sink delivery, acknowledgment back — over the two
+// no-wait send out, sink delivery, acknowledgment back — over the three
 // Transport implementations: the in-memory simulator adapter every test
-// uses and real UDP sockets through the kernel's loopback. The gap is the
-// cost of actual datagrams (syscalls, copies, scheduling) relative to the
-// simulator's direct dispatch; EXPERIMENTS.md E12 records it.
+// uses, real UDP sockets through the kernel's loopback, and framed
+// persistent TCP connections (two transports, two listeners — a stream
+// has distinct endpoints by construction). The gaps are the cost of
+// actual datagrams (syscalls, copies, scheduling) and of stream framing
+// relative to the simulator's direct dispatch; EXPERIMENTS.md E12/E17
+// record them.
 func BenchmarkTransportLoopback(b *testing.B) {
-	run := func(b *testing.B, tr transport.Transport) {
-		w := guardian.NewWorld(guardian.Config{Transport: tr})
-		defer w.Close()
+	echoDef := func() *guardian.GuardianDef {
 		pt := guardian.NewPortType("echo").
 			Msg("ping", xrep.KindInt, xrep.KindPortName).
 			Replies("ping", "pong")
-		w.MustRegister(&guardian.GuardianDef{
+		return &guardian.GuardianDef{
 			TypeName:     "echo",
 			Provides:     []*guardian.PortType{pt},
 			PortCapacity: 1024,
@@ -544,13 +545,19 @@ func BenchmarkTransportLoopback(b *testing.B) {
 					}).
 					Loop(ctx.Proc, nil)
 			},
-		})
-		srv := w.MustAddNode("srv")
+		}
+	}
+	// run drives the round trips with the server node on wSrv and the
+	// driver on wCli — the same world for the transports that carry both
+	// endpoints on one instance, two worlds over two sockets for TCP.
+	run := func(b *testing.B, wSrv, wCli *guardian.World) {
+		wSrv.MustRegister(echoDef())
+		srv := wSrv.MustAddNode("srv")
 		created, err := srv.Bootstrap("echo")
 		if err != nil {
 			b.Fatal(err)
 		}
-		cli := w.MustAddNode("cli")
+		cli := wCli.MustAddNode("cli")
 		g, drv, err := cli.NewDriver("d")
 		if err != nil {
 			b.Fatal(err)
@@ -559,8 +566,7 @@ func BenchmarkTransportLoopback(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
+		roundTrip := func(i int) {
 			if err := drv.Send(created.Ports[0], "ping", i, reply.Name()); err != nil {
 				b.Fatal(err)
 			}
@@ -568,10 +574,22 @@ func BenchmarkTransportLoopback(b *testing.B) {
 				b.Fatalf("round trip %d: receive status %v", i, st)
 			}
 		}
+		// One warmup round trip keeps connection dialing (TCP) and route
+		// learning out of the measured loop: the steady state is what the
+		// arms are being compared on.
+		roundTrip(-1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			roundTrip(i)
+		}
 	}
 
 	b.Run("netsim", func(b *testing.B) {
-		run(b, transport.NewSim(netsim.New(vtime.NewReal(), netsim.Config{})))
+		w := guardian.NewWorld(guardian.Config{
+			Transport: transport.NewSim(netsim.New(vtime.NewReal(), netsim.Config{})),
+		})
+		defer w.Close()
+		run(b, w, w)
 	})
 	b.Run("udp", func(b *testing.B) {
 		udp, err := transport.NewUDP(transport.UDPConfig{
@@ -583,7 +601,27 @@ func BenchmarkTransportLoopback(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		run(b, udp)
+		w := guardian.NewWorld(guardian.Config{Transport: udp})
+		defer w.Close()
+		run(b, w, w)
+	})
+	b.Run("tcp", func(b *testing.B) {
+		srvTr, err := transport.NewTCP(transport.TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cliTr, err := transport.NewTCP(transport.TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cliTr.SetPeer("srv", srvTr.ListenAddr()); err != nil {
+			b.Fatal(err)
+		}
+		wSrv := guardian.NewWorld(guardian.Config{Transport: srvTr})
+		defer wSrv.Close()
+		wCli := guardian.NewWorld(guardian.Config{Transport: cliTr})
+		defer wCli.Close()
+		run(b, wSrv, wCli)
 	})
 }
 

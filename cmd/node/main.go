@@ -1,8 +1,10 @@
 // Command node boots one guardian-model node as its own OS process, joined
-// to its peers by real UDP datagrams — the deployment shape the paper
-// assumes (one node, one machine) instead of the in-process simulator the
-// tests use. A node either hosts an application guardian (server mode) or
-// drives at-most-once calls against one (client mode, -call).
+// to its peers by a real network — UDP datagrams by default, or framed
+// persistent TCP connections with -transport tcp — the deployment shape
+// the paper assumes (one node, one machine) instead of the in-process
+// simulator the tests use. A node either hosts an application guardian
+// (server mode) or drives at-most-once calls against one (client mode,
+// -call).
 //
 // Two-terminal bank demo:
 //
@@ -19,7 +21,11 @@
 // guardian's ports ("port <type> <node/guardian/port>"); the -call value
 // is the amo port name printed in terminal 1. The -loss/-dup/-delay flags
 // wrap the socket in the same fault model the simulator uses, so the §3.5
-// at-most-once machinery can be watched surviving real packet abuse.
+// at-most-once machinery can be watched surviving real packet abuse. With
+// -transport tcp the stream fault flags -reset/-stall inject connection
+// resets and half-open write stalls instead (loss and duplication are
+// datagram faults; a stream would just repair them), and -stats prints
+// the per-peer connection counters on shutdown.
 //
 // Beyond the two-terminal demo: -data makes the hosted guardian durable
 // (WAL + recovery, DESIGN.md §11), -group replicates it across member
@@ -39,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -50,6 +57,7 @@ import (
 	"repro/internal/bank"
 	"repro/internal/durable"
 	"repro/internal/guardian"
+	"repro/internal/metrics"
 	"repro/internal/nameserv"
 	"repro/internal/replica"
 	"repro/internal/ring"
@@ -75,14 +83,18 @@ type options struct {
 	host   string
 
 	// transport shape
-	mtu  int
-	pace time.Duration
-	recv int
+	trans string
+	mtu   int
+	pace  time.Duration
+	recv  int
+	stats bool
 
 	// injected faults (both directions are outbound somewhere: run both
 	// processes with the same flags to fault the full round trip)
 	loss, dup     float64
 	delay, jitter time.Duration
+	reset, stall  float64
+	stalltime     time.Duration
 	seed          int64
 
 	// durable storage
@@ -126,10 +138,12 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs := flag.NewFlagSet("node", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.StringVar(&o.name, "name", "", "this node's name (required)")
-	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "UDP address to bind")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "address to bind (UDP socket or TCP listener)")
 	peers := fs.String("peers", "", "comma-separated name=host:port routing entries")
 	fs.StringVar(&o.host, "host", "", "guardian to host: bank, airline or nameserv (server mode)")
-	fs.IntVar(&o.mtu, "mtu", 0, "maximum datagram size (0 = transport default)")
+	fs.StringVar(&o.trans, "transport", "udp", "network transport: udp (datagrams) or tcp (framed persistent connections)")
+	fs.IntVar(&o.mtu, "mtu", 0, "maximum datagram size, or with -transport tcp the maximum frame size (0 = transport default)")
+	fs.BoolVar(&o.stats, "stats", false, "print per-peer connection counters on shutdown (tcp)")
 	fs.DurationVar(&o.pace, "pace", 0, "minimum gap between datagrams to one peer")
 	fs.IntVar(&o.recv, "recv", 0, "receive workers per socket (0 = default)")
 	fs.StringVar(&o.data, "data", "", "directory for on-disk WAL storage (empty = volatile in-memory disk)")
@@ -145,10 +159,13 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.threshold, "threshold", 2, "missed heartbeats before a follower stands for election")
 	fs.StringVar(&o.service, "service", "", "well-known name the group's current leader binds at the name service")
 	fs.StringVar(&o.ns, "ns", "", "name-service port as node/guardian/port")
-	fs.Float64Var(&o.loss, "loss", 0, "injected outbound loss rate [0,1]")
-	fs.Float64Var(&o.dup, "dup", 0, "injected outbound duplication rate [0,1]")
+	fs.Float64Var(&o.loss, "loss", 0, "injected outbound loss rate [0,1] (udp)")
+	fs.Float64Var(&o.dup, "dup", 0, "injected outbound duplication rate [0,1] (udp)")
 	fs.DurationVar(&o.delay, "delay", 0, "injected minimum outbound delay")
 	fs.DurationVar(&o.jitter, "jitter", 0, "injected additional random delay")
+	fs.Float64Var(&o.reset, "reset", 0, "injected connection reset rate per send [0,1] (tcp)")
+	fs.Float64Var(&o.stall, "stall", 0, "injected write-stall rate per send [0,1] (tcp)")
+	fs.DurationVar(&o.stalltime, "stalltime", 50*time.Millisecond, "duration of each injected write stall")
 	fs.Int64Var(&o.seed, "seed", 1, "fault injection seed")
 	fs.Int64Var(&o.flight, "flight", 12, "airline: flight number")
 	fs.Int64Var(&o.capacity, "capacity", 100, "airline: seat capacity")
@@ -170,6 +187,18 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	}
 	if o.name == "" {
 		return nil, fmt.Errorf("node: -name is required")
+	}
+	switch o.trans {
+	case "udp":
+		if o.reset > 0 || o.stall > 0 {
+			return nil, fmt.Errorf("node: -reset/-stall are stream faults: they need -transport tcp")
+		}
+	case "tcp":
+		if o.loss > 0 || o.dup > 0 {
+			return nil, fmt.Errorf("node: -loss/-dup are datagram faults a stream would repair; use -reset/-stall with -transport tcp")
+		}
+	default:
+		return nil, fmt.Errorf("node: bad -transport %q: want udp or tcp", o.trans)
 	}
 	if *crash != "" {
 		spec, err := parseCrashSpec(*crash)
@@ -389,31 +418,65 @@ func replicaConfig(o *options) (replica.Config, error) {
 // serving member's WAL; it is filled in when AddNode opens the store.
 type replicaSlot struct{ st *replica.Store }
 
+// localAddresser is the slice of both real transports the banner and
+// shutdown report need beyond Transport: where an attached name actually
+// bound (UDP reads its socket back, TCP its shared listener).
+type localAddresser interface {
+	transport.Transport
+	LocalAddr(a transport.Addr) string
+}
+
 // buildWorld assembles the transport stack and an empty world around it.
-func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper, *replicaSlot, error) {
-	o.peers[transport.Addr(o.name)] = o.listen
-	udp, err := transport.NewUDP(transport.UDPConfig{
-		Peers:       o.peers,
-		MTU:         o.mtu,
-		PaceMinGap:  o.pace,
-		RecvWorkers: o.recv,
-	})
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	var tr transport.Transport = udp
-	var wrap *transport.Wrapper
-	if o.loss > 0 || o.dup > 0 || o.delay > 0 || o.jitter > 0 {
-		wrap = transport.Wrap(udp, transport.WrapperConfig{
+func buildWorld(o *options) (*guardian.World, localAddresser, *transport.Wrapper, *replicaSlot, error) {
+	var base localAddresser
+	cfg := guardian.Config{}
+	switch o.trans {
+	case "tcp":
+		tcp, err := transport.NewTCP(transport.TCPConfig{
+			Listen:   o.listen,
+			Peers:    o.peers,
+			MaxFrame: o.mtu,
 			Seed:     o.seed,
-			LossRate: o.loss,
-			DupRate:  o.dup,
-			Delay:    o.delay,
-			Jitter:   o.jitter,
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		base = tcp
+		// Streams have no MTU: let the runtime ship a whole message as one
+		// frame instead of fragment trains sized for ethernet datagrams.
+		cfg.FragmentMTU = o.mtu
+		if cfg.FragmentMTU == 0 {
+			cfg.FragmentMTU = transport.DefaultTCPMaxFrame
+		}
+	default:
+		o.peers[transport.Addr(o.name)] = o.listen
+		udp, err := transport.NewUDP(transport.UDPConfig{
+			Peers:       o.peers,
+			MTU:         o.mtu,
+			PaceMinGap:  o.pace,
+			RecvWorkers: o.recv,
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		base = udp
+	}
+	var tr transport.Transport = base
+	var wrap *transport.Wrapper
+	if o.loss > 0 || o.dup > 0 || o.delay > 0 || o.jitter > 0 || o.reset > 0 || o.stall > 0 {
+		wrap = transport.Wrap(base, transport.WrapperConfig{
+			Seed:      o.seed,
+			LossRate:  o.loss,
+			DupRate:   o.dup,
+			Delay:     o.delay,
+			Jitter:    o.jitter,
+			ResetRate: o.reset,
+			StallRate: o.stall,
+			StallFor:  o.stalltime,
 		})
 		tr = wrap
 	}
-	cfg := guardian.Config{Transport: tr}
+	cfg.Transport = tr
 	slot := &replicaSlot{}
 	if o.data != "" {
 		open := func(node string) (durable.Store, error) {
@@ -429,7 +492,7 @@ func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper
 		if o.group != "" {
 			rc, err := replicaConfig(o)
 			if err != nil {
-				udp.Close()
+				base.Close()
 				return nil, nil, nil, nil, err
 			}
 			cfg.Store = func(node string) (durable.Store, error) {
@@ -452,7 +515,7 @@ func buildWorld(o *options) (*guardian.World, *transport.UDP, *transport.Wrapper
 	w.MustRegister(nameserv.Def())
 	w.MustRegister(replica.Def())
 	w.MustRegister(tpc.CoordinatorDef())
-	return w, udp, wrap, slot, nil
+	return w, base, wrap, slot, nil
 }
 
 func serve(o *options, stdout io.Writer) error {
@@ -466,7 +529,7 @@ func serve(o *options, stdout io.Writer) error {
 			AfterInstall:  o.crash.hook("after-install"),
 		})
 	}
-	w, udp, wrap, slot, err := buildWorld(o)
+	w, base, wrap, slot, err := buildWorld(o)
 	if err != nil {
 		return err
 	}
@@ -531,7 +594,7 @@ func serve(o *options, stdout io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stdout, "listening on %s\n", udp.LocalAddr(transport.Addr(o.name)))
+	fmt.Fprintf(stdout, "listening on %s\n", base.LocalAddr(transport.Addr(o.name)))
 	if o.shard != "" {
 		fmt.Fprintf(stdout, "shard member=%s\n", o.shard)
 	}
@@ -579,13 +642,14 @@ func serve(o *options, stdout io.Writer) error {
 	// bank branch — the applies counter an exactly-once audit needs.
 	if wrap != nil {
 		wrap.Quiesce()
-		ws := wrap.InjectedStats()
-		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
-			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+		fmt.Fprint(stdout, injectedLine(wrap))
 	}
-	st := udp.Stats()
+	st := base.Stats()
 	fmt.Fprintf(stdout, "stats sent=%d delivered=%d dropped=%d bytes_sent=%d bytes_recv=%d\n",
 		st.Sent, st.Delivered, st.Dropped, st.BytesSent, st.BytesRecv)
+	if o.stats {
+		printConnStats(stdout, st)
+	}
 	if slot.st != nil {
 		leader, term, isSelf := slot.st.Leader()
 		rs := slot.st.ReplStats()
@@ -615,9 +679,42 @@ func serve(o *options, stdout io.Writer) error {
 	return w.Close()
 }
 
+// injectedLine renders the fault-injection shutdown summary: the datagram
+// fates first (the fields the PR 3 audits parse), then the stream fates.
+func injectedLine(wrap *transport.Wrapper) string {
+	ws := wrap.InjectedStats()
+	return fmt.Sprintf("injected sent=%d lost=%d duplicated=%d delayed=%d resets=%d stalls=%d\n",
+		ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed, ws.Resets, ws.Stalls)
+}
+
+// printConnStats renders the per-peer connection counters through the
+// same metrics tables the experiments print. Datagram transports have no
+// connections; the table simply doesn't appear.
+func printConnStats(w io.Writer, st transport.Stats) {
+	if len(st.Conns) == 0 {
+		return
+	}
+	peers := make([]string, 0, len(st.Conns))
+	for a := range st.Conns {
+		peers = append(peers, string(a))
+	}
+	sort.Strings(peers)
+	tb := metrics.NewTable("tcp connections",
+		"peer", "state", "dials", "resets", "reconnects", "hb_missed", "queue_drops")
+	for _, p := range peers {
+		cs := st.Conns[transport.Addr(p)]
+		tb.AddRow(p, cs.State, cs.Dials, cs.Resets, cs.Reconnects, cs.HeartbeatsMissed, cs.QueueDrops)
+	}
+	tb.Render(w)
+}
+
 // parseOp turns "transfer alice bob 25" into a command plus typed args:
 // integer-looking tokens travel as ints, everything else as strings —
 // matching the positional vocabularies of the hosted guardians' amo ports.
+// A token "BASE*N" with a non-numeric BASE expands to BASE repeated N
+// times: argv caps a single argument far below the multi-megabyte
+// payloads the stream transport exists to carry, so "open B*2097152"
+// is how a flag names a two-megabyte account.
 func parseOp(op string) (string, []any, error) {
 	fields := strings.Fields(op)
 	if len(fields) == 0 {
@@ -627,9 +724,15 @@ func parseOp(op string) (string, []any, error) {
 	for _, f := range fields[1:] {
 		if n, err := strconv.ParseInt(f, 10, 64); err == nil {
 			args = append(args, n)
-		} else {
-			args = append(args, f)
+			continue
 		}
+		if base, nStr, ok := strings.Cut(f, "*"); ok && base != "" {
+			if n, err := strconv.ParseInt(nStr, 10, 32); err == nil && n > 0 {
+				args = append(args, strings.Repeat(base, int(n)))
+				continue
+			}
+		}
+		args = append(args, f)
 	}
 	return fields[0], args, nil
 }
@@ -646,7 +749,7 @@ func client(o *options, stdout io.Writer) error {
 			return fmt.Errorf("node: no -peers route to target node %q", target.Node)
 		}
 	}
-	w, _, wrap, _, err := buildWorld(o)
+	w, base, wrap, _, err := buildWorld(o)
 	if err != nil {
 		return err
 	}
@@ -717,9 +820,10 @@ func client(o *options, stdout io.Writer) error {
 	}
 	if wrap != nil {
 		wrap.Quiesce()
-		ws := wrap.InjectedStats()
-		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
-			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+		fmt.Fprint(stdout, injectedLine(wrap))
+	}
+	if o.stats {
+		printConnStats(stdout, base.Stats())
 	}
 	return nil
 }
@@ -759,7 +863,7 @@ func ringClient(o *options, stdout io.Writer) error {
 	if _, ok := o.peers[transport.Addr(nsPort.Node)]; !ok {
 		return fmt.Errorf("node: no -peers route to name-service node %q", nsPort.Node)
 	}
-	w, _, wrap, _, err := buildWorld(o)
+	w, base, wrap, _, err := buildWorld(o)
 	if err != nil {
 		return err
 	}
@@ -887,9 +991,10 @@ func ringClient(o *options, stdout io.Writer) error {
 	}
 	if wrap != nil {
 		wrap.Quiesce()
-		ws := wrap.InjectedStats()
-		fmt.Fprintf(stdout, "injected sent=%d lost=%d duplicated=%d delayed=%d\n",
-			ws.Sent, ws.Lost, ws.Duplicated, ws.Delayed)
+		fmt.Fprint(stdout, injectedLine(wrap))
+	}
+	if o.stats {
+		printConnStats(stdout, base.Stats())
 	}
 	return nil
 }

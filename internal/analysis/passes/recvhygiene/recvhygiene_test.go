@@ -8,5 +8,5 @@ import (
 )
 
 func TestRecvHygiene(t *testing.T) {
-	analysistest.Run(t, recvhygiene.Analyzer, "a", "b", "c", "d")
+	analysistest.Run(t, recvhygiene.Analyzer, "a", "b", "c", "d", "e")
 }

@@ -1,0 +1,81 @@
+// Package e is the stream-transport-era golden input for the
+// recvhygiene pass: the receive shapes a connection manager uses when a
+// guardian supervises a peer link — the heartbeat ack wait whose finite
+// timeout IS the miss detector, and the link-event loop whose timeout
+// arm drives redial — checked in their armed forms and in the unbounded
+// or armless forms they must never regress to.
+package e
+
+import (
+	"time"
+
+	"repro/internal/guardian"
+)
+
+// ackWait mirrors the heartbeat discipline of a connection state
+// machine: wait at most one heartbeat interval for the linktest ack,
+// count a timeout as a miss, and declare the link dead after threshold
+// consecutive misses. No diagnostic — the finite timeout is the §3.4
+// timeout arm, and the miss counter owns what silence means.
+func ackWait(pr *guardian.Process, acks *guardian.Port, interval time.Duration, threshold int) bool {
+	misses := 0
+	for misses < threshold {
+		m, status := pr.Receive(interval, acks)
+		if status == guardian.RecvTimeout {
+			misses++
+			continue
+		}
+		if status != guardian.RecvOK || m.IsFailure() {
+			return false
+		}
+		if m.Command == "linktest_ack" {
+			return true
+		}
+	}
+	return false
+}
+
+// ackWaitUnbounded is the regression shape: the same wait with an
+// infinite timeout and no failure inspection. A peer that resets after
+// the linktest leaves no ack to deliver, and the supervisor parks
+// forever on a link it was supposed to pronounce dead.
+func ackWaitUnbounded(pr *guardian.Process, acks *guardian.Port) bool {
+	for {
+		m, status := pr.Receive(guardian.Infinite, acks) // want `Receive with an Infinite timeout and no failure handling`
+		if status != guardian.RecvOK {
+			return false
+		}
+		if m.Str(0) == "linktest_ack" {
+			return true
+		}
+	}
+}
+
+// linkEvents mirrors the connection manager's event loop: established
+// and closed notifications arrive as messages, the timeout arm fires the
+// idle check, and the failure arm catches a notification bouncing off a
+// watcher that detached mid-teardown.
+func linkEvents(ctx *guardian.Ctx, idleEvery time.Duration) {
+	guardian.NewReceiver(ctx.Ports[0]).
+		When("established", func(pr *guardian.Process, m *guardian.Message) {
+			_ = pr.Send(m.ReplyTo, "watching")
+		}).
+		When("closed", func(pr *guardian.Process, m *guardian.Message) {
+			_ = pr.Send(m.ReplyTo, "redialing")
+		}).
+		WhenTimeout(idleEvery, func(pr *guardian.Process) {
+			// Idle check: tear down links whose data clock went stale.
+		}).
+		Loop(ctx.Proc, nil)
+}
+
+// linkEventsArmless is the regression shape: a manager with neither arm
+// never runs its idle check — an unused link stays up forever — and
+// never learns a notification bounced.
+func linkEventsArmless(ctx *guardian.Ctx) {
+	guardian.NewReceiver(ctx.Ports[0]). // want `neither a failure arm`
+						When("established", func(pr *guardian.Process, m *guardian.Message) {
+			_ = pr.Send(m.ReplyTo, "watching")
+		}).
+		Loop(ctx.Proc, nil)
+}

@@ -68,8 +68,8 @@ func TestScaleN(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13 (E1..E11, E14, E16)", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14 (E1..E11, E14, E16, E17)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -198,5 +198,15 @@ func TestE16Smoke(t *testing.T) {
 	res := runAndRender(t, "ring")
 	// Conservation across shards is a correctness claim; a DEVIATES note
 	// means a ring cell lost or minted money.
+	assertHolds(t, res, false)
+}
+
+func TestE17Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := runAndRender(t, "transport")
+	// The ceiling claim is correctness: every rep, including those past
+	// the datagram maximum, must round-trip intact over TCP.
 	assertHolds(t, res, false)
 }

@@ -82,6 +82,11 @@ func All() []Experiment {
 			Description: "consistent-hash scale-out: aggregate throughput vs shard count, account-skew ablation, exact conservation audit",
 			Run:         func(s Scale) (*Result, error) { return RunE16Ring(E16Defaults, s) },
 		},
+		{
+			ID: "transport", Paper: "§3.4 (extension)",
+			Description: "stream transport: guardian round trips over netsim/UDP/TCP, and the datagram size ceiling TCP removes",
+			Run:         func(s Scale) (*Result, error) { return RunE17Transport(E17Defaults, s) },
+		},
 	}
 }
 

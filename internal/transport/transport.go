@@ -3,19 +3,28 @@
 // which provides for the transmission of messages" with no delivery
 // guarantee; everything above that line (framing, fragmentation,
 // corruption detection, at-most-once calls) is the system's job. This
-// package pins that line down as an interface with two implementations:
+// package pins that line down as an interface with three implementations:
 //
 //   - Sim wraps internal/netsim, the deterministic in-memory simulator
-//     every test and the DST harness run on; and
+//     every test and the DST harness run on;
 //   - UDP carries the same MTU-bounded datagrams over real net.UDPConn
-//     sockets, so guardians can run as separate OS processes.
+//     sockets, so guardians can run as separate OS processes; and
+//   - TCP multiplexes the same best-effort datagrams as length-prefixed
+//     frames over persistent connections with an explicit per-peer state
+//     machine (select handshake, linktest heartbeat, reconnect), removing
+//     the MTU ceiling and trading per-datagram loss for WAN-realistic
+//     ordered-until-reset semantics.
 //
-// A Wrapper composes loss/duplication/delay injection around any
-// Transport, letting the real UDP path be soak-tested with the same fault
-// profiles the simulator uses.
+// A Wrapper composes fault injection around any Transport — loss,
+// duplication and delay for datagram transports, connection resets and
+// stalls for stream ones — letting the real network paths be soak-tested
+// with the same fault profiles the simulator uses.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Addr names a node on the network. Addresses are opaque strings: logical
 // node names for attached peers, transport-specific observed addresses
@@ -72,6 +81,25 @@ type Stats struct {
 	BytesSent  int64
 	BytesRecv  int64
 	RecvErrors int64 // datagrams discarded by the receive path
+
+	// Conns is per-peer connection accounting, keyed by the peer's
+	// advertised address. Only stream transports populate it; datagram
+	// transports have no connections to account for and leave it nil.
+	Conns map[Addr]ConnStats
+}
+
+// StreamFaulter is the fault-injection surface of stream transports.
+// Datagram fault models (loss, duplication) are meaningless on a stream —
+// TCP would just repair them — so the Wrapper injects the failures
+// streams really have: connection resets and half-open stalls.
+type StreamFaulter interface {
+	// ResetPeer abruptly kills the live connection to the peer that a
+	// routes to, reporting whether there was one to kill.
+	ResetPeer(a Addr) bool
+	// StallPeer freezes outbound writes to a's peer for d — a half-open
+	// hang only heartbeat misses ever reveal. Reports whether a live
+	// connection was there to stall.
+	StallPeer(a Addr, d time.Duration) bool
 }
 
 // Errors reported by transports. Only local problems are ever reported;

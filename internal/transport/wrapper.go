@@ -24,6 +24,21 @@ type WrapperConfig struct {
 	Delay time.Duration
 	// Jitter is the maximum additional uniformly-random delay.
 	Jitter time.Duration
+
+	// The stream fault model, honored only when the inner transport is a
+	// StreamFaulter. Loss and duplication are datagram faults — a stream
+	// would just repair them — so what a stream really suffers is
+	// injected instead: the connection carrying a send is reset, or its
+	// write pump stalls into a half-open hang.
+
+	// ResetRate is the probability in [0,1] that a send's destination
+	// connection is reset just after the send is submitted.
+	ResetRate float64
+	// StallRate is the probability that the destination connection's
+	// writes freeze for StallFor after the send is submitted.
+	StallRate float64
+	// StallFor is the stall duration; zero means 100ms.
+	StallFor time.Duration
 }
 
 // WrapperStats counts the faults a Wrapper has injected.
@@ -32,15 +47,23 @@ type WrapperStats struct {
 	Lost       int64 // dropped by the injected loss model
 	Duplicated int64 // extra submissions from the injected duplication model
 	Delayed    int64 // datagrams given a nonzero injected delay
+	Resets     int64 // connection resets injected by the stream fault model
+	Stalls     int64 // write stalls injected by the stream fault model
 }
 
-// Wrapper injects loss, duplication and delay around any Transport. Faults
-// apply to outbound datagrams only; wrap both ends to fault both
-// directions. Everything else — attach, detach, learning, stats — passes
-// through to the inner transport.
+// Wrapper injects faults around any Transport: loss, duplication and
+// delay for datagram transports, connection resets and write stalls when
+// the inner transport is a StreamFaulter. Faults apply to outbound sends
+// only; wrap both ends to fault both directions. Everything else —
+// attach, detach, learning, stats — passes through to the inner
+// transport.
 type Wrapper struct {
 	inner Transport
-	cfg   WrapperConfig
+	// faulter is the inner transport's stream fault surface, when it has
+	// one; nil for datagram transports, for which the stream rates are
+	// inert.
+	faulter StreamFaulter
+	cfg     WrapperConfig
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -55,6 +78,9 @@ func Wrap(inner Transport, cfg WrapperConfig) *Wrapper {
 		inner: inner,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if f, ok := inner.(StreamFaulter); ok {
+		w.faulter = f
 	}
 	w.idle = sync.NewCond(&w.mu)
 	return w
@@ -113,6 +139,15 @@ func (w *Wrapper) Send(from, to Addr, payload []byte) error {
 		}
 		delays[i] = d
 	}
+	// Stream fates are drawn here too — under the lock, in send order —
+	// so they stay a pure function of the seed; the injection itself
+	// (which blocks on the inner transport's machinery) happens after
+	// the send is submitted, below.
+	var reset, stall bool
+	if w.faulter != nil {
+		reset = w.rng.Float64() < w.cfg.ResetRate
+		stall = w.rng.Float64() < w.cfg.StallRate
+	}
 	w.inflight += copies
 	w.mu.Unlock()
 
@@ -133,7 +168,35 @@ func (w *Wrapper) Send(from, to Addr, payload []byte) error {
 			_ = w.inner.Send(from, to, buf)
 		}(d)
 	}
+	if stall || reset {
+		w.injectStream(to, reset, stall)
+	}
 	return firstErr
+}
+
+// injectStream applies a drawn stream fate to the connection now carrying
+// traffic to to. A stall lands first — a reset would leave it nothing to
+// freeze. Only faults that found a live connection are counted: fates are
+// deterministic, hits depend on what the state machine had up.
+func (w *Wrapper) injectStream(to Addr, reset, stall bool) {
+	if stall {
+		d := w.cfg.StallFor
+		if d == 0 {
+			d = 100 * time.Millisecond
+		}
+		if w.faulter.StallPeer(to, d) {
+			w.mu.Lock()
+			w.stats.Stalls++
+			w.mu.Unlock()
+		}
+	}
+	if reset {
+		if w.faulter.ResetPeer(to) {
+			w.mu.Lock()
+			w.stats.Resets++
+			w.mu.Unlock()
+		}
+	}
 }
 
 // retire finishes one submitted copy, waking Quiesce at zero.

@@ -136,3 +136,105 @@ func TestWrapperPassthrough(t *testing.T) {
 		t.Fatal("detach passthrough")
 	}
 }
+
+// streamFaultTransport is a countingTransport that also exposes the
+// stream fault surface, recording every injected fault.
+type streamFaultTransport struct {
+	countingTransport
+	mu2    sync.Mutex
+	resets []Addr
+	stalls []time.Duration
+	live   bool
+}
+
+func (s *streamFaultTransport) ResetPeer(a Addr) bool {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	if !s.live {
+		return false
+	}
+	s.resets = append(s.resets, a)
+	return true
+}
+
+func (s *streamFaultTransport) StallPeer(a Addr, d time.Duration) bool {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	if !s.live {
+		return false
+	}
+	s.stalls = append(s.stalls, d)
+	return true
+}
+
+func TestWrapperStreamFaults(t *testing.T) {
+	inner := &streamFaultTransport{live: true}
+	w := Wrap(inner, WrapperConfig{Seed: 11, ResetRate: 0.2, StallRate: 0.2, StallFor: 5 * time.Millisecond})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := w.Send("a", "b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Quiesce()
+	st := w.InjectedStats()
+	if lo, hi := int64(n)*15/100, int64(n)*25/100; st.Resets < lo || st.Resets > hi {
+		t.Fatalf("resets %d of %d, want ~20%%", st.Resets, n)
+	}
+	if lo, hi := int64(n)*15/100, int64(n)*25/100; st.Stalls < lo || st.Stalls > hi {
+		t.Fatalf("stalls %d of %d, want ~20%%", st.Stalls, n)
+	}
+	inner.mu2.Lock()
+	defer inner.mu2.Unlock()
+	if int64(len(inner.resets)) != st.Resets || int64(len(inner.stalls)) != st.Stalls {
+		t.Fatalf("inner saw %d resets / %d stalls, stats say %d / %d",
+			len(inner.resets), len(inner.stalls), st.Resets, st.Stalls)
+	}
+	for _, d := range inner.stalls {
+		if d != 5*time.Millisecond {
+			t.Fatalf("stall duration %v, want 5ms", d)
+		}
+	}
+}
+
+func TestWrapperStreamFaultsCountOnlyHits(t *testing.T) {
+	inner := &streamFaultTransport{live: false} // no live connections: every fault misses
+	w := Wrap(inner, WrapperConfig{Seed: 11, ResetRate: 1, StallRate: 1})
+	for i := 0; i < 100; i++ {
+		_ = w.Send("a", "b", []byte("x"))
+	}
+	if st := w.InjectedStats(); st.Resets != 0 || st.Stalls != 0 {
+		t.Fatalf("missed faults were counted: %+v", st)
+	}
+}
+
+func TestWrapperStreamRatesInertOnDatagramInner(t *testing.T) {
+	inner := &countingTransport{} // no StreamFaulter surface
+	w := Wrap(inner, WrapperConfig{Seed: 11, ResetRate: 1, StallRate: 1})
+	for i := 0; i < 50; i++ {
+		if err := w.Send("a", "b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.InjectedStats(); st.Resets != 0 || st.Stalls != 0 {
+		t.Fatalf("stream faults on a datagram transport: %+v", st)
+	}
+	if inner.count() != 50 {
+		t.Fatalf("inner saw %d sends, want 50", inner.count())
+	}
+}
+
+func TestWrapperStreamFatesDeterministic(t *testing.T) {
+	run := func() WrapperStats {
+		inner := &streamFaultTransport{live: true}
+		w := Wrap(inner, WrapperConfig{Seed: 23, ResetRate: 0.3, StallRate: 0.3})
+		for i := 0; i < 500; i++ {
+			_ = w.Send("a", "b", []byte{byte(i)})
+		}
+		w.Quiesce()
+		return w.InjectedStats()
+	}
+	if s1, s2 := run(), run(); s1 != s2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+}

@@ -92,7 +92,16 @@ type (
 	UDPConfig = transport.UDPConfig
 	// SimTransport adapts the in-memory simulator to the Transport seam.
 	SimTransport = transport.Sim
-	// FaultWrapper injects loss/duplication/delay around any Transport.
+	// TCPTransport carries frames over persistent TCP connections.
+	TCPTransport = transport.TCP
+	// TCPConfig configures a TCPTransport.
+	TCPConfig = transport.TCPConfig
+	// TCPConnStats is one peer connection's state-machine accounting.
+	TCPConnStats = transport.ConnStats
+	// TCPDialer is the dial seam a TCPTransport uses (TLS-ready).
+	TCPDialer = transport.Dialer
+	// FaultWrapper injects loss/duplication/delay around any Transport —
+	// and connection resets and write stalls around a stream transport.
 	FaultWrapper = transport.Wrapper
 	// FaultWrapperConfig is the injected fault model.
 	FaultWrapperConfig = transport.WrapperConfig
@@ -237,6 +246,9 @@ var (
 	WrapStore = durable.Wrap
 	// NewUDPTransport creates a real-socket transport for a world.
 	NewUDPTransport = transport.NewUDP
+	// NewTCPTransport creates a stream transport: framed persistent
+	// connections with heartbeats, reconnect, and multiplexing.
+	NewTCPTransport = transport.NewTCP
 	// NewSimTransport adapts a simulator network to the Transport seam.
 	NewSimTransport = transport.NewSim
 	// WrapTransport composes a fault model around any transport.
@@ -295,6 +307,8 @@ const (
 	ReplicaModeAsync = replica.ModeAsync
 	// ReplicaDefName is the replicator guardian every member bootstraps.
 	ReplicaDefName = replica.DefName
+	// DefaultTCPMaxFrame is a TCPTransport's default frame-size bound.
+	DefaultTCPMaxFrame = transport.DefaultTCPMaxFrame
 )
 
 // Value kinds for port type declarations.
